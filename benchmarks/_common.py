@@ -1,0 +1,68 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one figure or derived table of the paper,
+prints it, and stores it under ``benchmarks/results/`` so the numbers
+quoted in EXPERIMENTS.md can be re-checked at any time.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.core.gtm import GTMConfig
+from repro.integration.federation import Federation, FederationConfig, SiteSpec
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def build_fed(
+    protocol: str,
+    granularity: str = "per_site",
+    seed: int = 7,
+    n_sites: int = 2,
+    log_placement: str = "indb",
+    msg_timeout: float = 30.0,
+    poll: float = 5.0,
+) -> Federation:
+    """Two-site federation with one funded table per site."""
+    preparable = protocol in ("2pc", "2pc-pa", "3pc")
+    specs = [
+        SiteSpec(f"s{i}", tables={f"t{i}": {"x": 100, "y": 50}}, preparable=preparable)
+        for i in range(n_sites)
+    ]
+    return Federation(
+        specs,
+        FederationConfig(
+            seed=seed,
+            log_placement=log_placement,
+            gtm=GTMConfig(
+                protocol=protocol,
+                granularity=granularity,
+                msg_timeout=msg_timeout,
+                status_poll_interval=poll,
+            ),
+        ),
+    )
+
+
+def submit_and_run(fed: Federation, operations, **kwargs):
+    process = fed.submit(operations, **kwargs)
+    fed.run()
+    return process.value
+
+
+def save_result(name: str, text: str) -> None:
+    """Persist an experiment's rendered output."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)
+
+
+def run_once(benchmark, fn):
+    """Run a deterministic simulation experiment exactly once.
+
+    Simulated time is independent of wall-clock time, so repeating the
+    run only re-measures Python overhead; one round suffices.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

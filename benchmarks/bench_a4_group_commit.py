@@ -1,0 +1,95 @@
+"""EXP-A4 -- extension: group commit at the local engines.
+
+The commit-before + multi-level configuration pays one forced log write
+per action (EXP-T1's honest nuance).  Group commit amortizes those
+forces: concurrent short L0 transactions at a site share one disk
+write.  The sweep varies the gathering window and reports forces per
+committed action, throughput and response time of the federation.
+"""
+
+from repro.bench import closed_loop, format_table
+from repro.core.gtm import GTMConfig
+from repro.integration.federation import Federation, FederationConfig, SiteSpec
+from repro.localdb.config import LocalDBConfig
+from repro.storage.disk import StorageConfig
+from repro.workloads import WorkloadGenerator, WorkloadSpec
+
+from benchmarks._common import run_once, save_result
+
+HORIZON = 700
+WINDOWS = [0.0, 0.5, 1.0, 2.0]
+#: a slow log device -- the regime group commit was invented for
+SLOW_FORCE = 5.0
+
+
+def measure(window: float, force_time: float = 1.0):
+    config = LocalDBConfig(
+        group_commit_window=window,
+        storage=StorageConfig(log_force_time=force_time),
+    )
+    fed = Federation(
+        [
+            SiteSpec(f"s{i}", tables={f"t{i}": {f"k{j}": 100 for j in range(6)}},
+                     config=config)
+            for i in range(2)
+        ],
+        FederationConfig(
+            seed=23,
+            gtm=GTMConfig(protocol="before", granularity="per_action"),
+        ),
+    )
+    workload = WorkloadSpec(
+        ops_per_txn=3, read_fraction=0.0, increment_fraction=1.0,
+        hotspot_fraction=0.0,
+    )
+    generator = WorkloadGenerator(
+        workload, [(f"t{i}", f"k{j}") for i in range(2) for j in range(6)]
+    )
+    stats = closed_loop(
+        fed, generator.next_transaction, n_workers=8, horizon=HORIZON,
+        label=f"window={window}",
+    )
+    forces = sum(e.disk.log_forces for e in fed.engines.values())
+    commits = sum(e.commits for e in fed.engines.values())
+    return stats, forces, commits
+
+
+def run_experiment() -> str:
+    rows = []
+    results = {}
+    for force_time, device in [(1.0, "fast log"), (SLOW_FORCE, "slow log")]:
+        for window in WINDOWS:
+            stats, forces, commits = measure(window, force_time)
+            per_commit = forces / max(1, commits)
+            results[(device, window)] = {
+                "per_commit": per_commit, "thr": stats.throughput,
+            }
+            rows.append([
+                device, window, commits, forces,
+                round(per_commit, 3),
+                round(stats.throughput * 1000, 2),
+                round(stats.mean_response_time, 1),
+            ])
+    table = format_table(
+        ["log device", "window", "local commits", "log forces",
+         "forces/local commit", "thr (txn/1k)", "mean resp"],
+        rows,
+        title="EXP-A4: group commit window sweep, commit-before+MLT, 8 workers",
+    )
+    # Group commit always cuts forces per commit...
+    assert results[("fast log", 2.0)]["per_commit"] < results[("fast log", 0.0)]["per_commit"] * 0.75
+    assert results[("slow log", 2.0)]["per_commit"] < results[("slow log", 0.0)]["per_commit"] * 0.75
+    # ...but only pays in throughput when forces are expensive relative
+    # to the window: on the slow device some window beats window=0.
+    slow_base = results[("slow log", 0.0)]["thr"]
+    best_slow = max(results[("slow log", w)]["thr"] for w in WINDOWS if w > 0)
+    assert best_slow > slow_base
+    table += (
+        "\ngroup commit cuts forces everywhere but wins throughput only on the "
+        "slow log device -- the classic latency-vs-force trade."
+    )
+    return table
+
+
+def test_a4_group_commit(benchmark):
+    save_result("a4_group_commit", run_once(benchmark, run_experiment))

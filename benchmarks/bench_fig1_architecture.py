@@ -1,0 +1,52 @@
+"""EXP-F1 -- Figure 1: system architecture.
+
+Regenerates the communication structure of Figure 1: a star in which
+local systems talk only to the central system.  The table reports, per
+site, how many messages it exchanged with every other node; all
+off-central cells must be zero.
+"""
+
+from repro.bench import format_table
+from repro.core.gtm import GTMConfig
+from repro.integration.federation import Federation, FederationConfig, SiteSpec
+from repro.mlt.actions import increment, read
+
+from benchmarks._common import run_once, save_result
+
+
+def run_experiment() -> str:
+    fed = Federation(
+        [
+            SiteSpec(f"s{i}", tables={f"t{i}": {"x": 100}})
+            for i in range(4)
+        ],
+        FederationConfig(seed=1, gtm=GTMConfig(protocol="before")),
+    )
+    batches = [
+        {"operations": [increment(f"t{i}", "x", 1), read(f"t{(i + 1) % 4}", "x")]}
+        for i in range(4)
+    ]
+    fed.run_transactions(batches)
+
+    nodes = ["central"] + [f"s{i}" for i in range(4)]
+    counts = {src: {dst: 0 for dst in nodes} for src in nodes}
+    for record in fed.kernel.trace.select(category="message"):
+        counts[record.site][record.details["dest"]] += 1
+
+    rows = [[src] + [counts[src][dst] for dst in nodes] for src in nodes]
+    table = format_table(
+        ["from \\ to"] + nodes, rows,
+        title="EXP-F1 (Figure 1): messages exchanged -- star topology",
+    )
+    local_to_local = sum(
+        counts[a][b]
+        for a in nodes for b in nodes
+        if a != "central" and b != "central"
+    )
+    table += f"\nlocal-to-local messages: {local_to_local} (paper: must be 0)"
+    assert local_to_local == 0
+    return table
+
+
+def test_fig1_architecture(benchmark):
+    save_result("fig1_architecture", run_once(benchmark, run_experiment))

@@ -1,0 +1,47 @@
+"""EXP-F2 -- Figure 2: states and messages of two phase commit.
+
+Regenerates the figure's choreography as a time-ordered event table:
+global states on the left, messages in the middle, local states on the
+right -- and asserts the defining order (prepare -> ready -> decision ->
+commit -> finished).
+"""
+
+from repro.bench import format_table
+from repro.mlt.actions import increment
+
+from benchmarks._common import build_fed, run_once, save_result, submit_and_run
+
+
+def run_experiment() -> str:
+    fed = build_fed("2pc")
+    submit_and_run(fed, [increment("t0", "x", -10), increment("t1", "x", 10)])
+
+    rows = []
+    for record in fed.kernel.trace.records:
+        if record.category == "gtxn_state":
+            rows.append([f"{record.time:8.2f}", "global", record.details["state"], ""])
+        elif record.category == "gtxn_decision":
+            rows.append([f"{record.time:8.2f}", "global", f"DECISION={record.details['decision']}", ""])
+        elif record.category == "message" and record.subject in ("prepare", "vote", "decide", "finished"):
+            rows.append([
+                f"{record.time:8.2f}", "message",
+                record.subject, f"{record.site} -> {record.details['dest']}",
+            ])
+        elif record.category == "txn_state" and record.details.get("gtxn"):
+            rows.append([f"{record.time:8.2f}", record.site, record.details["state"], ""])
+
+    table = format_table(
+        ["time", "actor", "event", "route"], rows,
+        title="EXP-F2 (Figure 2): two-phase commit choreography",
+    )
+
+    # Conformance assertions (the figure's arrows).
+    events = [(r[1], r[2]) for r in rows]
+    assert events.index(("message", "prepare")) < events.index(("s0", "ready"))
+    assert events.index(("s0", "ready")) < events.index(("global", "DECISION=commit"))
+    assert events.index(("global", "DECISION=commit")) < events.index(("s0", "committed"))
+    return table
+
+
+def test_fig2_two_phase(benchmark):
+    save_result("fig2_two_phase", run_once(benchmark, run_experiment))

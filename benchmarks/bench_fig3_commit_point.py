@@ -1,0 +1,62 @@
+"""EXP-F3/F5/F7 -- Figures 3, 5 and 7: commit point vs. global decision.
+
+The paper classifies the three protocols by where the local commit
+point falls relative to the global decision:
+
+* Figure 3 (2PC):        decision in the *middle* of local commitment
+  (after ready, before committed);
+* Figure 5 (commit-after):  decision *before* every local commit;
+* Figure 7 (commit-before): decision *after* every local commit.
+
+This benchmark measures the signed offsets (local event time minus
+decision time) on an identical transfer and prints them side by side.
+"""
+
+from repro.bench import format_table
+from repro.mlt.actions import increment
+
+from benchmarks._common import build_fed, run_once, save_result, submit_and_run
+
+TRANSFER = [increment("t0", "x", -10), increment("t1", "x", 10)]
+
+
+def commit_offsets(protocol: str, granularity: str = "per_site"):
+    fed = build_fed(protocol, granularity=granularity)
+    submit_and_run(fed, TRANSFER)
+    decision = fed.kernel.trace.first(category="gtxn_decision").time
+    ready = [
+        round(r.time - decision, 2)
+        for r in fed.kernel.trace.select(category="txn_state")
+        if r.details.get("state") == "ready"
+    ]
+    commits = [
+        round(r.time - decision, 2)
+        for r in fed.kernel.trace.select(category="txn_state")
+        if r.details.get("state") == "committed" and r.details.get("gtxn")
+    ]
+    return ready, commits
+
+
+def run_experiment() -> str:
+    rows = []
+    ready_2pc, commits_2pc = commit_offsets("2pc")
+    rows.append(["2pc (Fig 3)", str(ready_2pc), str(commits_2pc), "ready < 0 < committed"])
+    _, commits_after = commit_offsets("after")
+    rows.append(["after (Fig 5)", "-", str(commits_after), "all > 0"])
+    _, commits_before = commit_offsets("before", granularity="per_action")
+    rows.append(["before (Fig 7)", "-", str(commits_before), "all <= 0"])
+
+    table = format_table(
+        ["protocol", "ready offsets", "local-commit offsets", "expected shape"],
+        rows,
+        title="EXP-F3/F5/F7: local commit points relative to the decision (time units)",
+    )
+
+    assert all(r < 0 for r in ready_2pc) and all(c > 0 for c in commits_2pc)
+    assert all(c > 0 for c in commits_after)
+    assert all(c <= 0 for c in commits_before)
+    return table
+
+
+def test_fig3_commit_point(benchmark):
+    save_result("fig3_commit_point", run_once(benchmark, run_experiment))

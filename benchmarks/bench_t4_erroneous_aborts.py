@@ -1,0 +1,72 @@
+"""EXP-T4 -- §3.2: "If local transactions have to be repeated
+frequently, performance decreases."
+
+Sweep the probability that a local system erroneously aborts a
+subtransaction after its ready answer (commit-after protocol).  The
+table reports redo executions and throughput; the paper's remark is the
+expected downward slope, with correctness (money conservation) intact
+throughout.
+"""
+
+from repro.bench import closed_loop, format_table, protocol_federation
+from repro.core.invariants import atomicity_report
+from repro.faults import FaultInjector
+from repro.integration.federation import SiteSpec
+from repro.workloads import WorkloadGenerator, WorkloadSpec
+
+from benchmarks._common import run_once, save_result
+
+HORIZON = 900
+FAULT_RATES = [0.0, 0.2, 0.5, 0.8]
+
+
+def measure(rate: float):
+    specs = [
+        SiteSpec(f"s{i}", tables={f"t{i}": {f"k{j}": 100 for j in range(8)}})
+        for i in range(2)
+    ]
+    fed = protocol_federation("after", specs, granularity="per_site", seed=29)
+    if rate:
+        FaultInjector(fed).erroneous_aborts_after_ready(rate, delay=0.3)
+    workload = WorkloadSpec(
+        ops_per_txn=4, read_fraction=0.0, increment_fraction=1.0,
+        hotspot_fraction=0.0,
+    )
+    generator = WorkloadGenerator(
+        workload, [(f"t{i}", f"k{j}") for i in range(2) for j in range(8)]
+    )
+    stats = closed_loop(
+        fed, generator.next_transaction, n_workers=4, horizon=HORIZON,
+        label=f"after@{rate}",
+    )
+    report = atomicity_report(fed)
+    return stats, report
+
+
+def run_experiment() -> str:
+    rows = []
+    throughputs = {}
+    for rate in FAULT_RATES:
+        stats, report = measure(rate)
+        throughputs[rate] = stats.throughput
+        rows.append([
+            rate, stats.committed, stats.redo_executions,
+            round(stats.redo_executions / max(1, stats.committed), 2),
+            round(stats.throughput * 1000, 2),
+            round(stats.mean_response_time, 1),
+            "OK" if report.ok else "VIOLATED",
+        ])
+    table = format_table(
+        ["erroneous abort rate", "committed", "redo txns", "redos/commit",
+         "thr (txn/1k)", "mean resp", "atomicity"],
+        rows,
+        title="EXP-T4 (§3.2): erroneous-abort sweep under commit-after",
+    )
+    assert all(row[-1] == "OK" for row in rows)   # atomicity never lost
+    assert throughputs[0.8] < throughputs[0.0]     # performance decreases
+    assert rows[-1][2] > rows[0][2]                # redo work grows
+    return table
+
+
+def test_t4_erroneous_aborts(benchmark):
+    save_result("t4_erroneous_aborts", run_once(benchmark, run_experiment))

@@ -1,0 +1,104 @@
+"""EXP-T5 -- message and forced-log-write complexity per protocol.
+
+The §5 discussion cites [ML 83] (log-write complexity) and [DS 83]
+(communication complexity of nonblocking commit).  For one n-site
+transaction the analytic counts are:
+
+* 2PC:  4n messages (prepare, ready, decision, finished) + 2 forced
+  writes per site (prepare, commit);
+* 3PC:  6n messages (adds pre-commit + ack);
+* commit-after:  4n protocol messages, 1 forced write per site (commit
+  only -- no ready state to harden) but the redo-log at the central;
+* commit-before+MLT:  no separate protocol round at all -- each action
+  reply doubles as the vote (0 extra messages per site beyond the data
+  traffic), 1 forced write per action.
+
+This benchmark measures the protocol-message counts (excluding data
+traffic) and compares them with n * the analytic factor.
+"""
+
+from repro.bench import format_table
+from repro.core.gtm import GTMConfig
+from repro.integration.federation import Federation, FederationConfig, SiteSpec
+from repro.mlt.actions import increment
+
+from benchmarks._common import run_once, save_result
+
+N_SITES = 3
+PROTOCOL_MESSAGES = (
+    "prepare", "vote", "decide", "finished", "pre_commit", "pre_commit_ack",
+    "finish_subtxn", "local_outcome", "redo_subtxn", "redo_result",
+    "undo_subtxn", "undo_result", "status_query", "status_report",
+)
+
+
+def measure(protocol: str, granularity: str, readonly_tail: bool = False) -> dict:
+    preparable = protocol in ("2pc", "2pc-pa", "3pc")
+    fed = Federation(
+        [
+            SiteSpec(f"s{i}", tables={f"t{i}": {"x": 100}}, preparable=preparable)
+            for i in range(N_SITES)
+        ],
+        FederationConfig(
+            seed=2, gtm=GTMConfig(protocol=protocol, granularity=granularity)
+        ),
+    )
+    if readonly_tail:
+        # One updater, the rest read-only ([ML 83]'s favourite case).
+        from repro.mlt.actions import read
+
+        operations = [increment("t0", "x", 1)] + [
+            read(f"t{i}", "x") for i in range(1, N_SITES)
+        ]
+    else:
+        operations = [increment(f"t{i}", "x", 1) for i in range(N_SITES)]
+    process = fed.submit(operations)
+    fed.run()
+    assert process.value.committed
+    counts = fed.network.message_counts()
+    protocol_msgs = sum(counts.get(kind, 0) for kind in PROTOCOL_MESSAGES)
+    return {
+        "total": fed.network.sent,
+        "protocol": protocol_msgs,
+        "forces": sum(e.disk.log_forces for e in fed.engines.values()),
+        "by_kind": counts,
+    }
+
+
+def run_experiment() -> str:
+    rows = []
+    measured = {}
+    for protocol, granularity, label, analytic, readonly in [
+        ("2pc", "per_site", "2PC", f"4n = {4 * N_SITES}", False),
+        ("2pc-pa", "per_site", "2PC-PA [ML 83]", f"4n = {4 * N_SITES}", False),
+        ("2pc", "per_site", "2PC, n-1 readonly", f"4n = {4 * N_SITES}", True),
+        ("2pc-pa", "per_site", "2PC-PA, n-1 readonly", "4 + 2(n-1)", True),
+        ("3pc", "per_site", "3PC", f"6n = {6 * N_SITES}", False),
+        ("after", "per_site", "commit-after", f"4n = {4 * N_SITES}", False),
+        ("before", "per_site", "commit-before/site", f"4n = {4 * N_SITES}", False),
+        ("before", "per_action", "commit-before+MLT", "0 (votes ride on data)", False),
+    ]:
+        m = measure(protocol, granularity, readonly_tail=readonly)
+        measured[label] = m
+        rows.append([label, m["protocol"], analytic, m["total"], m["forces"]])
+    table = format_table(
+        ["protocol", "protocol msgs", "analytic", "all msgs", "forced log writes"],
+        rows,
+        title=f"EXP-T5: message/log complexity, one committed {N_SITES}-site transaction",
+    )
+    assert measured["2PC"]["protocol"] == 4 * N_SITES
+    assert measured["3PC"]["protocol"] == 6 * N_SITES
+    assert measured["commit-before+MLT"]["protocol"] == 0
+    assert measured["3PC"]["total"] > measured["2PC"]["total"]
+    # The read-only optimization saves the whole second phase for n-1
+    # participants: 4 + 2(n-1) protocol messages instead of 4n.
+    assert (
+        measured["2PC-PA, n-1 readonly"]["protocol"]
+        == 4 + 2 * (N_SITES - 1)
+        < measured["2PC, n-1 readonly"]["protocol"]
+    )
+    return table
+
+
+def test_t5_message_complexity(benchmark):
+    save_result("t5_message_complexity", run_once(benchmark, run_experiment))

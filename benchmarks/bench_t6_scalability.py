@@ -1,0 +1,74 @@
+"""EXP-T6 -- §2: integrating more systems costs nothing per transaction.
+
+"For each of the existing systems, only a single connection to the
+central system is needed.  As a consequence, the integration of
+additional systems ... does not cause further problems affecting the
+already integrated existing database systems."
+
+The benchmark grows the federation from 2 to 8 sites while every
+transaction keeps touching exactly two of them; per-transaction message
+counts and response times must stay flat.
+"""
+
+import random
+
+from repro.bench import format_table
+from repro.core.gtm import GTMConfig
+from repro.integration.federation import Federation, FederationConfig, SiteSpec
+from repro.mlt.actions import increment
+
+from benchmarks._common import run_once, save_result
+
+N_TXNS = 8
+SITE_COUNTS = [2, 4, 8]
+
+
+def measure(n_sites: int) -> dict:
+    fed = Federation(
+        [
+            SiteSpec(f"s{i}", tables={f"t{i}": {"x": 1000}})
+            for i in range(n_sites)
+        ],
+        FederationConfig(
+            seed=3,
+            gtm=GTMConfig(protocol="before", granularity="per_action"),
+        ),
+    )
+    rng = random.Random(n_sites)
+    outcomes = []
+    for _ in range(N_TXNS):
+        src, dst = rng.sample(range(n_sites), 2)
+        process = fed.submit(
+            [increment(f"t{src}", "x", -5), increment(f"t{dst}", "x", 5)]
+        )
+        fed.run()
+        outcomes.append(process.value)
+    assert all(o.committed for o in outcomes)
+    return {
+        "msgs_per_txn": fed.network.sent / N_TXNS,
+        "mean_resp": sum(o.response_time for o in outcomes) / N_TXNS,
+    }
+
+
+def run_experiment() -> str:
+    rows = []
+    results = {}
+    for n_sites in SITE_COUNTS:
+        m = measure(n_sites)
+        results[n_sites] = m
+        rows.append([n_sites, round(m["msgs_per_txn"], 2), round(m["mean_resp"], 2)])
+    table = format_table(
+        ["sites in federation", "msgs/txn", "mean response time"],
+        rows,
+        title="EXP-T6 (§2): scalability -- 2-site transfers in growing federations",
+    )
+    # Flatness: adding sites must not inflate per-transaction cost.
+    base = results[SITE_COUNTS[0]]
+    top = results[SITE_COUNTS[-1]]
+    assert top["msgs_per_txn"] <= base["msgs_per_txn"] * 1.05
+    assert top["mean_resp"] <= base["mean_resp"] * 1.10
+    return table
+
+
+def test_t6_scalability(benchmark):
+    save_result("t6_scalability", run_once(benchmark, run_experiment))

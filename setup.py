@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Everything lives in pyproject.toml; this file only enables
+``python setup.py develop`` on offline machines whose environment lacks
+the ``wheel`` package (PEP 660 editable installs need it).
+"""
+
+from setuptools import setup
+
+setup()

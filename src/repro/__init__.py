@@ -1,0 +1,61 @@
+"""repro -- Atomic Commitment for Integrated Database Systems.
+
+A faithful, executable reproduction of Muth & Rakow (ICDE 1991):
+heterogeneous local database engines with unchangeable transaction
+managers, a central global transaction manager, and the three atomic
+commitment strategies the paper compares -- two-phase commit, local
+commitment after the global decision, and local commitment before the
+global decision combined with multi-level transactions.
+
+Quickstart::
+
+    from repro import Federation, FederationConfig, SiteSpec, GTMConfig, ops
+
+    fed = Federation(
+        [
+            SiteSpec("bank_a", tables={"accounts": {"alice": 100}}),
+            SiteSpec("bank_b", tables={"accounts_b": {"bob": 50}}),
+        ],
+        FederationConfig(gtm=GTMConfig(protocol="before")),
+    )
+    process = fed.submit([
+        ops.increment("accounts", "alice", -10),
+        ops.increment("accounts_b", "bob", +10),
+    ])
+    fed.run()
+    print(process.value.committed)
+"""
+
+from repro import errors
+from repro.core.global_txn import GlobalOutcome, GlobalTransaction, GlobalTxnState
+from repro.core.gtm import GlobalTransactionManager, GTMConfig
+from repro.integration.federation import Federation, FederationConfig, SiteSpec
+from repro.localdb.config import LocalDBConfig
+from repro.localdb.engine import LocalDatabase
+from repro.mlt import actions as ops
+from repro.mlt.actions import Operation
+from repro.mlt.conflicts import READ_WRITE_TABLE, SEMANTIC_TABLE
+from repro.sim.kernel import Kernel
+from repro.storage.disk import StorageConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Federation",
+    "FederationConfig",
+    "GTMConfig",
+    "GlobalOutcome",
+    "GlobalTransaction",
+    "GlobalTransactionManager",
+    "GlobalTxnState",
+    "Kernel",
+    "LocalDBConfig",
+    "LocalDatabase",
+    "Operation",
+    "READ_WRITE_TABLE",
+    "SEMANTIC_TABLE",
+    "SiteSpec",
+    "StorageConfig",
+    "errors",
+    "ops",
+]

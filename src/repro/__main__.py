@@ -1,0 +1,64 @@
+"""``python -m repro`` -- a 30-second demonstration.
+
+Runs one transfer under each commit protocol against a fresh two-bank
+federation, prints the outcome and the per-protocol cost, then shows
+the paper's headline effect: an intended abort is free under
+commit-after and needs inverse transactions under commit-before.
+"""
+
+from __future__ import annotations
+
+from repro import Federation, FederationConfig, GTMConfig, SiteSpec, ops
+from repro.bench.report import format_table
+from repro.core.invariants import atomicity_report
+
+
+def build(protocol: str) -> Federation:
+    preparable = protocol in ("2pc", "2pc-pa", "3pc")
+    granularity = "per_action" if protocol in ("before", "saga", "altruistic") else "per_site"
+    return Federation(
+        [
+            SiteSpec("bank_a", tables={"acc_a": {"alice": 100}}, preparable=preparable),
+            SiteSpec("bank_b", tables={"acc_b": {"bob": 50}}, preparable=preparable),
+        ],
+        FederationConfig(seed=1, gtm=GTMConfig(protocol=protocol, granularity=granularity)),
+    )
+
+
+def main() -> None:
+    print(__doc__)
+    rows = []
+    for protocol in ("before", "after", "2pc", "2pc-pa", "3pc", "saga", "altruistic"):
+        fed = build(protocol)
+        commit = fed.submit(
+            [ops.increment("acc_a", "alice", -10), ops.increment("acc_b", "bob", 10)]
+        )
+        fed.run()
+        abort = fed.submit(
+            [ops.increment("acc_a", "alice", -5), ops.increment("acc_b", "bob", 5)],
+            intends_abort=True,
+        )
+        fed.run()
+        rows.append([
+            protocol,
+            "yes" if commit.value.committed else "NO",
+            round(commit.value.response_time, 1),
+            fed.network.sent,
+            abort.value.undo_executions,
+            fed.peek("bank_a", "acc_a", "alice"),
+            fed.peek("bank_b", "acc_b", "bob"),
+            "OK" if atomicity_report(fed).ok else "VIOLATED",
+        ])
+    print(format_table(
+        ["protocol", "commit ok", "resp time", "messages",
+         "undo txns on abort", "alice", "bob", "atomicity"],
+        rows,
+        title="one committed transfer + one intended abort, per protocol",
+    ))
+    print("\nAll balances 90/60: the committed transfer applied exactly once,")
+    print("the aborted one left no trace -- by plain abort (2PC/after) or by")
+    print("inverse transactions (before/saga/altruistic), per the 1991 paper.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Related-work baselines (paper §5).
+
+* :mod:`repro.baselines.sagas` -- sagas [GS 87]: compensation-based
+  undo like commit-before, but **without** global concurrency control;
+  global serializability is not ensured (EXP-B1 detects the cycles).
+* :mod:`repro.baselines.altruistic` -- altruistic locking [AGK 87/GS 87]:
+  early lock release ("donation") with wake tracking; serializable but
+  with a more complicated dependency-maintenance algorithm than
+  multi-level transactions.
+"""
+
+from repro.baselines.altruistic import AltruisticCommit, AltruisticLockManager
+from repro.baselines.sagas import SagaCoordinator
+
+__all__ = ["AltruisticCommit", "AltruisticLockManager", "SagaCoordinator"]

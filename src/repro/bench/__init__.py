@@ -1,0 +1,6 @@
+"""Benchmark harness: drivers, metrics collection and report tables."""
+
+from repro.bench.harness import RunStats, closed_loop, protocol_federation
+from repro.bench.report import format_table
+
+__all__ = ["RunStats", "closed_loop", "format_table", "protocol_federation"]

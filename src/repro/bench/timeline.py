@@ -1,0 +1,109 @@
+"""Timeline rendering: turn a trace log into a readable protocol story.
+
+Used by the protocol-tour example and the figure benchmarks; kept in
+the library so downstream users can debug their own federations the
+same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.tracing import TraceLog, TraceRecord
+
+#: message kinds worth showing in a protocol timeline (data traffic is
+#: summarized, protocol traffic is shown verbatim)
+PROTOCOL_MESSAGE_KINDS = frozenset(
+    (
+        "prepare", "vote", "decide", "finished", "pre_commit",
+        "pre_commit_ack", "finish_subtxn", "local_outcome",
+        "redo_subtxn", "redo_result", "undo_subtxn", "undo_result",
+        "status_query", "status_report",
+    )
+)
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One rendered line of a protocol timeline."""
+
+    time: float
+    actor: str
+    text: str
+
+    def __str__(self) -> str:
+        return f"{self.time:8.2f}  {self.actor:<14} {self.text}"
+
+
+def timeline_events(
+    trace: "TraceLog",
+    gtxn_prefix: Optional[str] = None,
+    include_data_messages: bool = False,
+) -> list[TimelineEvent]:
+    """Extract the protocol-relevant events of a run, in time order.
+
+    ``gtxn_prefix`` filters to one global transaction (and its inverse
+    transactions); by default every transaction is included.
+    """
+
+    def relevant_gtxn(value: Optional[str]) -> bool:
+        if gtxn_prefix is None:
+            return True
+        return bool(value) and str(value).startswith(gtxn_prefix)
+
+    events: list[TimelineEvent] = []
+    for record in trace.records:
+        event = _render_record(record, relevant_gtxn, include_data_messages)
+        if event is not None:
+            events.append(event)
+    return events
+
+
+def _render_record(record: "TraceRecord", relevant_gtxn, include_data) -> Optional[TimelineEvent]:
+    details = record.details
+    if record.category == "gtxn_state" and relevant_gtxn(record.subject):
+        return TimelineEvent(record.time, "GLOBAL", details["state"])
+    if record.category == "gtxn_decision" and relevant_gtxn(record.subject):
+        return TimelineEvent(
+            record.time, "GLOBAL", f">>> decision: {details['decision']} <<<"
+        )
+    if record.category == "message":
+        if not relevant_gtxn(details.get("gtxn")):
+            return None
+        if record.subject in PROTOCOL_MESSAGE_KINDS or include_data:
+            return TimelineEvent(
+                record.time, "message",
+                f"{record.subject}: {record.site} -> {details['dest']}",
+            )
+        return None
+    if record.category == "txn_state" and details.get("gtxn"):
+        gtxn = str(details["gtxn"])
+        if not relevant_gtxn(gtxn.replace("!undo", "")):
+            return None
+        kind = "inverse txn" if gtxn.endswith("!undo") else "local txn"
+        reason = details.get("reason")
+        text = f"{kind} {details['state']}" + (f" ({reason})" if reason else "")
+        return TimelineEvent(record.time, record.site, text)
+    if record.category in ("redo", "undo") and relevant_gtxn(record.subject):
+        return TimelineEvent(
+            record.time, record.category.upper(), f"at {details.get('at')}"
+        )
+    if record.category == "fault":
+        return TimelineEvent(record.time, "FAULT", details.get("kind", "?"))
+    if record.category == "site":
+        return TimelineEvent(record.time, record.site, record.subject)
+    return None
+
+
+def render_timeline(
+    trace: "TraceLog",
+    gtxn_prefix: Optional[str] = None,
+    include_data_messages: bool = False,
+) -> str:
+    """The timeline as printable text."""
+    return "\n".join(
+        str(event)
+        for event in timeline_events(trace, gtxn_prefix, include_data_messages)
+    )

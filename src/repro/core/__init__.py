@@ -1,0 +1,23 @@
+"""Global transaction management: the paper's primary contribution.
+
+* :mod:`repro.core.gtm` -- the global transaction manager running at
+  the central system.
+* :mod:`repro.core.protocols` -- the atomic commitment protocols
+  compared by the paper: two-phase commit (baseline, needs modified
+  local TMs), local commitment *after* the global decision (§3.2) and
+  local commitment *before* the global decision (§3.3, combined with
+  multi-level transactions in §4).
+* :mod:`repro.core.serializability` -- serialization-graph checkers
+  used to validate every run.
+"""
+
+from repro.core.global_txn import GlobalOutcome, GlobalTransaction, GlobalTxnState
+from repro.core.gtm import GlobalTransactionManager, GTMConfig
+
+__all__ = [
+    "GTMConfig",
+    "GlobalOutcome",
+    "GlobalTransaction",
+    "GlobalTransactionManager",
+    "GlobalTxnState",
+]

@@ -1,0 +1,228 @@
+"""The global transaction manager of the central system.
+
+Accepts global transactions (lists of
+:class:`~repro.mlt.actions.Operation`), decomposes them through the
+global schema, runs the configured atomic commitment protocol and
+enforces global serializability with the L1 lock table appropriate for
+that protocol:
+
+* ``2pc`` -- no L1 table: flat distributed strict 2PL plus the ready
+  state already yields global serializability.
+* ``after`` -- read/write L1 locks held until every local finally
+  committed (the §3.2 serializability requirement: the first
+  execution's serialization order must survive redo).
+* ``before`` -- the multi-level L1 table (semantic by default) held to
+  the end of the global transaction (§3.3/§4); this is the concurrency
+  control that multi-level transactions need anyway.
+
+Global transactions aborted by L1 deadlock/timeout are retried up to
+``retry_attempts`` times with a backoff -- their locals were cleaned up
+by the protocol's abort path, so a retry is a fresh run.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.core.global_txn import GlobalOutcome, GlobalTransaction, GlobalTxnState
+from repro.core.protocols.base import make_protocol
+from repro.core.redo import RedoLog
+from repro.core.undo import UndoLog
+from repro.mlt.conflicts import READ_WRITE_TABLE, SEMANTIC_TABLE, ConflictTable
+from repro.mlt.locks import SemanticLockManager
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.integration.comm_central import CentralCommunicationManager
+    from repro.integration.schema import GlobalSchema
+    from repro.mlt.actions import Operation
+    from repro.net.network import Network
+    from repro.sim.kernel import Kernel
+    from repro.sim.process import Process
+
+
+@dataclass
+class GTMConfig:
+    """Configuration of the global transaction manager.
+
+    Attributes
+    ----------
+    protocol:
+        ``"2pc"`` | ``"after"`` | ``"before"`` | ``"3pc"``.
+    granularity:
+        For commit-before: ``"per_action"`` (multi-level, §4) or
+        ``"per_site"`` ([BST 90]/[WV 90] style).
+    l1_table:
+        Override of the L1 conflict table (``None`` = protocol default;
+        the EXP-A1 ablation passes ``READ_WRITE_TABLE`` to commit-before).
+    l1_timeout:
+        Bound on L1 lock waits.  Must be finite: two global transactions
+        can deadlock *across* levels -- one waiting at L1 for an object
+        the other holds, the other's redo waiting at L0 for a page the
+        first's open subtransaction holds.  Neither level's deadlock
+        detector can see such a cycle (the L1 table knows nothing about
+        page co-location), so a timeout breaks it; the victim retries.
+    durable_status:
+        Query the in-database commit markers on ambiguity; must match
+        the communication managers' ``log_placement`` (the
+        :class:`~repro.integration.federation.Federation` keeps them in
+        sync).
+    """
+
+    protocol: str = "before"
+    granularity: str = "per_action"
+    l1_table: Optional[ConflictTable] = None
+    l1_timeout: Optional[float] = 150.0
+    msg_timeout: float = 50.0
+    status_poll_interval: float = 10.0
+    durable_status: bool = True
+    #: Collapse inverse transactions (net increments, dead-write
+    #: elimination) before sending them -- the optimization §4.1 defers.
+    optimize_undo: bool = False
+    max_redo_rounds: int = 50
+    retry_attempts: int = 5
+    retry_backoff: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.granularity not in ("per_action", "per_site"):
+            raise ValueError(f"unknown granularity {self.granularity!r}")
+
+    def resolved_l1_table(self) -> Optional[ConflictTable]:
+        """The L1 conflict table this configuration actually uses."""
+        if self.l1_table is not None:
+            return self.l1_table
+        if self.protocol in ("after", "altruistic"):
+            return READ_WRITE_TABLE
+        if self.protocol == "before":
+            return SEMANTIC_TABLE
+        return None  # 2pc / 2pc-pa / 3pc / saga: no L1 layer
+
+
+class GlobalTransactionManager:
+    """Coordinator for global transactions (runs at the central node)."""
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        network: "Network",
+        schema: "GlobalSchema",
+        comm: "CentralCommunicationManager",
+        config: Optional[GTMConfig] = None,
+    ):
+        self.kernel = kernel
+        self.network = network
+        self.schema = schema
+        self.comm = comm
+        self.config = config or GTMConfig()
+        self.protocol = make_protocol(self.config.protocol)
+        table = self.config.resolved_l1_table()
+        if table is None:
+            self.l1 = None
+        elif self.config.protocol == "altruistic":
+            from repro.baselines.altruistic import AltruisticLockManager
+
+            self.l1 = AltruisticLockManager(
+                kernel, table, default_timeout=self.config.l1_timeout
+            )
+        else:
+            self.l1 = SemanticLockManager(
+                kernel, table, default_timeout=self.config.l1_timeout, name="L1"
+            )
+        self.redo_log = RedoLog()
+        self.undo_log = UndoLog()
+        self._ids = itertools.count(1)
+        self.outcomes: list[GlobalOutcome] = []
+        self.committed = 0
+        self.aborted = 0
+
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        operations: list["Operation"],
+        name: Optional[str] = None,
+        intends_abort: bool = False,
+    ) -> "Process":
+        """Run a global transaction asynchronously.
+
+        Returns the process; joining it yields the
+        :class:`~repro.core.global_txn.GlobalOutcome`.
+        """
+        gtxn_id = name or f"G{next(self._ids)}"
+        return self.kernel.spawn(
+            self.run_transaction(operations, gtxn_id, intends_abort),
+            name=f"gtxn:{gtxn_id}",
+        )
+
+    def run_transaction(
+        self,
+        operations: list["Operation"],
+        gtxn_id: str,
+        intends_abort: bool = False,
+    ) -> Generator[Any, Any, GlobalOutcome]:
+        """Execute one global transaction, retrying on L1 conflicts."""
+        from repro.core.protocols.base import ProtocolContext
+        from repro.integration.decompose import decompose
+
+        submit_time = self.kernel.now
+        attempt = 0
+        while True:
+            attempt += 1
+            attempt_id = gtxn_id if attempt == 1 else f"{gtxn_id}~r{attempt - 1}"
+            decomposition = decompose(self.schema, operations)
+            gtxn = GlobalTransaction(self.kernel, attempt_id, decomposition.ordered)
+            outcome = GlobalOutcome(
+                gtxn_id=attempt_id,
+                committed=False,
+                submit_time=submit_time,
+                sites=decomposition.sites,
+                attempts=attempt,
+                routed_ops=[(op.site, op.kind) for op in decomposition.ordered],
+            )
+            ctx = ProtocolContext(self, gtxn, decomposition, outcome, intends_abort)
+            try:
+                yield from self.protocol.run(ctx)
+            finally:
+                ctx.release_l1()
+            outcome.finish_time = self.kernel.now
+            if (
+                not outcome.committed
+                and outcome.retriable
+                and attempt <= self.config.retry_attempts
+            ):
+                yield self.config.retry_backoff * attempt
+                continue
+            self.outcomes.append(outcome)
+            if outcome.committed:
+                self.committed += 1
+            else:
+                self.aborted += 1
+            return outcome
+
+    # ------------------------------------------------------------------
+
+    def metrics(self) -> dict[str, Any]:
+        """Coordinator-side counters for the experiment reports."""
+        committed = [o for o in self.outcomes if o.committed]
+        return {
+            "global_committed": self.committed,
+            "global_aborted": self.aborted,
+            "redo_executions": sum(o.redo_executions for o in self.outcomes),
+            "undo_executions": sum(o.undo_executions for o in self.outcomes),
+            "mean_response_time": (
+                sum(o.response_time for o in committed) / len(committed)
+                if committed
+                else 0.0
+            ),
+            "l1_waits": self.l1.waits if self.l1 else 0,
+            "l1_wait_time": self.l1.total_wait_time if self.l1 else 0.0,
+            "l1_hold_time": self.l1.total_hold_time if self.l1 else 0.0,
+            "l1_deadlocks": self.l1.deadlocks if self.l1 else 0,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<GlobalTransactionManager protocol={self.config.protocol} "
+            f"committed={self.committed} aborted={self.aborted}>"
+        )

@@ -1,0 +1,181 @@
+"""Run-time invariant checkers.
+
+The paper's correctness obligations, verified on actual executions:
+
+* **Global atomicity** -- every subtransaction of a committed global
+  transaction took durable effect exactly once; the effects of an
+  aborted global transaction are fully neutralized (never executed,
+  locally aborted, or undone by a committed inverse transaction).
+* **Global serializability** -- the union of per-site conflict graphs
+  over global transactions is acyclic (checked through
+  :mod:`repro.core.serializability`).
+
+The atomicity checker works off each engine's transaction history:
+forward local transactions carry their global transaction id, inverse
+transactions the id suffixed with ``!undo``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.serializability import global_serializability
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.integration.federation import Federation
+
+
+@dataclass
+class AtomicityViolationRecord:
+    """One detected violation."""
+
+    gtxn_id: str
+    site: str
+    kind: str  # "lost_execution" | "double_execution" | "unbalanced_undo"
+    detail: str
+
+
+@dataclass
+class AtomicityReport:
+    """Outcome of the global-atomicity audit."""
+
+    checked: int = 0
+    violations: list[AtomicityViolationRecord] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def _base_id(gtxn_id: str) -> str:
+    """Strip the retry suffix (``G7~r2`` -> ``G7``)."""
+    return gtxn_id.split("~", 1)[0]
+
+
+def atomicity_report(federation: "Federation") -> AtomicityReport:
+    """Audit every finished global transaction for exactly-once effects."""
+    report = AtomicityReport()
+    # Per (gtxn, site): committed forward and committed inverse txn counts,
+    # and the number of write operations those forward txns performed.
+    committed_fw: dict[tuple[str, str], int] = {}
+    committed_undo: dict[tuple[str, str], int] = {}
+    fw_writes: dict[tuple[str, str], int] = {}
+    for site, engine in federation.engines.items():
+        for txn in engine._txns.values():
+            if txn.gtxn_id is None or txn.state.value != "committed":
+                continue
+            if txn.gtxn_id.endswith("!undo"):
+                key = (_base_id(txn.gtxn_id[: -len("!undo")]), site)
+                committed_undo[key] = committed_undo.get(key, 0) + 1
+            elif txn.write_set:
+                # Read-only L0 transactions owe no durable effect and
+                # are excluded from the exactly-once accounting.
+                key = (_base_id(txn.gtxn_id), site)
+                committed_fw[key] = committed_fw.get(key, 0) + 1
+                fw_writes[key] = fw_writes.get(key, 0) + len(txn.write_set)
+
+    protocol = federation.gtm.config.protocol
+    # Protocols that execute one L0 transaction per action when the
+    # granularity says so; 2PC/3PC/commit-after always run one local
+    # transaction per site.
+    per_action = (
+        federation.gtm.config.granularity == "per_action"
+        and protocol in ("before", "saga", "altruistic")
+    )
+    for outcome in federation.gtm.outcomes:
+        report.checked += 1
+        base = _base_id(outcome.gtxn_id)
+        for site in outcome.sites:
+            forward = committed_fw.get((base, site), 0)
+            undone = committed_undo.get((base, site), 0)
+            ops_at_site = _write_ops_at_site(federation, outcome, site)
+            if outcome.committed:
+                expected = ops_at_site if per_action else 1
+                if ops_at_site == 0:
+                    continue  # read-only at this site: nothing durable owed
+                # Retried attempts were neutralized by inverse txns, so
+                # the *net* effect (forward minus undone) is what counts.
+                effective = forward - undone
+                if effective < expected:
+                    report.violations.append(
+                        AtomicityViolationRecord(
+                            base, site, "lost_execution",
+                            f"net {effective}/{expected} forward txns committed",
+                        )
+                    )
+                elif effective > expected:
+                    report.violations.append(
+                        AtomicityViolationRecord(
+                            base, site, "double_execution",
+                            f"net {effective}/{expected} forward txns committed",
+                        )
+                    )
+            else:
+                # Aborted global transaction: committed forward effects
+                # must be matched by committed inverse transactions.
+                if forward != undone and ops_at_site > 0:
+                    report.violations.append(
+                        AtomicityViolationRecord(
+                            base, site, "unbalanced_undo",
+                            f"{forward} forward vs {undone} inverse committed",
+                        )
+                    )
+    return report
+
+
+def _write_ops_at_site(federation: "Federation", outcome, site: str) -> int:
+    """How many writing operations the transaction aimed at ``site``.
+
+    Reconstructed from the schema because the outcome does not keep the
+    full routed operation list.
+    """
+    count = 0
+    for op_site, op_kind in outcome.routed_ops:
+        if op_site == site and op_kind != "read":
+            count += 1
+    return count
+
+
+def serializability_ok(federation: "Federation", strict: bool = False) -> bool:
+    """Is the committed global history serializable?
+
+    The standard multidatabase criterion: the projection onto
+    *globally committed* transactions must be conflict-serializable.
+    Locally committed subtransactions of globally aborted transactions
+    and their inverse transactions are neutralized pairs and excluded
+    (their net effect is void -- that is what the atomicity audit
+    verifies).
+
+    With ``strict=True`` the compensated pairs stay in the history;
+    then the conflict notion must come from the semantic table, and
+    only protocols that hold their L1 locks through the undo (the
+    paper's commit-before) pass -- early-release schemes like
+    altruistic locking let other transactions slip between an
+    erroneously committed transaction and its inverse, exactly the
+    §3.3 serializability requirement.
+
+    The conflict notion always matches the federation's concurrency
+    control: semantic table => commuting increments do not conflict
+    (§4.1); no L1 table (2PC, sagas) => classical read/write conflicts.
+    """
+    table = federation.gtm.config.resolved_l1_table()
+    conflicts = table.conflicts if table is not None else None
+    if strict:
+        histories = federation.histories(by_gtxn=True)
+    else:
+        committed = {
+            outcome.gtxn_id
+            for outcome in federation.gtm.outcomes
+            if outcome.committed
+        }
+        histories = {
+            site: [op for op in ops if op.txn in committed]
+            for site, ops in federation.histories(by_gtxn=True).items()
+        }
+    if conflicts is None:
+        return bool(global_serializability(histories))
+    return bool(global_serializability(histories, conflicts=conflicts))

@@ -1,0 +1,29 @@
+"""Atomic commitment protocols.
+
+Classified, as in the paper, by when locals commit relative to the
+global decision:
+
+* :class:`~repro.core.protocols.two_phase.TwoPhaseCommit` -- decision
+  *in the middle* of local commitment (Figure 3); needs modified TMs.
+* :class:`~repro.core.protocols.commit_after.CommitAfter` -- locals
+  commit *after* the decision (Figure 5); redo requirement.
+* :class:`~repro.core.protocols.commit_before.CommitBefore` -- locals
+  commit *before* the decision (Figure 7); undo requirement; combined
+  with multi-level transactions it adds no overhead.
+* :class:`~repro.core.protocols.three_phase.ThreePhaseCommit` --
+  nonblocking extension ([Ske 81]), for completeness.
+"""
+
+from repro.core.protocols.base import CommitProtocol, ProtocolContext, make_protocol
+from repro.core.protocols.commit_after import CommitAfter
+from repro.core.protocols.commit_before import CommitBefore
+from repro.core.protocols.two_phase import TwoPhaseCommit
+
+__all__ = [
+    "CommitAfter",
+    "CommitBefore",
+    "CommitProtocol",
+    "ProtocolContext",
+    "TwoPhaseCommit",
+    "make_protocol",
+]

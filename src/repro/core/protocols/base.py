@@ -1,0 +1,230 @@
+"""Shared protocol machinery.
+
+A protocol receives a :class:`ProtocolContext` per global transaction
+and drives it to a :class:`~repro.core.global_txn.GlobalOutcome`.  The
+context bundles the communication manager, the L1 lock table, the
+redo/undo logs and retry/polling helpers shared by all protocols.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+
+from repro.errors import MessageTimeout
+from repro.mlt.actions import Operation
+from repro.mlt.conflicts import L1Mode
+from repro.net.message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.global_txn import GlobalOutcome, GlobalTransaction
+    from repro.core.gtm import GlobalTransactionManager, GTMConfig
+    from repro.core.redo import RedoLog
+    from repro.core.undo import UndoLog
+    from repro.integration.comm_central import CentralCommunicationManager
+    from repro.integration.decompose import Decomposition
+    from repro.mlt.locks import SemanticLockManager
+    from repro.sim.kernel import Kernel
+
+
+class ExecutionFailure(Exception):
+    """A subtransaction could not execute an operation.
+
+    ``aborted`` distinguishes a dead local transaction from a pure
+    logic error (key not found, duplicate) inside a live one.
+    """
+
+    def __init__(self, site: str, reason: str, aborted: bool):
+        super().__init__(f"{site}: {reason}")
+        self.site = site
+        self.reason = reason
+        self.aborted = aborted
+
+
+class ProtocolContext:
+    """Everything one protocol run needs."""
+
+    def __init__(
+        self,
+        gtm: "GlobalTransactionManager",
+        gtxn: "GlobalTransaction",
+        decomposition: "Decomposition",
+        outcome: "GlobalOutcome",
+        intends_abort: bool,
+    ):
+        self.gtm = gtm
+        self.kernel: "Kernel" = gtm.kernel
+        self.config: "GTMConfig" = gtm.config
+        self.comm: "CentralCommunicationManager" = gtm.comm
+        self.l1: Optional["SemanticLockManager"] = gtm.l1
+        self.redo_log: "RedoLog" = gtm.redo_log
+        self.undo_log: "UndoLog" = gtm.undo_log
+        self.gtxn = gtxn
+        self.decomposition = decomposition
+        self.outcome = outcome
+        self.intends_abort = intends_abort
+
+    # -- L1 locking --------------------------------------------------------
+
+    def acquire_l1(self, operation: Operation) -> Generator[Any, Any, None]:
+        """Take the L1 lock for ``operation`` (no-op without an L1 table).
+
+        May raise :class:`~repro.errors.DeadlockDetected` or
+        :class:`~repro.errors.LockTimeout`; the GTM turns those into a
+        global abort (and possibly a retry of the whole transaction).
+        """
+        if self.l1 is None:
+            return
+        mode: L1Mode = self.l1.table.mode_for(operation.kind)
+        yield from self.l1.acquire(
+            self.gtxn.gtxn_id, (operation.table, operation.key), mode
+        )
+
+    def release_l1(self) -> None:
+        if self.l1 is not None:
+            self.l1.release_all(self.gtxn.gtxn_id)
+
+    # -- messaging helpers -----------------------------------------------------
+
+    def request(
+        self, site: str, kind: str, **payload: Any
+    ) -> Generator[Any, Any, Message]:
+        """Request/reply with the configured timeout."""
+        reply = yield from self.comm.request(
+            site,
+            kind,
+            gtxn_id=self.gtxn.gtxn_id,
+            timeout=self.config.msg_timeout,
+            **payload,
+        )
+        return reply
+
+    def request_until_answered(
+        self, site: str, kind: str, **payload: Any
+    ) -> Generator[Any, Any, Message]:
+        """Retry a request until the site answers (waits out crashes).
+
+        The paper's protocols assume the central system can wait for a
+        local system "to come up again"; this helper is that wait.
+        """
+        while True:
+            try:
+                reply = yield from self.request(site, kind, **payload)
+                return reply
+            except MessageTimeout:
+                yield self.config.status_poll_interval
+
+    def parallel(
+        self, jobs: dict[str, Generator[Any, Any, Any]]
+    ) -> Generator[Any, Any, dict[str, Any]]:
+        """Run per-site generators concurrently; map exceptions to values."""
+        processes = {
+            key: self.kernel.spawn(job, name=f"{self.gtxn.gtxn_id}:{key}")
+            for key, job in jobs.items()
+        }
+        results: dict[str, Any] = {}
+        for key, process in processes.items():
+            try:
+                results[key] = yield process
+            except Exception as exc:  # noqa: BLE001 - collected for the caller
+                results[key] = exc
+        return results
+
+    # -- subtransaction execution (shared by 2PC / after / before-per-site) ----
+
+    def begin_subtransactions(self) -> Generator[Any, Any, None]:
+        """Open one local transaction per participating site."""
+        replies = yield from self.parallel(
+            {
+                site: self.request(site, "begin_subtxn")
+                for site in self.decomposition.sites
+            }
+        )
+        for site, reply in replies.items():
+            if isinstance(reply, Exception):
+                raise ExecutionFailure(site, f"begin failed: {reply}", aborted=True)
+
+    def execute_operations(
+        self,
+        record_undo: bool = False,
+        on_site_finished: Optional[Callable[[str], None]] = None,
+    ) -> Generator[Any, Any, None]:
+        """Stream the global operations to their sites in global order.
+
+        Acquires the L1 lock per operation before dispatch, collects
+        read results and (optionally) undo records with before-images.
+        ``on_site_finished`` fires when a site's last operation is done
+        -- commit-before uses it to commit locals as early as possible.
+        """
+        from repro.mlt.actions import inverse_of
+
+        remaining = {
+            site: len(ops) for site, ops in self.decomposition.by_site.items()
+        }
+        for operation in self.decomposition.ordered:
+            yield from self.acquire_l1(operation)
+            try:
+                reply = yield from self.request(
+                    operation.site, "execute_op", op=operation
+                )
+            except MessageTimeout as exc:
+                raise ExecutionFailure(
+                    operation.site, f"timeout on {operation}", aborted=True
+                ) from exc
+            if reply.kind == "op_failed":
+                raise ExecutionFailure(
+                    operation.site,
+                    reply.payload.get("reason", "unknown"),
+                    aborted=reply.payload.get("aborted", True),
+                )
+            value = reply.payload.get("value")
+            before = reply.payload.get("before")
+            if operation.kind == "read":
+                self.outcome.reads[f"{operation.table}[{operation.key!r}]"] = value
+            if record_undo:
+                self.undo_log.record(
+                    self.gtxn.gtxn_id,
+                    operation.site,
+                    operation,
+                    inverse_of(operation, before),
+                )
+            remaining[operation.site] -= 1
+            if remaining[operation.site] == 0 and on_site_finished is not None:
+                on_site_finished(operation.site)
+
+
+class CommitProtocol(abc.ABC):
+    """Interface of an atomic commitment protocol."""
+
+    #: short name used in configs, traces and reports
+    name: str = "abstract"
+    #: True if the local TMs must expose a ready state
+    requires_prepare: bool = False
+
+    @abc.abstractmethod
+    def run(self, ctx: ProtocolContext) -> Generator[Any, Any, None]:
+        """Drive ``ctx.gtxn`` to a final state, filling ``ctx.outcome``."""
+
+
+def make_protocol(name: str) -> CommitProtocol:
+    """Protocol factory used by the GTM configuration."""
+    from repro.baselines.altruistic import AltruisticCommit
+    from repro.baselines.sagas import SagaCoordinator
+    from repro.core.protocols.commit_after import CommitAfter
+    from repro.core.protocols.commit_before import CommitBefore
+    from repro.core.protocols.presumed_abort import PresumedAbort2PC
+    from repro.core.protocols.three_phase import ThreePhaseCommit
+    from repro.core.protocols.two_phase import TwoPhaseCommit
+
+    protocols = {
+        "2pc": TwoPhaseCommit,
+        "2pc-pa": PresumedAbort2PC,
+        "after": CommitAfter,
+        "before": CommitBefore,
+        "3pc": ThreePhaseCommit,
+        "saga": SagaCoordinator,
+        "altruistic": AltruisticCommit,
+    }
+    if name not in protocols:
+        raise ValueError(f"unknown protocol {name!r}; choose from {sorted(protocols)}")
+    return protocols[name]()

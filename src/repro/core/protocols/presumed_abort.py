@@ -1,0 +1,108 @@
+"""Presumed-abort 2PC with the read-only optimization ([ML 83]).
+
+§5 points at "a complete generation of derived protocols [that] improve
+two phase commit in many directions, e.g. ... the complexity in terms
+of writes to the log [ML 83]".  This variant implements the two classic
+improvements:
+
+* **presumed abort** -- abort decisions are fire-and-forget: no
+  acknowledgements are awaited and nothing about an abort needs to be
+  hardened (an inquiring participant that finds no information presumes
+  abort);
+* **read-only optimization** -- a participant that executed only reads
+  answers the vote request with ``readonly``, commits immediately
+  (releasing its read locks) and is excluded from phase 2 entirely;
+  a fully read-only transaction finishes after a single round.
+
+Like plain 2PC it requires preparable (modified) local TMs -- and, like
+the paper argues, is therefore *more* intrusive, not less: every
+derived protocol deepens the dependency on changeable local systems.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.core.global_txn import GlobalTxnState
+from repro.core.protocols.base import ExecutionFailure, ProtocolContext
+from repro.core.protocols.two_phase import TwoPhaseCommit
+from repro.errors import DeadlockDetected, LockTimeout
+
+
+class PresumedAbort2PC(TwoPhaseCommit):
+    """2PC with presumed abort and read-only participants."""
+
+    name = "2pc-pa"
+    requires_prepare = True
+
+    def run(self, ctx: ProtocolContext) -> Generator[Any, Any, None]:
+        gtxn = ctx.gtxn
+        try:
+            yield from ctx.begin_subtransactions()
+            yield from ctx.execute_operations()
+        except ExecutionFailure as exc:
+            ctx.outcome.retriable = exc.aborted
+            yield from self._abort_presumed(ctx, reason=str(exc))
+            return
+        except (DeadlockDetected, LockTimeout) as exc:
+            ctx.outcome.retriable = True
+            yield from self._abort_presumed(ctx, reason=f"L1 conflict: {exc}")
+            return
+
+        if ctx.intends_abort:
+            yield from self._abort_presumed(ctx, reason="intended abort")
+            return
+
+        # Phase 1 with the read-only option.
+        gtxn.set_state(GlobalTxnState.INQUIRE)
+        votes = yield from ctx.parallel(
+            {
+                site: ctx.request(site, "prepare", protocol="2pc", allow_readonly=True)
+                for site in ctx.decomposition.sites
+            }
+        )
+        resolved = {
+            site: (reply.payload.get("vote") if not isinstance(reply, Exception) else "abort")
+            for site, reply in votes.items()
+        }
+        updaters = [site for site, vote in resolved.items() if vote == "ready"]
+        all_ok = all(vote in ("ready", "readonly") for vote in resolved.values())
+        decision = "commit" if all_ok else "abort"
+        gtxn.set_decision(decision, votes=resolved)
+
+        if decision == "abort":
+            ctx.outcome.retriable = True
+            yield from self._abort_presumed(
+                ctx, reason="participant voted abort", sites=updaters
+            )
+            return
+
+        # Phase 2 reaches only the updaters; read-only participants are
+        # already done.
+        gtxn.set_state(GlobalTxnState.WAITING_TO_COMMIT)
+        if updaters:
+            yield from ctx.parallel(
+                {
+                    site: ctx.request_until_answered(site, "decide", decision="commit")
+                    for site in updaters
+                }
+            )
+        gtxn.set_state(GlobalTxnState.COMMITTED)
+        ctx.outcome.committed = True
+
+    def _abort_presumed(
+        self, ctx: ProtocolContext, reason: str, sites=None
+    ) -> Generator[Any, Any, None]:
+        """Fire-and-forget aborts: presumed abort needs no acks."""
+        ctx.gtxn.set_decision("abort", cause=reason)
+        ctx.gtxn.set_state(GlobalTxnState.WAITING_TO_ABORT)
+        targets = ctx.decomposition.sites if sites is None else sites
+        for site in targets:
+            ctx.comm.send(
+                site, "decide", gtxn_id=ctx.gtxn.gtxn_id,
+                decision="abort", noreply=True,
+            )
+        ctx.gtxn.set_state(GlobalTxnState.ABORTED)
+        ctx.outcome.reason = reason
+        return
+        yield  # pragma: no cover - generator protocol

@@ -1,0 +1,90 @@
+"""Three-phase commit ([Ske 81]) -- nonblocking extension baseline.
+
+The paper's §5 notes a whole generation of 2PC derivatives, e.g.
+nonblocking commit, at the price of more messages and log writes and of
+*even deeper* changes to the local transaction managers.  This
+implementation adds the pre-commit round between voting and the final
+decision so the message/log complexity table (EXP-T5) can quantify that
+price.  Like 2PC it runs only against preparable (modified) interfaces;
+coordinator-failure takeover is out of scope here, as it is in the
+paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.core.global_txn import GlobalTxnState
+from repro.core.protocols.base import ExecutionFailure, ProtocolContext
+from repro.core.protocols.two_phase import TwoPhaseCommit
+from repro.errors import DeadlockDetected, LockTimeout
+
+
+class ThreePhaseCommit(TwoPhaseCommit):
+    """2PC with an acknowledged pre-commit round."""
+
+    name = "3pc"
+    requires_prepare = True
+
+    def run(self, ctx: ProtocolContext) -> Generator[Any, Any, None]:
+        gtxn = ctx.gtxn
+        try:
+            yield from ctx.begin_subtransactions()
+            yield from ctx.execute_operations()
+        except ExecutionFailure as exc:
+            ctx.outcome.retriable = exc.aborted
+            yield from self._abort_running(ctx, reason=str(exc))
+            return
+        except (DeadlockDetected, LockTimeout) as exc:
+            ctx.outcome.retriable = True
+            yield from self._abort_running(ctx, reason=f"L1 conflict: {exc}")
+            return
+        if ctx.intends_abort:
+            yield from self._abort_running(ctx, reason="intended abort")
+            return
+
+        # Phase 1: can-commit?
+        gtxn.set_state(GlobalTxnState.INQUIRE)
+        votes = yield from ctx.parallel(
+            {
+                site: ctx.request(site, "prepare", protocol="2pc")
+                for site in ctx.decomposition.sites
+            }
+        )
+        all_ready = all(
+            not isinstance(reply, Exception) and reply.payload.get("vote") == "ready"
+            for reply in votes.values()
+        )
+        if not all_ready:
+            gtxn.set_decision("abort")
+            gtxn.set_state(GlobalTxnState.WAITING_TO_ABORT)
+            yield from ctx.parallel(
+                {
+                    site: ctx.request_until_answered(site, "decide", decision="abort")
+                    for site in ctx.decomposition.sites
+                }
+            )
+            gtxn.set_state(GlobalTxnState.ABORTED)
+            ctx.outcome.reason = "participant voted abort"
+            ctx.outcome.retriable = True
+            return
+
+        # Phase 2: pre-commit -- the round that buys nonblocking-ness.
+        yield from ctx.parallel(
+            {
+                site: ctx.request_until_answered(site, "pre_commit")
+                for site in ctx.decomposition.sites
+            }
+        )
+        gtxn.set_decision("commit")
+
+        # Phase 3: do-commit.
+        gtxn.set_state(GlobalTxnState.WAITING_TO_COMMIT)
+        yield from ctx.parallel(
+            {
+                site: ctx.request_until_answered(site, "decide", decision="commit")
+                for site in ctx.decomposition.sites
+            }
+        )
+        gtxn.set_state(GlobalTxnState.COMMITTED)
+        ctx.outcome.committed = True

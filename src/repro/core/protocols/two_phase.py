@@ -1,0 +1,99 @@
+"""Two-phase commit (§3.1, Figure 2) -- the homogeneous-world baseline.
+
+The decision falls *in the middle* of local commitment (Figure 3): the
+locals first move to the ready state (forcing their logs), the
+coordinator decides, and only then do they finish committing.  This
+requires every participating transaction manager to expose ``prepare``
+-- the very capability the paper's heterogeneous setting lacks, so this
+protocol runs only against :class:`~repro.localdb.interface.PreparableTMInterface`
+sites (a standard site answers the prepare call with an
+:class:`~repro.errors.UnsupportedInterface` failure and the global
+transaction aborts).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.core.global_txn import GlobalTxnState
+from repro.core.protocols.base import CommitProtocol, ExecutionFailure, ProtocolContext
+from repro.errors import DeadlockDetected, LockTimeout
+
+
+class TwoPhaseCommit(CommitProtocol):
+    """Classic presumed-nothing 2PC over prepared local transactions."""
+
+    name = "2pc"
+    requires_prepare = True
+
+    def run(self, ctx: ProtocolContext) -> Generator[Any, Any, None]:
+        gtxn = ctx.gtxn
+        try:
+            yield from ctx.begin_subtransactions()
+            yield from ctx.execute_operations()
+        except ExecutionFailure as exc:
+            ctx.outcome.retriable = exc.aborted
+            yield from self._abort_running(ctx, reason=str(exc))
+            return
+        except (DeadlockDetected, LockTimeout) as exc:
+            ctx.outcome.retriable = True
+            yield from self._abort_running(ctx, reason=f"L1 conflict: {exc}")
+            return
+
+        if ctx.intends_abort:
+            yield from self._abort_running(ctx, reason="intended abort")
+            return
+
+        # Phase 1: prepare (locals enter the ready state).
+        gtxn.set_state(GlobalTxnState.INQUIRE)
+        votes = yield from ctx.parallel(
+            {
+                site: ctx.request(site, "prepare", protocol="2pc")
+                for site in ctx.decomposition.sites
+            }
+        )
+        all_ready = all(
+            not isinstance(reply, Exception) and reply.payload.get("vote") == "ready"
+            for reply in votes.values()
+        )
+
+        # Decision -- made while locals sit in the ready state.
+        decision = "commit" if all_ready else "abort"
+        gtxn.set_decision(decision, votes={
+            site: ("timeout" if isinstance(r, Exception) else r.payload.get("vote"))
+            for site, r in votes.items()
+        })
+
+        # Phase 2: the decision reaches every participant, surviving
+        # participant crashes (recovery reinstates in-doubt locals).
+        gtxn.set_state(
+            GlobalTxnState.WAITING_TO_COMMIT
+            if decision == "commit"
+            else GlobalTxnState.WAITING_TO_ABORT
+        )
+        yield from ctx.parallel(
+            {
+                site: ctx.request_until_answered(site, "decide", decision=decision)
+                for site in ctx.decomposition.sites
+            }
+        )
+        if decision == "commit":
+            gtxn.set_state(GlobalTxnState.COMMITTED)
+            ctx.outcome.committed = True
+        else:
+            gtxn.set_state(GlobalTxnState.ABORTED)
+            ctx.outcome.reason = "participant voted abort"
+            ctx.outcome.retriable = True
+
+    def _abort_running(self, ctx: ProtocolContext, reason: str) -> Generator[Any, Any, None]:
+        """Abort while every local is still running -- the cheap path."""
+        ctx.gtxn.set_decision("abort", cause=reason)
+        ctx.gtxn.set_state(GlobalTxnState.WAITING_TO_ABORT)
+        yield from ctx.parallel(
+            {
+                site: ctx.request_until_answered(site, "decide", decision="abort")
+                for site in ctx.decomposition.sites
+            }
+        )
+        ctx.gtxn.set_state(GlobalTxnState.ABORTED)
+        ctx.outcome.reason = reason

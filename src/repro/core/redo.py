@@ -1,0 +1,79 @@
+"""Redo machinery for the commit-after protocol (§3.2).
+
+The *redo requirement*: a local transaction erroneously aborted after
+its ready answer must be repeated until it commits.  The redo-log keeps
+the actions of every subtransaction until the site confirms durable
+commitment.
+
+The *atomic commit + propagation* problem (§3.2) is modelled through
+``log_placement``:
+
+* ``"indb"`` -- the subtransaction writes a commit marker into a
+  relation of the existing database as part of itself ([WV 90]), so the
+  marker and the commit are atomic.  After a site or communication
+  manager crash the marker answers the "did it commit?" question
+  reliably.
+* ``"volatile"`` -- the communication manager remembers outcomes only
+  in memory.  After a crash the redo mechanism must guess; the paper's
+  two erroneous situations (double execution / lost execution) become
+  observable unless the operations are idempotent.  Experiment EXP-A2
+  demonstrates exactly this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.mlt.actions import Operation
+
+#: Name of the in-database commit-marker relation.
+COMMITLOG_TABLE = "_commitlog"
+
+
+@dataclass
+class RedoEntry:
+    """Actions of one subtransaction, kept until durably committed."""
+
+    gtxn_id: str
+    site: str
+    operations: list[Operation]
+    local_txn_id: Optional[str] = None
+    committed: bool = False
+    redo_count: int = 0
+
+
+@dataclass
+class RedoLog:
+    """Central redo-log of the commit-after protocol."""
+
+    entries: dict[tuple[str, str], RedoEntry] = field(default_factory=dict)
+    total_redos: int = 0
+
+    def record(self, gtxn_id: str, site: str, operations: list[Operation]) -> RedoEntry:
+        """Register a subtransaction before the commit decision is sent."""
+        entry = RedoEntry(gtxn_id, site, list(operations))
+        self.entries[(gtxn_id, site)] = entry
+        return entry
+
+    def entry(self, gtxn_id: str, site: str) -> RedoEntry:
+        return self.entries[(gtxn_id, site)]
+
+    def mark_committed(self, gtxn_id: str, site: str) -> None:
+        """Propagation of the local commit: no further redo allowed."""
+        self.entries[(gtxn_id, site)].committed = True
+
+    def note_redo(self, gtxn_id: str, site: str) -> int:
+        entry = self.entries[(gtxn_id, site)]
+        entry.redo_count += 1
+        self.total_redos += 1
+        return entry.redo_count
+
+    def pending(self) -> list[RedoEntry]:
+        """Entries whose local commit has not been confirmed."""
+        return [e for e in self.entries.values() if not e.committed]
+
+    def forget(self, gtxn_id: str) -> None:
+        """Drop all entries of a finished global transaction."""
+        for key in [k for k in self.entries if k[0] == gtxn_id]:
+            del self.entries[key]

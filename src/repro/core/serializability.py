@@ -1,0 +1,178 @@
+"""Serialization-graph tools.
+
+Builds conflict graphs from operation histories and checks
+(conflict-)serializability, both per level and globally across sites.
+Also implements the weaker *quasi-serializability* criterion of Du &
+Elmagarmid, used to classify the histories the saga baseline produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+import networkx as nx
+
+
+@dataclass(frozen=True)
+class HistoryOp:
+    """One operation in a (committed-projection) history."""
+
+    seq: int
+    txn: str
+    kind: str
+    table: str
+    key: Any
+
+
+def rw_conflict(kind_a: str, kind_b: str) -> bool:
+    """Classical read/write conflict: at least one side writes."""
+    return not (kind_a == "read" and kind_b == "read")
+
+
+@dataclass
+class SerializabilityReport:
+    """Result of a serializability check."""
+
+    serializable: bool
+    cycle: Optional[list[str]] = None
+    serial_order: Optional[list[str]] = None
+    edges: list[tuple[str, str]] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.serializable
+
+
+def build_graph(
+    ops: Iterable[HistoryOp],
+    conflicts: Callable[[str, str], bool] = rw_conflict,
+) -> nx.DiGraph:
+    """Conflict graph: edge T1 -> T2 if an op of T1 precedes a
+    conflicting op of T2 on the same object."""
+    graph = nx.DiGraph()
+    by_object: dict[tuple[str, Any], list[HistoryOp]] = {}
+    for op in sorted(ops, key=lambda o: o.seq):
+        graph.add_node(op.txn)
+        by_object.setdefault((op.table, op.key), []).append(op)
+    for object_ops in by_object.values():
+        for i, earlier in enumerate(object_ops):
+            for later in object_ops[i + 1 :]:
+                if earlier.txn == later.txn:
+                    continue
+                if conflicts(earlier.kind, later.kind):
+                    graph.add_edge(earlier.txn, later.txn)
+    return graph
+
+
+def check(
+    ops: Iterable[HistoryOp],
+    conflicts: Callable[[str, str], bool] = rw_conflict,
+) -> SerializabilityReport:
+    """Full serializability report for one history."""
+    graph = build_graph(ops, conflicts)
+    try:
+        cycle_edges = nx.find_cycle(graph)
+    except nx.NetworkXNoCycle:
+        order = list(nx.topological_sort(graph))
+        return SerializabilityReport(
+            serializable=True, serial_order=order, edges=list(graph.edges)
+        )
+    cycle = [edge[0] for edge in cycle_edges] + [cycle_edges[-1][1]]
+    return SerializabilityReport(
+        serializable=False, cycle=cycle, edges=list(graph.edges)
+    )
+
+
+def committed_projection(
+    ops: Iterable[HistoryOp], committed: set[str]
+) -> list[HistoryOp]:
+    """Drop operations of transactions outside ``committed``."""
+    return [op for op in ops if op.txn in committed]
+
+
+# ---------------------------------------------------------------------------
+# Multi-site checks
+# ---------------------------------------------------------------------------
+
+
+def global_serializability(
+    site_histories: dict[str, list[HistoryOp]],
+    conflicts: Callable[[str, str], bool] = rw_conflict,
+) -> SerializabilityReport:
+    """Global conflict-serializability across sites.
+
+    Transactions named identically on different sites (the global
+    transaction ids attached to subtransactions) are one node; the
+    union of all per-site conflict edges must be acyclic.  This is the
+    criterion the saga baseline violates (EXP-B1) and the paper's
+    protocols preserve.
+    """
+    union = nx.DiGraph()
+    for history in site_histories.values():
+        graph = build_graph(history, conflicts)
+        union.add_nodes_from(graph.nodes)
+        union.add_edges_from(graph.edges)
+    try:
+        cycle_edges = nx.find_cycle(union)
+    except nx.NetworkXNoCycle:
+        order = list(nx.topological_sort(union))
+        return SerializabilityReport(
+            serializable=True, serial_order=order, edges=list(union.edges)
+        )
+    cycle = [edge[0] for edge in cycle_edges] + [cycle_edges[-1][1]]
+    return SerializabilityReport(serializable=False, cycle=cycle, edges=list(union.edges))
+
+
+def quasi_serializability(
+    site_histories: dict[str, list[HistoryOp]],
+    global_txns: set[str],
+    conflicts: Callable[[str, str], bool] = rw_conflict,
+) -> SerializabilityReport:
+    """Du & Elmagarmid's quasi-serializability.
+
+    Requires (1) every local history serializable and (2) a total order
+    of *global* transactions consistent with each local serialization
+    order -- i.e. the union of per-site direct conflict edges projected
+    onto global transactions is acyclic.  Indirect orderings through
+    purely local transactions are deliberately ignored; that is the
+    weakening relative to global serializability.
+    """
+    projected = nx.DiGraph()
+    projected.add_nodes_from(global_txns)
+    for history in site_histories.values():
+        local_report = check(history, conflicts)
+        if not local_report.serializable:
+            return SerializabilityReport(
+                serializable=False, cycle=local_report.cycle
+            )
+        graph = build_graph(history, conflicts)
+        for src, dst in graph.edges:
+            if src in global_txns and dst in global_txns:
+                projected.add_edge(src, dst)
+    try:
+        cycle_edges = nx.find_cycle(projected)
+    except nx.NetworkXNoCycle:
+        order = list(nx.topological_sort(projected))
+        return SerializabilityReport(
+            serializable=True, serial_order=order, edges=list(projected.edges)
+        )
+    cycle = [edge[0] for edge in cycle_edges] + [cycle_edges[-1][1]]
+    return SerializabilityReport(
+        serializable=False, cycle=cycle, edges=list(projected.edges)
+    )
+
+
+def ops_from_engine(engine, by_gtxn: bool = False, committed_only: bool = True) -> list[HistoryOp]:
+    """Extract a history from a :class:`~repro.localdb.engine.LocalDatabase`.
+
+    With ``by_gtxn`` the node name of an operation is the owning global
+    transaction (subtransactions of one global transaction collapse
+    into one node); purely local transactions keep their local ids.
+    """
+    ops = []
+    for record in engine.op_history:
+        if committed_only and record.txn_id not in engine.committed_txn_ids:
+            continue
+        txn = record.gtxn_id if (by_gtxn and record.gtxn_id) else record.txn_id
+        ops.append(HistoryOp(record.seq, txn, record.kind, record.table, record.key))
+    return ops

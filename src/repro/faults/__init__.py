@@ -1,0 +1,5 @@
+"""Fault injection: the sources of *erroneous* local aborts and crashes."""
+
+from repro.faults.injector import FaultInjector
+
+__all__ = ["FaultInjector"]

@@ -1,0 +1,143 @@
+"""Fault injection.
+
+Models the paper's failure sources:
+
+* **Erroneous local aborts after the ready answer** (§3.2): "the
+  transaction may still be aborted by the local transaction manager,
+  e.g. because of time out, by an optimistic scheduler ..., or by a
+  system crash."  :meth:`FaultInjector.erroneous_aborts_after_ready`
+  hooks the exact window -- after a communication manager voted ready,
+  before the decision lands -- and kills the still-running local
+  transaction with probability ``p``.
+* **Site crashes** at chosen or random times, with recovery after a
+  configurable outage.
+* **Direct system aborts** of a running subtransaction.
+
+All randomness comes from named kernel streams, so fault schedules are
+reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.localdb.txn import LocalAbortReason
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.integration.federation import Federation
+
+
+class FaultInjector:
+    """Deterministic fault source bound to one federation."""
+
+    def __init__(self, federation: "Federation", stream: str = "faults"):
+        self.federation = federation
+        self.kernel = federation.kernel
+        self._rng = self.kernel.rng.stream(stream)
+        self.injected_aborts = 0
+        self.injected_crashes = 0
+
+    # ------------------------------------------------------------------
+    # Erroneous aborts in the §3.2 window
+    # ------------------------------------------------------------------
+
+    def erroneous_aborts_after_ready(
+        self,
+        probability: float,
+        sites: Optional[list[str]] = None,
+        delay: float = 0.5,
+    ) -> None:
+        """Abort ready-voted locals with ``probability``.
+
+        Only meaningful for the commit-after protocol, whose locals wait
+        for the decision in the *running* state; a 2PC local in the
+        ready state is immune (its scheduler may no longer abort it),
+        which this injector respects by skipping ``protocol == "2pc"``.
+        """
+        targets = sites or list(self.federation.engines)
+
+        def make_hook(site: str):
+            engine = self.federation.engines[site]
+
+            def hook(gtxn_id: str, txn_id: str, protocol: str) -> None:
+                if protocol == "2pc":
+                    return
+                if self._rng.random() >= probability:
+                    return
+
+                def fire() -> None:
+                    self.injected_aborts += 1
+                    self.kernel.trace.emit(
+                        "fault", site, txn_id, kind="system_abort", gtxn=gtxn_id
+                    )
+                    engine.force_abort(txn_id, LocalAbortReason.SYSTEM)
+
+                self.kernel._schedule(delay, fire)
+
+            return hook
+
+        for site in targets:
+            self.federation.comms[site].on_ready_voted.append(make_hook(site))
+
+    # ------------------------------------------------------------------
+    # Direct aborts and crashes
+    # ------------------------------------------------------------------
+
+    def abort_subtxn(self, site: str, txn_id: str, at: Optional[float] = None) -> None:
+        """Force-abort one local transaction (a "system abort")."""
+        engine = self.federation.engines[site]
+
+        def fire() -> None:
+            self.injected_aborts += 1
+            self.kernel.trace.emit("fault", site, txn_id, kind="system_abort")
+            engine.force_abort(txn_id, LocalAbortReason.SYSTEM)
+
+        if at is None:
+            fire()
+        else:
+            self.kernel.call_at(at, fire)
+
+    def lose_next_message(self, kind: str) -> None:
+        """Drop the next message of ``kind`` (e.g. a ``finished`` reply).
+
+        This is the §3.2 propagation hazard in its purest form: the
+        local commit happened, but the redo mechanism never learns it.
+        """
+        self.federation.network.drop_once.add(kind)
+
+    def crash_site(self, site: str, at: float, recover_after: Optional[float] = None) -> None:
+        """Crash ``site`` at ``at``; restart after ``recover_after`` if set."""
+
+        def fire() -> None:
+            self.injected_crashes += 1
+            self.kernel.trace.emit("fault", site, site, kind="crash")
+            self.federation.nodes[site].crash()
+
+        self.kernel.call_at(at, fire)
+        if recover_after is not None:
+            self.federation.restart_site(site, at=at + recover_after)
+
+    def random_crashes(
+        self,
+        sites: list[str],
+        horizon: float,
+        crash_rate: float,
+        outage: float,
+    ) -> None:
+        """Schedule Poisson-ish crash/recover cycles until ``horizon``.
+
+        Each site crashes with exponential inter-arrival ``1/crash_rate``
+        and recovers ``outage`` later.  Crash times are pre-sampled so
+        the schedule is independent of execution interleaving.
+        """
+        for site in sites:
+            t = self._rng.expovariate(crash_rate)
+            while t < horizon:
+                self.crash_site(site, at=t, recover_after=outage)
+                t += outage + self._rng.expovariate(crash_rate)
+
+    def __repr__(self) -> str:
+        return (
+            f"<FaultInjector aborts={self.injected_aborts} "
+            f"crashes={self.injected_crashes}>"
+        )

@@ -1,0 +1,31 @@
+"""Integration layer: what glues the existing systems to the central one.
+
+* :mod:`repro.integration.schema` -- the global schema mapping global
+  tables onto (site, local table) placements.
+* :mod:`repro.integration.decompose` -- decomposition of a global
+  transaction into local subtransactions (per site).
+* :mod:`repro.integration.comm_local` -- the communication manager that
+  sits *on top of* each existing database system (paper §2): listens
+  for global calls, drives the unchanged local TM interface, packages
+  replies.
+* :mod:`repro.integration.comm_central` -- its counterpart at the
+  central system, with request/reply correlation and timeouts.
+* :mod:`repro.integration.federation` -- convenience builder that wires
+  a whole federation (kernel, network, sites, GTM) in one call.
+"""
+
+from repro.integration.comm_central import CentralCommunicationManager
+from repro.integration.comm_local import LocalCommunicationManager
+from repro.integration.decompose import decompose
+from repro.integration.federation import Federation, FederationConfig, SiteSpec
+from repro.integration.schema import GlobalSchema
+
+__all__ = [
+    "CentralCommunicationManager",
+    "Federation",
+    "FederationConfig",
+    "GlobalSchema",
+    "LocalCommunicationManager",
+    "SiteSpec",
+    "decompose",
+]

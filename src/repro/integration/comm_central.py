@@ -1,0 +1,93 @@
+"""The central communication manager.
+
+"The communication manager of the central system is the counterpart of
+the local communication managers" (§2).  It offers the GTM a
+request/reply API over the star network: ``request`` sends a message to
+a site and returns when the correlated reply arrives (or raises
+:class:`~repro.errors.MessageTimeout`); ``send`` is fire-and-forget.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.errors import MessageTimeout, NodeUnreachable
+from repro.net.message import Message
+from repro.sim.events import Future
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.network import Network
+    from repro.net.node import Node
+    from repro.sim.kernel import Kernel
+
+
+class CentralCommunicationManager:
+    """Request/reply endpoint of the central system."""
+
+    def __init__(self, kernel: "Kernel", network: "Network", node: "Node"):
+        self.kernel = kernel
+        self.network = network
+        self.node = node
+        self._pending: dict[int, Future] = {}
+        self._serve_process = kernel.spawn(self._serve(), name="central-comm")
+        self.requests = 0
+        self.timeouts = 0
+
+    def _serve(self) -> Generator[Any, Any, None]:
+        """Route incoming replies to the futures awaiting them."""
+        while True:
+            try:
+                message = yield from self.node.recv()
+            except NodeUnreachable:
+                return
+            if message.reply_to is not None and message.reply_to in self._pending:
+                self._pending.pop(message.reply_to).resolve(message)
+            else:
+                self.kernel.trace.emit(
+                    "message_unmatched", self.node.name, message.kind,
+                    sender=message.sender,
+                )
+
+    # -- API used by the GTM and the protocols --------------------------------
+
+    def send(self, site: str, kind: str, gtxn_id: Optional[str] = None, **payload: Any) -> None:
+        """One-way message to ``site``."""
+        self.network.send(
+            Message(kind=kind, sender=self.node.name, dest=site,
+                    payload=payload, gtxn_id=gtxn_id)
+        )
+
+    def request(
+        self,
+        site: str,
+        kind: str,
+        gtxn_id: Optional[str] = None,
+        timeout: Optional[float] = None,
+        **payload: Any,
+    ) -> Generator[Any, Any, Message]:
+        """Send and await the correlated reply.
+
+        Raises :class:`MessageTimeout` when no reply arrives in time
+        (lost message, crashed site); the caller decides whether to
+        retry, wait for recovery, or abort globally.
+        """
+        message = Message(
+            kind=kind, sender=self.node.name, dest=site,
+            payload=payload, gtxn_id=gtxn_id,
+        )
+        future = Future(label=f"reply:{kind}:{site}")
+        self._pending[message.msg_id] = future
+        self.requests += 1
+        self.network.send(message)
+        if timeout is None:
+            reply = yield future
+            return reply
+        ok, reply = yield from self.kernel.wait_with_timeout(future, timeout)
+        if not ok:
+            self._pending.pop(message.msg_id, None)
+            self.timeouts += 1
+            raise MessageTimeout(f"{kind} to {site} (gtxn={gtxn_id})")
+        return reply
+
+    def __repr__(self) -> str:
+        return f"<CentralCommunicationManager pending={len(self._pending)}>"

@@ -1,0 +1,646 @@
+"""The local communication manager (paper §2, Figure 1).
+
+One of these sits *on top of* each existing database system.  It
+listens on the network for global calls, drives the local transaction
+manager through its (unchanged) interface, and packages status and data
+into reply messages.  All protocol behaviour that the paper places at
+the local side lives here:
+
+* answering ``prepare`` for the commit-after protocol immediately after
+  the last action, *while the local transaction is still running*;
+* committing the local transaction before the global decision for the
+  commit-before protocol (``finish_subtxn`` / ``execute_l0``);
+* executing redo subtransactions and inverse (undo) transactions;
+* the commit-marker relation (:data:`~repro.core.redo.COMMITLOG_TABLE`)
+  that makes local commit and its propagation atomic when
+  ``log_placement == "indb"``.
+
+The manager's own memory is volatile: a site crash empties it, which is
+exactly the hazard experiment EXP-A2 explores.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.errors import (
+    DatabaseError,
+    NodeUnreachable,
+    SiteCrashed,
+    TransactionAborted,
+)
+from repro.core.redo import COMMITLOG_TABLE
+from repro.localdb.txn import LocalTxnState
+from repro.mlt.actions import Operation
+from repro.net.message import Message
+from repro.sim.sync import FifoLock
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.localdb.interface import StandardTMInterface
+    from repro.net.network import Network
+    from repro.net.node import Node
+    from repro.sim.kernel import Kernel
+
+
+class LocalCommunicationManager:
+    """Protocol adapter between the network and one local TM interface."""
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        network: "Network",
+        node: "Node",
+        interface: "StandardTMInterface",
+        log_placement: str = "indb",
+        max_l0_retries: int = 10,
+    ):
+        if log_placement not in ("indb", "volatile"):
+            raise ValueError(f"unknown log placement {log_placement!r}")
+        self.kernel = kernel
+        self.network = network
+        self.node = node
+        self.interface = interface
+        self.log_placement = log_placement
+        self.max_l0_retries = max_l0_retries
+        self._retry_rng = kernel.rng.stream(f"cm-retry:{node.name}")
+        # gtxn_id -> local txn id of the current subtransaction.
+        self._subtxns: dict[str, str] = {}
+        # Volatile outcome memory: marker key -> "committed" | "aborted".
+        self._outcomes: dict[str, str] = {}
+        # Per-global-transaction mutex: a retried decide and an
+        # in-flight redo (or two redo retries) must never interleave on
+        # the same subtransaction.
+        self._gtxn_locks: dict[str, FifoLock] = {}
+        self._serve_process = kernel.spawn(self._serve(), name=f"comm:{node.name}")
+        self.redo_executions = 0
+        self.undo_executions = 0
+        # Hooks fired after this manager votes "ready" -- the window in
+        # which the paper's erroneous aborts happen; the fault injector
+        # subscribes here.  Each hook receives (gtxn_id, txn_id, protocol).
+        self.on_ready_voted: list = []
+
+    @property
+    def site(self) -> str:
+        return self.node.name
+
+    # ------------------------------------------------------------------
+    # Startup / crash hooks
+    # ------------------------------------------------------------------
+
+    def setup(self) -> Generator[Any, Any, None]:
+        """Create the commit-marker relation (in-DB log placement)."""
+        if self.log_placement == "indb" and COMMITLOG_TABLE not in self.interface._engine.catalog:
+            yield from self.interface._engine.create_table(COMMITLOG_TABLE, 2)
+
+    def on_crash(self) -> None:
+        """The site failed: all communication-manager memory is lost."""
+        self._subtxns.clear()
+        self._outcomes.clear()
+        for lock in self._gtxn_locks.values():
+            lock.reset(SiteCrashed(f"{self.site} crashed"))
+        self._gtxn_locks.clear()
+
+    def _gtxn_lock(self, gtxn: Optional[str]) -> FifoLock:
+        key = gtxn or "?"
+        if key not in self._gtxn_locks:
+            self._gtxn_locks[key] = FifoLock(name=f"{self.site}:gtxn:{key}")
+        return self._gtxn_locks[key]
+
+    def on_restart(self) -> Generator[Any, Any, None]:
+        """Respawn the serve loop after the node came back."""
+        self._serve_process = self.kernel.spawn(
+            self._serve(), name=f"comm:{self.node.name}"
+        )
+        return
+        yield  # pragma: no cover - generator protocol
+
+    # ------------------------------------------------------------------
+    # Serve loop
+    # ------------------------------------------------------------------
+
+    def _serve(self) -> Generator[Any, Any, None]:
+        while True:
+            try:
+                message = yield from self.node.recv()
+            except NodeUnreachable:
+                return
+            self.kernel.spawn(
+                self._handle(message), name=f"{self.site}:{message.kind}"
+            )
+
+    #: Request kinds that mutate a subtransaction's fate; retries of
+    #: these must not interleave with each other on one gtxn.
+    _SERIALIZED_KINDS = frozenset(
+        ("decide", "redo_subtxn", "undo_subtxn", "finish_subtxn",
+         "execute_l0", "prepare")
+    )
+
+    def _handle(self, message: Message) -> Generator[Any, Any, None]:
+        handler = getattr(self, f"_on_{message.kind}", None)
+        if handler is None:
+            self._reply(message, "error", error=f"unknown kind {message.kind}")
+            return
+        lock = (
+            self._gtxn_lock(message.gtxn_id)
+            if message.kind in self._SERIALIZED_KINDS
+            else None
+        )
+        try:
+            if lock is not None:
+                yield from lock.acquire()
+            yield from handler(message)
+        except (SiteCrashed, NodeUnreachable):
+            return  # the site died mid-request; the central will time out
+        finally:
+            if lock is not None and lock.locked:
+                try:
+                    lock.release()
+                except RuntimeError:
+                    pass  # reset by a crash while we held it
+
+    def _reply(self, message: Message, kind: str, **payload: Any) -> None:
+        if self.node.crashed:
+            return
+        self.network.send(message.reply(kind, **payload))
+
+    # ------------------------------------------------------------------
+    # Subtransaction lifecycle (2PC and commit-after)
+    # ------------------------------------------------------------------
+
+    def _on_begin_subtxn(self, message: Message) -> Generator[Any, Any, None]:
+        gtxn = message.gtxn_id
+        assert gtxn is not None
+        txn_id = self.interface.begin(gtxn_id=gtxn)
+        self._subtxns[gtxn] = txn_id
+        self._reply(message, "subtxn_begun", txn_id=txn_id)
+        return
+        yield  # pragma: no cover - generator protocol
+
+    def _on_execute_op(self, message: Message) -> Generator[Any, Any, None]:
+        """Run one operation inside the gtxn's open subtransaction."""
+        gtxn = message.gtxn_id
+        operation: Operation = message.payload["op"]
+        txn_id = self._subtxns.get(gtxn or "")
+        if txn_id is None:
+            self._reply(message, "op_failed", aborted=True, reason="no subtransaction")
+            return
+        try:
+            value, before = yield from self._apply_op(txn_id, operation)
+        except TransactionAborted as exc:
+            self._reply(message, "op_failed", aborted=True, reason=str(exc.reason))
+            return
+        except DatabaseError as exc:
+            self._reply(message, "op_failed", aborted=False, reason=str(exc))
+            return
+        self._reply(message, "op_done", value=value, before=before)
+
+    def _on_prepare(self, message: Message) -> Generator[Any, Any, None]:
+        """Vote request.
+
+        * ``protocol == "2pc"``: drive the modified TM into the ready
+          state (forces the log).  Raises if the interface is standard
+          -- the paper's central impossibility.
+        * ``protocol == "after"``: answer immediately after the last
+          action; the local transaction stays *running* (§3.2), so an
+          autonomous abort can still hit it later.
+        """
+        gtxn = message.gtxn_id
+        protocol = message.payload.get("protocol", "2pc")
+        if protocol == "before":
+            yield from self._prepare_before(message)
+            return
+        txn_id = self._subtxns.get(gtxn or "")
+        if txn_id is None:
+            self._reply(message, "vote", vote="abort", reason="no subtransaction")
+            return
+        status = self.interface.status(txn_id)
+        if status is not LocalTxnState.RUNNING:
+            self._reply(message, "vote", vote="abort", reason=f"state={status}")
+            return
+        if protocol == "2pc":
+            if message.payload.get("allow_readonly"):
+                # Read-only optimization ([ML 83]): a participant that
+                # wrote nothing commits right away and drops out of
+                # phase 2 -- no prepare force, no decision message.
+                txn = self.interface._engine.txn(txn_id)
+                if not txn.write_set:
+                    try:
+                        yield from self.interface.commit(txn_id)
+                    except TransactionAborted as exc:
+                        self._reply(message, "vote", vote="abort", reason=str(exc.reason))
+                        return
+                    self._reply(message, "vote", vote="readonly")
+                    return
+            try:
+                yield from self.interface.prepare(txn_id)
+            except TransactionAborted as exc:
+                self._reply(message, "vote", vote="abort", reason=str(exc.reason))
+                return
+        self._reply(message, "vote", vote="ready")
+        for hook in self.on_ready_voted:
+            hook(gtxn, txn_id, protocol)
+
+    def _prepare_before(self, message: Message) -> Generator[Any, Any, None]:
+        """Final-state inquiry of the commit-before protocol (§3.3).
+
+        Locals committed (or aborted) on their own; the answer reports
+        the final state.  A still-running subtransaction that finished
+        its actions is committed now (self-healing after a lost
+        ``finish_subtxn``); a forgotten one is resolved through the
+        durable commit marker, defaulting to aborted.
+        """
+        gtxn = message.gtxn_id
+        marker_key = message.payload.get("marker_key")
+        # How to resolve a subtransaction that is still running: commit
+        # it (it finished its actions; the finish message was lost) or
+        # abort it (the global execution failed before it finished).
+        resolve = message.payload.get("resolve", "commit")
+        txn_id = self._subtxns.get(gtxn or "")
+        if txn_id is not None:
+            status = self.interface.status(txn_id)
+            if status is LocalTxnState.RUNNING and resolve == "abort":
+                yield from self._safe_abort(txn_id)
+                status = self.interface.status(txn_id)
+            elif status is LocalTxnState.RUNNING:
+                try:
+                    if marker_key is not None and self.log_placement == "indb":
+                        yield from self._write_marker(txn_id, marker_key)
+                    yield from self.interface.commit(txn_id)
+                    status = LocalTxnState.COMMITTED
+                except TransactionAborted:
+                    status = LocalTxnState.ABORTED
+            if status is LocalTxnState.COMMITTED:
+                self._note_outcome(marker_key, "committed")
+                self._reply(message, "vote", vote="committed")
+            else:
+                self._note_outcome(marker_key, "aborted")
+                self._reply(message, "vote", vote="aborted")
+            return
+        if self.log_placement == "indb" and marker_key is not None:
+            marker = yield from self._read_marker(marker_key)
+            vote = "committed" if marker is not None else "aborted"
+            self._reply(message, "vote", vote=vote)
+            return
+        vote = self._outcomes.get(marker_key or "", "aborted")
+        self._reply(message, "vote", vote="committed" if vote == "committed" else "aborted")
+
+    def _on_decide(self, message: Message) -> Generator[Any, Any, None]:
+        """Global decision for an open subtransaction (2PC / commit-after)."""
+        gtxn = message.gtxn_id
+        decision = message.payload["decision"]
+        marker_key = message.payload.get("marker_key")
+        txn_id = self._subtxns.get(gtxn or "")
+        if txn_id is None:
+            # After a crash the manager forgot the subtransaction.  For
+            # 2PC an in-doubt transaction may have been reinstated by
+            # recovery; find it by its global transaction id.
+            recovered = self.interface._engine.find_by_gtxn(gtxn) if gtxn else None
+            if recovered is not None and recovered.state is LocalTxnState.READY:
+                txn_id = recovered.txn_id
+            else:
+                self._reply(message, "finished", outcome="aborted", reason="forgotten")
+                return
+        if decision == "commit":
+            status = self.interface.status(txn_id)
+            if status is LocalTxnState.COMMITTED:
+                # A retried decision after the commit already happened.
+                self._reply(message, "finished", outcome="committed")
+                return
+            if status is LocalTxnState.ABORTED:
+                self._note_outcome(marker_key, "aborted")
+                self._reply(message, "finished", outcome="aborted", reason="autonomous abort")
+                return
+            try:
+                if marker_key is not None and self.log_placement == "indb":
+                    yield from self._write_marker(txn_id, marker_key)
+                yield from self.interface.commit(txn_id)
+            except TransactionAborted as exc:
+                self._note_outcome(marker_key, "aborted")
+                self._reply(message, "finished", outcome="aborted", reason=str(exc.reason))
+                return
+            self._note_outcome(marker_key, "committed")
+            self._reply(message, "finished", outcome="committed")
+        else:
+            status = self.interface.status(txn_id)
+            if status in (LocalTxnState.RUNNING, LocalTxnState.READY):
+                yield from self.interface.abort(txn_id)
+            self._note_outcome(marker_key, "aborted")
+            if not message.payload.get("noreply"):
+                self._reply(message, "finished", outcome="aborted")
+
+    # ------------------------------------------------------------------
+    # Commit-before: local commitment before the global decision
+    # ------------------------------------------------------------------
+
+    def _on_finish_subtxn(self, message: Message) -> Generator[Any, Any, None]:
+        """Commit the local transaction now (per-site commit-before)."""
+        gtxn = message.gtxn_id
+        marker_key = message.payload.get("marker_key")
+        txn_id = self._subtxns.get(gtxn or "")
+        if txn_id is None:
+            self._reply(message, "local_outcome", outcome="aborted", reason="forgotten")
+            return
+        # Idempotence: a retried finish (lost reply) answers from the
+        # transaction's current state instead of re-committing.
+        status = self.interface.status(txn_id)
+        if status is LocalTxnState.COMMITTED:
+            self._reply(message, "local_outcome", outcome="committed")
+            return
+        if status is LocalTxnState.ABORTED:
+            self._reply(message, "local_outcome", outcome="aborted", reason="autonomous abort")
+            return
+        try:
+            if marker_key is not None and self.log_placement == "indb":
+                yield from self._write_marker(txn_id, marker_key)
+            yield from self.interface.commit(txn_id)
+        except TransactionAborted as exc:
+            self._note_outcome(marker_key, "aborted")
+            self._reply(message, "local_outcome", outcome="aborted", reason=str(exc.reason))
+            return
+        self._note_outcome(marker_key, "committed")
+        self._reply(message, "local_outcome", outcome="committed")
+
+    def _on_execute_l0(self, message: Message) -> Generator[Any, Any, None]:
+        """One L1 action as a complete L0 transaction (multi-level mode).
+
+        Erroneous L0 aborts (deadlock, timeout, validation) are retried
+        here -- the action's atomicity is L0's business.  An ``undo``
+        flag marks inverse actions (they count as undo executions).
+        """
+        operation: Operation = message.payload["op"]
+        marker_key = message.payload.get("marker_key")
+        is_undo = message.payload.get("undo", False)
+        # Idempotence guard: a retried request for an action that did
+        # commit answers from the marker instead of re-executing.
+        marker = yield from self._marker_value(marker_key)
+        if marker is not None:
+            payload = marker if isinstance(marker, dict) else {}
+            if is_undo:
+                self.undo_executions += 1
+            self._reply(
+                message, "l0_done",
+                value=payload.get("value"), before=payload.get("before"), retries=0,
+            )
+            return
+        # Inverse transactions are tagged so the atomicity checker can
+        # pair them off against the forward executions they neutralize.
+        owner = f"{message.gtxn_id}!undo" if is_undo else message.gtxn_id
+        retries = 0
+        while True:
+            txn_id = self.interface.begin(gtxn_id=owner)
+            try:
+                value, before = yield from self._apply_op(txn_id, operation)
+                if (
+                    marker_key is not None
+                    and self.log_placement == "indb"
+                    and operation.kind != "read"
+                ):
+                    # The marker row carries the before-image so the
+                    # central undo-log can be rebuilt even if this reply
+                    # is lost to a crash.
+                    yield from self._write_marker(
+                        txn_id, marker_key, {"before": before, "value": value}
+                    )
+                yield from self.interface.commit(txn_id)
+                break
+            except TransactionAborted:
+                retries += 1
+                # Randomized backoff: concurrent repetitions contending
+                # on the same pages must not retry in lockstep.
+                yield self._retry_rng.uniform(1.0, 5.0 * retries)
+                if retries > self.max_l0_retries:
+                    self._reply(message, "l0_failed", aborted=True, reason="retries exhausted")
+                    return
+            except DatabaseError as exc:
+                yield from self._safe_abort(txn_id)
+                self._reply(message, "l0_failed", aborted=False, reason=str(exc))
+                return
+        self._note_outcome(marker_key, "committed")
+        if is_undo:
+            self.undo_executions += 1
+        self._reply(message, "l0_done", value=value, before=before, retries=retries)
+
+    def _on_undo_subtxn(self, message: Message) -> Generator[Any, Any, None]:
+        """Run the inverse transaction for a committed subtransaction.
+
+        The inverse transaction is itself a local transaction; if it is
+        (erroneously) aborted it is repeated (§3.3).
+        """
+        inverse_ops: list[Operation] = message.payload["inverse_ops"]
+        marker_key = message.payload.get("marker_key")
+        already = yield from self._marker_outcome(marker_key)
+        if already == "committed":
+            self._reply(message, "undo_result", outcome="undone", retries=0)
+            return
+        owner = f"{message.gtxn_id}!undo" if message.gtxn_id else None
+        retries = 0
+        while True:
+            txn_id = self.interface.begin(gtxn_id=owner)
+            try:
+                if marker_key is not None and self.log_placement == "indb":
+                    yield from self._write_marker(txn_id, marker_key)
+                for operation in inverse_ops:
+                    yield from self._apply_op(txn_id, operation)
+                yield from self.interface.commit(txn_id)
+                break
+            except TransactionAborted:
+                retries += 1
+                # Randomized backoff: concurrent repetitions contending
+                # on the same pages must not retry in lockstep.
+                yield self._retry_rng.uniform(1.0, 5.0 * retries)
+                if retries > self.max_l0_retries:
+                    self._reply(message, "undo_result", outcome="failed")
+                    return
+            except DatabaseError as exc:
+                yield from self._safe_abort(txn_id)
+                self._reply(message, "undo_result", outcome="failed", reason=str(exc))
+                return
+        self._note_outcome(marker_key, "committed")
+        self.undo_executions += 1
+        self._reply(message, "undo_result", outcome="undone", retries=retries)
+
+    # ------------------------------------------------------------------
+    # Commit-after: redo of erroneously aborted subtransactions
+    # ------------------------------------------------------------------
+
+    def _on_redo_subtxn(self, message: Message) -> Generator[Any, Any, None]:
+        """Repeat the whole subtransaction until it commits (§3.2).
+
+        Idempotent: if the durable commit marker shows a previous (redo
+        or original) execution already committed, nothing is repeated --
+        the guard against the central's retries double-applying.
+        """
+        operations: list[Operation] = message.payload["ops"]
+        marker_key = message.payload.get("marker_key")
+        already = yield from self._marker_outcome(marker_key)
+        if already == "committed":
+            self._reply(message, "redo_result", outcome="committed", retries=0)
+            return
+        retries = 0
+        while True:
+            txn_id = self.interface.begin(gtxn_id=message.gtxn_id)
+            try:
+                for operation in operations:
+                    yield from self._apply_op(txn_id, operation)
+                if marker_key is not None and self.log_placement == "indb":
+                    yield from self._write_marker(txn_id, marker_key)
+                yield from self.interface.commit(txn_id)
+                if message.gtxn_id:
+                    self._subtxns[message.gtxn_id] = txn_id
+                break
+            except TransactionAborted:
+                retries += 1
+                # Randomized backoff: concurrent repetitions contending
+                # on the same pages must not retry in lockstep.
+                yield self._retry_rng.uniform(1.0, 5.0 * retries)
+                if retries > self.max_l0_retries:
+                    self._reply(message, "redo_result", outcome="failed")
+                    return
+            except DatabaseError as exc:
+                yield from self._safe_abort(txn_id)
+                self._reply(message, "redo_result", outcome="failed", reason=str(exc))
+                return
+        self._note_outcome(marker_key, "committed")
+        self.redo_executions += 1
+        self._reply(message, "redo_result", outcome="committed", retries=retries)
+
+    # ------------------------------------------------------------------
+    # Status queries
+    # ------------------------------------------------------------------
+
+    def _on_status_query(self, message: Message) -> Generator[Any, Any, None]:
+        """Answer "what happened to this subtransaction?".
+
+        With ``durable=True`` the commit-marker relation inside the
+        database is consulted (survives crashes); otherwise only the
+        manager's volatile memory -- after a crash the honest answer is
+        ``unknown``.
+        """
+        marker_key = message.payload.get("marker_key")
+        durable = message.payload.get("durable", True)
+        gtxn = message.gtxn_id
+        txn_id = self._subtxns.get(gtxn or "")
+        if txn_id is not None:
+            status = self.interface.status(txn_id)
+            if status is LocalTxnState.COMMITTED:
+                self._reply(message, "status_report", outcome="committed")
+                return
+            if status in (LocalTxnState.RUNNING, LocalTxnState.READY):
+                self._reply(message, "status_report", outcome="running")
+                return
+            if status is LocalTxnState.ABORTED:
+                self._reply(message, "status_report", outcome="aborted")
+                return
+        if durable and self.log_placement == "indb" and marker_key is not None:
+            marker = yield from self._read_marker(marker_key)
+            if marker is None:
+                self._reply(message, "status_report", outcome="aborted")
+            elif isinstance(marker, dict):
+                self._reply(
+                    message,
+                    "status_report",
+                    outcome="committed",
+                    before=marker.get("before"),
+                    value=marker.get("value"),
+                )
+            else:
+                self._reply(message, "status_report", outcome="committed")
+            return
+        outcome = self._outcomes.get(marker_key or "", "unknown")
+        self._reply(message, "status_report", outcome=outcome)
+
+    def _on_ping(self, message: Message) -> Generator[Any, Any, None]:
+        self._reply(message, "pong")
+        return
+        yield  # pragma: no cover - generator protocol
+
+    def _on_pre_commit(self, message: Message) -> Generator[Any, Any, None]:
+        """3PC pre-commit: force a note that commit is imminent, ack."""
+        self._reply(message, "pre_commit_ack")
+        return
+        yield  # pragma: no cover - generator protocol
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _apply_op(
+        self, txn_id: str, operation: Operation
+    ) -> Generator[Any, Any, tuple[Any, Any]]:
+        """Execute one operation; returns (value, before-image)."""
+        interface = self.interface
+        table = operation.local_table or operation.table
+        value = None
+        before = None
+        if operation.kind == "read":
+            value = yield from interface.read(txn_id, table, operation.key)
+        elif operation.kind == "write":
+            before = yield from interface.read(txn_id, table, operation.key)
+            yield from interface.write(txn_id, table, operation.key, operation.value)
+        elif operation.kind == "increment":
+            value = yield from interface.increment(
+                txn_id, table, operation.key, operation.value
+            )
+        elif operation.kind == "insert":
+            yield from interface.insert(txn_id, table, operation.key, operation.value)
+        elif operation.kind == "delete":
+            before = yield from interface.read(txn_id, table, operation.key)
+            yield from interface.delete(txn_id, table, operation.key)
+        else:
+            raise DatabaseError(f"unsupported operation {operation.kind!r}")
+        return value, before
+
+    def _write_marker(
+        self, txn_id: str, marker_key: str, value: Any = "done"
+    ) -> Generator[Any, Any, None]:
+        """Write the commit marker inside the local transaction itself."""
+        yield from self.interface.write(txn_id, COMMITLOG_TABLE, marker_key, value)
+
+    def _marker_outcome(self, marker_key: Optional[str]) -> Generator[Any, Any, Optional[str]]:
+        """Best effort: did the transaction behind ``marker_key`` commit?
+
+        Uses the durable marker with in-DB placement, volatile memory
+        otherwise (which is precisely what EXP-A2 shows to be unsafe).
+        """
+        if marker_key is None:
+            return None
+        if self.log_placement == "indb":
+            marker = yield from self._read_marker(marker_key)
+            return "committed" if marker is not None else None
+        return self._outcomes.get(marker_key)
+
+    def _marker_value(self, marker_key: Optional[str]) -> Generator[Any, Any, Any]:
+        """The marker row itself (carries before/value for L0 actions)."""
+        if marker_key is None:
+            return None
+        if self.log_placement == "indb":
+            marker = yield from self._read_marker(marker_key)
+            return marker
+        if self._outcomes.get(marker_key) == "committed":
+            return {}
+        return None
+
+    def _read_marker(self, marker_key: str) -> Generator[Any, Any, Any]:
+        """Read the commit-marker row with a fresh transaction."""
+        txn_id = self.interface.begin()
+        try:
+            value = yield from self.interface.read(txn_id, COMMITLOG_TABLE, marker_key)
+            yield from self.interface.commit(txn_id)
+        except TransactionAborted:
+            return None
+        return value
+
+    def _safe_abort(self, txn_id: str) -> Generator[Any, Any, None]:
+        status = self.interface.status(txn_id)
+        if status in (LocalTxnState.RUNNING, LocalTxnState.READY):
+            try:
+                yield from self.interface.abort(txn_id)
+            except TransactionAborted:
+                pass
+
+    def _note_outcome(self, marker_key: Optional[str], outcome: str) -> None:
+        if marker_key is not None:
+            self._outcomes[marker_key] = outcome
+
+    def __repr__(self) -> str:
+        return f"<LocalCommunicationManager {self.site} subtxns={len(self._subtxns)}>"

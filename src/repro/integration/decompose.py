@@ -1,0 +1,39 @@
+"""Decomposition of global transactions into local subtransactions.
+
+"According to this information [the global schema], a global user
+transaction will be decomposed into local transactions" (§2).  The
+decomposer routes each operation and groups them per site while
+preserving the global execution order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.integration.schema import GlobalSchema
+from repro.mlt.actions import Operation
+
+
+@dataclass
+class Decomposition:
+    """Routed operations, globally ordered and grouped per site."""
+
+    ordered: list[Operation] = field(default_factory=list)
+    by_site: dict[str, list[Operation]] = field(default_factory=dict)
+
+    @property
+    def sites(self) -> list[str]:
+        return list(self.by_site)
+
+    def __len__(self) -> int:
+        return len(self.ordered)
+
+
+def decompose(schema: GlobalSchema, operations: list[Operation]) -> Decomposition:
+    """Route every operation and group by site (order preserving)."""
+    result = Decomposition()
+    for operation in operations:
+        routed = schema.route(operation)
+        result.ordered.append(routed)
+        result.by_site.setdefault(routed.site, []).append(routed)
+    return result

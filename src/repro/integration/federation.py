@@ -1,0 +1,266 @@
+"""Federation builder: assemble a whole integrated database system.
+
+One call wires the kernel, the star network, the central node with its
+communication manager and GTM, and one local node per
+:class:`SiteSpec` -- engine, TM interface (standard or preparable),
+local communication manager, crash/restart hooks -- then loads the
+initial data.  Examples, tests and benchmarks all start here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from repro.core.gtm import GlobalTransactionManager, GTMConfig
+from repro.integration.comm_central import CentralCommunicationManager
+from repro.integration.comm_local import LocalCommunicationManager
+from repro.integration.schema import GlobalSchema
+from repro.localdb.config import LocalDBConfig
+from repro.localdb.engine import LocalDatabase
+from repro.localdb.interface import PreparableTMInterface, StandardTMInterface
+from repro.net.network import FixedLatency, Network, UniformLatency
+from repro.net.node import Node
+from repro.sim.kernel import Kernel
+
+
+@dataclass
+class SiteSpec:
+    """Description of one existing database system to integrate.
+
+    ``tables`` maps local table names to their initial rows.
+    ``preparable`` selects the modified TM interface needed by the
+    2PC/3PC baselines; the default models the paper's unchangeable
+    managers.
+    """
+
+    name: str
+    tables: dict[str, dict[Any, Any]] = field(default_factory=dict)
+    config: Optional[LocalDBConfig] = None
+    preparable: bool = False
+    buckets: int = 8
+
+
+@dataclass
+class FederationConfig:
+    """Federation-wide knobs."""
+
+    seed: int = 0
+    latency: float = 1.0
+    latency_jitter: float = 0.0
+    loss_rate: float = 0.0
+    log_placement: str = "indb"  # "indb" | "volatile"
+    gtm: GTMConfig = field(default_factory=GTMConfig)
+
+    def __post_init__(self) -> None:
+        # The GTM's ambiguity resolution must match what the local
+        # communication managers can actually answer.
+        self.gtm.durable_status = self.log_placement == "indb"
+
+
+class Federation:
+    """A running integrated database system."""
+
+    CENTRAL = "central"
+
+    def __init__(self, site_specs: list[SiteSpec], config: Optional[FederationConfig] = None):
+        self.config = config or FederationConfig()
+        self.kernel = Kernel(seed=self.config.seed)
+        latency = (
+            UniformLatency(
+                max(0.0, self.config.latency - self.config.latency_jitter),
+                self.config.latency + self.config.latency_jitter,
+            )
+            if self.config.latency_jitter
+            else FixedLatency(self.config.latency)
+        )
+        self.network = Network(
+            self.kernel, latency=latency, loss_rate=self.config.loss_rate
+        )
+        self.schema = GlobalSchema()
+        self.engines: dict[str, LocalDatabase] = {}
+        self.interfaces: dict[str, StandardTMInterface] = {}
+        self.comms: dict[str, LocalCommunicationManager] = {}
+        self.nodes: dict[str, Node] = {}
+
+        central = self.network.add_node(Node(self.kernel, self.CENTRAL, is_central=True))
+        self.nodes[self.CENTRAL] = central
+        self.central_comm = CentralCommunicationManager(self.kernel, self.network, central)
+        self.gtm = GlobalTransactionManager(
+            self.kernel, self.network, self.schema, self.central_comm, self.config.gtm
+        )
+
+        for spec in site_specs:
+            self._add_site(spec)
+        self._load_initial_data(site_specs)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def _add_site(self, spec: SiteSpec) -> None:
+        engine = LocalDatabase(self.kernel, spec.name, spec.config)
+        interface_cls = PreparableTMInterface if spec.preparable else StandardTMInterface
+        interface = interface_cls(engine)
+        node = self.network.add_node(Node(self.kernel, spec.name))
+        comm = LocalCommunicationManager(
+            self.kernel, self.network, node, interface,
+            log_placement=self.config.log_placement,
+        )
+        node.on_crash.append(engine.crash)
+        node.on_crash.append(comm.on_crash)
+        node.on_restart.append(engine.restart)
+        node.on_restart.append(comm.on_restart)
+        self.engines[spec.name] = engine
+        self.interfaces[spec.name] = interface
+        self.comms[spec.name] = comm
+        self.nodes[spec.name] = node
+        # Default schema: every local table is visible globally under
+        # the same name, placed on its site.  Conflicting names must be
+        # mapped explicitly by the caller instead.
+        for table in spec.tables:
+            try:
+                self.schema.map_table(table, spec.name, table)
+            except Exception:
+                pass  # caller maps ambiguous tables explicitly
+
+    def _load_initial_data(self, site_specs: list[SiteSpec]) -> None:
+        def loader() -> Generator[Any, Any, None]:
+            for spec in site_specs:
+                engine = self.engines[spec.name]
+                yield from self.comms[spec.name].setup()
+                for table, rows in spec.tables.items():
+                    yield from engine.create_table(table, spec.buckets)
+                    if rows:
+                        txn = engine.begin()
+                        for key, value in rows.items():
+                            yield from engine.insert(txn, table, key, value)
+                        yield from engine.commit(txn)
+
+        process = self.kernel.spawn(loader(), name="federation-setup")
+        self.kernel.run()
+        if not process.done:
+            raise RuntimeError("federation setup did not finish")
+        process.value  # re-raise setup errors, if any
+        # Give callers a clean t=0: setup time is not part of any run.
+        self.kernel._now = 0.0
+
+    # ------------------------------------------------------------------
+    # Running work
+    # ------------------------------------------------------------------
+
+    def submit(self, operations, name: Optional[str] = None, intends_abort: bool = False):
+        """Submit a global transaction; returns its process."""
+        return self.gtm.submit(operations, name=name, intends_abort=intends_abort)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Advance the simulation."""
+        return self.kernel.run(until=until)
+
+    def run_transactions(self, batches: list[dict]) -> list:
+        """Submit many global transactions at once and run to completion.
+
+        Each batch dict holds ``operations`` plus optional ``name``,
+        ``intends_abort`` and ``delay`` (submission time offset).
+        Returns the outcomes in submission order.
+        """
+        processes = []
+
+        def submitter(batch: dict) -> Generator[Any, Any, Any]:
+            if batch.get("delay"):
+                yield batch["delay"]
+            outcome = yield self.gtm.submit(
+                batch["operations"],
+                name=batch.get("name"),
+                intends_abort=batch.get("intends_abort", False),
+            )
+            return outcome
+
+        for batch in batches:
+            processes.append(self.kernel.spawn(submitter(batch), name="submit"))
+        self.kernel.run()
+        return [p.value for p in processes]
+
+    # ------------------------------------------------------------------
+    # Fault control
+    # ------------------------------------------------------------------
+
+    def crash_site(self, name: str, at: Optional[float] = None) -> None:
+        """Crash ``name`` now or at simulated time ``at``."""
+        node = self.nodes[name]
+        if at is None:
+            node.crash()
+        else:
+            self.kernel.call_at(at, node.crash)
+
+    def restart_site(self, name: str, at: Optional[float] = None) -> None:
+        """Restart ``name`` now or at simulated time ``at``."""
+        node = self.nodes[name]
+
+        def do_restart() -> None:
+            self.kernel.spawn(node.restart(), name=f"restart:{name}")
+
+        if at is None:
+            do_restart()
+        else:
+            self.kernel.call_at(at, do_restart)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+
+    def peek(self, site: str, table: str, key: Any) -> Any:
+        """Non-transactional peek at the current committed-ish value.
+
+        Prefers the buffered page image, falling back to the stable
+        disk image; for assertions in tests and experiments only.
+        """
+        engine = self.engines[site]
+        heap = engine.catalog.heap(table)
+        page_id = heap.page_of(key)
+        if engine.buffer.resident(page_id):
+            return engine.buffer._frames[page_id].get(key)
+        page = engine.disk.stable_page(page_id)
+        return page.get(key) if page is not None else None
+
+    def histories(self, by_gtxn: bool = True) -> dict[str, list]:
+        """Per-site committed histories for the serializability checkers."""
+        from repro.core.serializability import ops_from_engine
+
+        return {
+            site: ops_from_engine(engine, by_gtxn=by_gtxn)
+            for site, engine in self.engines.items()
+        }
+
+    def metrics(self) -> dict[str, Any]:
+        """Combined metrics of GTM, network and all sites."""
+        report = {
+            "gtm": self.gtm.metrics(),
+            "network": {
+                "sent": self.network.sent,
+                "delivered": self.network.delivered,
+                "dropped": self.network.dropped,
+                "by_kind": self.network.message_counts(),
+            },
+            "sites": {site: engine.metrics() for site, engine in self.engines.items()},
+        }
+        report["totals"] = {
+            "log_forces": sum(e.disk.log_forces for e in self.engines.values()),
+            "lock_wait_time": sum(
+                e.locks.total_wait_time for e in self.engines.values()
+            ),
+            "lock_hold_time": sum(
+                e.locks.total_hold_time for e in self.engines.values()
+            ),
+            "local_commits": sum(e.commits for e in self.engines.values()),
+            "local_aborts": {
+                reason.value: sum(e.aborts[reason] for e in self.engines.values())
+                for reason in next(iter(self.engines.values())).aborts
+            }
+            if self.engines
+            else {},
+        }
+        return report
+
+    def __repr__(self) -> str:
+        return f"<Federation sites={sorted(self.engines)} protocol={self.gtm.config.protocol}>"

@@ -1,0 +1,79 @@
+"""Global schema: routing global objects to existing database systems.
+
+The central system stores "all the global data which are needed for the
+integration of the existing systems, e.g. information for schema
+integration" (§2).  Here that is a mapping from global table names to
+placements:
+
+* a *single-site* table lives wholly in one existing database;
+* a *partitioned* table spreads its keys over several sites through a
+  user-supplied partition function (e.g. accounts by bank).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.errors import ReproError
+from repro.mlt.actions import Operation
+
+
+class SchemaError(ReproError):
+    """A global operation could not be routed."""
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where one global object lives."""
+
+    site: str
+    local_table: str
+
+
+class GlobalSchema:
+    """Mapping of global tables to local placements."""
+
+    def __init__(self) -> None:
+        self._single: dict[str, Placement] = {}
+        self._partitioned: dict[str, Callable[[Any], Placement]] = {}
+
+    def map_table(self, global_table: str, site: str, local_table: Optional[str] = None) -> None:
+        """Place ``global_table`` wholly on ``site``."""
+        self._check_new(global_table)
+        self._single[global_table] = Placement(site, local_table or global_table)
+
+    def map_partitioned(
+        self, global_table: str, partition: Callable[[Any], Placement]
+    ) -> None:
+        """Place keys of ``global_table`` via ``partition(key)``."""
+        self._check_new(global_table)
+        self._partitioned[global_table] = partition
+
+    def _check_new(self, global_table: str) -> None:
+        if global_table in self._single or global_table in self._partitioned:
+            raise SchemaError(f"table {global_table!r} already mapped")
+
+    def placement(self, global_table: str, key: Any) -> Placement:
+        """Resolve the placement of one global object."""
+        if global_table in self._single:
+            return self._single[global_table]
+        if global_table in self._partitioned:
+            placement = self._partitioned[global_table](key)
+            if not isinstance(placement, Placement):
+                raise SchemaError(
+                    f"partition function of {global_table!r} returned {placement!r}"
+                )
+            return placement
+        raise SchemaError(f"no mapping for global table {global_table!r}")
+
+    def route(self, operation: Operation) -> Operation:
+        """Bind an operation to its site and local table."""
+        placement = self.placement(operation.table, operation.key)
+        return operation.routed(placement.site, placement.local_table)
+
+    def tables(self) -> list[str]:
+        return sorted([*self._single, *self._partitioned])
+
+    def __repr__(self) -> str:
+        return f"<GlobalSchema tables={self.tables()}>"

@@ -1,0 +1,32 @@
+"""A complete single-site database engine.
+
+Each *existing database system* of the paper's Figure 1 is one
+:class:`~repro.localdb.engine.LocalDatabase`: heap storage, a strict
+two-phase-locking (or optimistic) scheduler, WAL-based recovery, and a
+transaction manager exposed through either
+
+* :class:`~repro.localdb.interface.StandardTMInterface` -- the
+  *unchangeable* ``begin`` / ``commit`` / ``abort`` interface the paper
+  assumes (no ready state!), or
+* :class:`~repro.localdb.interface.PreparableTMInterface` -- a *modified*
+  manager that additionally offers ``prepare``, used only by the
+  two-phase-commit baseline.
+"""
+
+from repro.localdb.config import LocalDBConfig
+from repro.localdb.engine import LocalDatabase
+from repro.localdb.interface import PreparableTMInterface, StandardTMInterface
+from repro.localdb.locks import LockManager, LockMode
+from repro.localdb.txn import LocalAbortReason, LocalTransaction, LocalTxnState
+
+__all__ = [
+    "LocalAbortReason",
+    "LocalDBConfig",
+    "LocalDatabase",
+    "LocalTransaction",
+    "LocalTxnState",
+    "LockManager",
+    "LockMode",
+    "PreparableTMInterface",
+    "StandardTMInterface",
+]

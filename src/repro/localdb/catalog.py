@@ -1,0 +1,113 @@
+"""Durable table catalog of a local database.
+
+Table definitions (name, page range, pinned key placements) are stored
+in the stable disk's metadata area so they survive crashes; the heap
+files themselves are rebuilt from the catalog at restart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.errors import UnknownTable
+from repro.storage.heap import HeapFile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.storage.buffer import BufferPool
+    from repro.storage.disk import StableDisk
+
+
+@dataclass
+class TableDef:
+    """Durable description of one table."""
+
+    name: str
+    first_page_id: int
+    bucket_count: int
+    pinned_keys: dict[Any, int] = field(default_factory=dict)  # key -> bucket
+
+
+class Catalog:
+    """Maps table names to heap files; persists definitions to disk."""
+
+    _META_KEY = "catalog"
+
+    def __init__(self, disk: "StableDisk"):
+        self._disk = disk
+        self._tables: dict[str, TableDef] = {}
+        self._heaps: dict[str, HeapFile] = {}
+        self._next_page_id = 0
+
+    # -- definition ------------------------------------------------------------
+
+    def define(self, name: str, bucket_count: int) -> TableDef:
+        """Register a new table and persist the definition."""
+        if name in self._tables:
+            raise ValueError(f"table {name!r} already exists")
+        definition = TableDef(name, self._next_page_id, bucket_count)
+        self._next_page_id += bucket_count
+        self._tables[name] = definition
+        self._persist()
+        return definition
+
+    def pin_key(self, table: str, key: Any, bucket_index: int) -> None:
+        """Pin ``key`` to a bucket (Figure 8 style page co-location)."""
+        definition = self._definition(table)
+        definition.pinned_keys[key] = bucket_index
+        self.heap(table).pin_key_to_page(key, bucket_index)
+        self._persist()
+
+    def _persist(self) -> None:
+        self._disk.set_meta(
+            self._META_KEY,
+            {
+                name: (d.first_page_id, d.bucket_count, dict(d.pinned_keys))
+                for name, d in self._tables.items()
+            },
+        )
+
+    # -- access ----------------------------------------------------------------
+
+    def _definition(self, table: str) -> TableDef:
+        if table not in self._tables:
+            raise UnknownTable(table)
+        return self._tables[table]
+
+    def heap(self, table: str) -> HeapFile:
+        if table not in self._heaps:
+            raise UnknownTable(table)
+        return self._heaps[table]
+
+    def attach_heap(self, table: str, heap: HeapFile) -> None:
+        definition = self._definition(table)
+        for key, bucket in definition.pinned_keys.items():
+            heap.pin_key_to_page(key, bucket)
+        self._heaps[table] = heap
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def definitions(self) -> list[TableDef]:
+        return [self._tables[name] for name in self.table_names()]
+
+    # -- crash recovery ----------------------------------------------------------
+
+    def reload(self, buffer_pool: "BufferPool") -> None:
+        """Rebuild table definitions and heap files after a crash."""
+        stored = self._disk.get_meta(self._META_KEY, {})
+        self._tables = {}
+        self._heaps = {}
+        self._next_page_id = 0
+        for name, (first_page_id, bucket_count, pinned) in stored.items():
+            definition = TableDef(name, first_page_id, bucket_count, dict(pinned))
+            self._tables[name] = definition
+            self._next_page_id = max(self._next_page_id, first_page_id + bucket_count)
+            heap = HeapFile(name, self._disk, buffer_pool, first_page_id, bucket_count)
+            self.attach_heap(name, heap)
+
+    def __contains__(self, table: str) -> bool:
+        return table in self._tables
+
+    def __repr__(self) -> str:
+        return f"<Catalog tables={self.table_names()}>"

@@ -1,0 +1,751 @@
+"""The local database engine.
+
+One :class:`LocalDatabase` models one *existing database system* of the
+paper's architecture: heap storage behind a buffer pool, a write-ahead
+log, a pluggable scheduler (strict 2PL or optimistic backward
+validation), WAL-based crash recovery and autonomous abort behaviour
+(deadlock victims, lock timeouts, validation failures, injected system
+aborts, crashes) -- the exact sources of *erroneous* local aborts that
+drive the paper's §3.2 analysis.
+
+All data operations are generators and must be driven with
+``yield from`` inside a simulation process; they consume simulated CPU
+and I/O time and may block on locks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.errors import (
+    DeadlockDetected,
+    DuplicateKey,
+    InvalidTransactionState,
+    KeyNotFound,
+    LockTimeout,
+    SiteCrashed,
+    TransactionAborted,
+)
+from repro.localdb.catalog import Catalog
+from repro.localdb.config import LocalDBConfig
+from repro.localdb.locks import LockManager, LockMode
+from repro.localdb.txn import LocalAbortReason, LocalTransaction, LocalTxnState
+from repro.sim.sync import FifoLock
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import StableDisk
+from repro.storage.wal import (
+    AbortRecord,
+    BeginRecord,
+    CheckpointRecord,
+    CommitRecord,
+    CompensationRecord,
+    LogManager,
+    PrepareRecord,
+    UpdateRecord,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Kernel
+    from repro.sim.process import Process
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One executed data operation, for the serializability checker."""
+
+    seq: int
+    txn_id: str
+    gtxn_id: Optional[str]
+    kind: str  # "read" | "write" | "increment" | "insert" | "delete"
+    table: str
+    key: Any
+
+    @property
+    def writes(self) -> bool:
+        return self.kind != "read"
+
+
+class LocalDatabase:
+    """A complete single-site database system."""
+
+    def __init__(self, kernel: "Kernel", site: str, config: Optional[LocalDBConfig] = None):
+        self.kernel = kernel
+        self.site = site
+        self.config = config or LocalDBConfig()
+        self.disk = StableDisk(kernel, site, self.config.storage)
+        self.log = LogManager(
+            self.disk,
+            kernel=kernel,
+            group_commit_window=self.config.group_commit_window,
+        )
+        self.buffer = BufferPool(self.disk, self.log, self.config.buffer_capacity)
+        self.locks = LockManager(
+            kernel,
+            site,
+            default_timeout=self.config.lock_timeout,
+            deadlock_detection=self.config.deadlock_detection,
+        )
+        self.catalog = Catalog(self.disk)
+        self.crashed = False
+        self._txns: dict[str, LocalTransaction] = {}
+        self._txn_counter = 0
+        # Optimistic scheduler state.
+        self._commit_seq = 0
+        self._occ_committed: list[tuple[int, frozenset[tuple[str, Any]]]] = []
+        self._occ_gate = FifoLock(name=f"{site}:occ-commit")
+        # Committed-projection history for the serializability checker.
+        self._op_seq = 0
+        self.op_history: list[OpRecord] = []
+        self.committed_txn_ids: set[str] = set()
+        # Metrics.
+        self.commits = 0
+        self.aborts: dict[LocalAbortReason, int] = {r: 0 for r in LocalAbortReason}
+        self.ops = 0
+        self.crashes = 0
+        self.checkpoints = 0
+
+    # ------------------------------------------------------------------
+    # Schema
+    # ------------------------------------------------------------------
+
+    def create_table(
+        self, name: str, bucket_count: Optional[int] = None
+    ) -> Generator[Any, Any, None]:
+        """Create a table and initialize its pages on stable storage."""
+        from repro.storage.heap import HeapFile
+
+        buckets = bucket_count or self.config.default_buckets
+        definition = self.catalog.define(name, buckets)
+        heap = HeapFile(name, self.disk, self.buffer, definition.first_page_id, buckets)
+        self.catalog.attach_heap(name, heap)
+        yield from heap.initialize()
+
+    def pin_key(self, table: str, key: Any, bucket_index: int) -> None:
+        """Co-locate ``key`` on a chosen page (Figure 8 setups)."""
+        self.catalog.pin_key(table, key, bucket_index)
+
+    # ------------------------------------------------------------------
+    # Transaction lifecycle
+    # ------------------------------------------------------------------
+
+    def begin(self, gtxn_id: Optional[str] = None) -> LocalTransaction:
+        """Start a transaction (immediate; no I/O)."""
+        if self.crashed:
+            raise SiteCrashed(f"{self.site} is down")
+        self._txn_counter += 1
+        txn_id = f"{self.site}:t{self._txn_counter}"
+        txn = LocalTransaction(txn_id, self.kernel.now, start_commit_seq=self._commit_seq)
+        txn.gtxn_id = gtxn_id
+        self._txns[txn_id] = txn
+        if self.config.scheduler == "2pl":
+            record = self.log.append(
+                lambda lsn: BeginRecord(lsn=lsn, txn_id=txn_id, prev_lsn=0)
+            )
+            txn.first_lsn = record.lsn
+            txn.last_lsn = record.lsn
+        self._trace_state(txn)
+        return txn
+
+    def txn(self, txn_id: str) -> LocalTransaction:
+        if txn_id not in self._txns:
+            raise InvalidTransactionState(f"unknown transaction {txn_id}")
+        return self._txns[txn_id]
+
+    def active_txns(self) -> list[LocalTransaction]:
+        return [t for t in self._txns.values() if t.active]
+
+    def find_by_gtxn(self, gtxn_id: str) -> Optional[LocalTransaction]:
+        """Latest local transaction belonging to ``gtxn_id``, if any."""
+        found = None
+        for txn in self._txns.values():
+            if txn.gtxn_id == gtxn_id:
+                found = txn
+        return found
+
+    # ------------------------------------------------------------------
+    # Data operations
+    # ------------------------------------------------------------------
+
+    def read(self, txn: LocalTransaction, table: str, key: Any) -> Generator[Any, Any, Any]:
+        """Return the value under ``key`` or ``None`` if absent."""
+        yield from self._pre_op(txn)
+        if self.config.scheduler == "occ":
+            value = yield from self._occ_read(txn, table, key)
+        else:
+            heap = self.catalog.heap(table)
+            yield from self._acquire(txn, table, heap.page_of(key), LockMode.SHARED)
+            value = yield from heap.read(key)
+            self._check_txn(txn)
+        txn.read_set.add((table, key))
+        self._record_op(txn, "read", table, key)
+        return value
+
+    def write(
+        self, txn: LocalTransaction, table: str, key: Any, value: Any
+    ) -> Generator[Any, Any, None]:
+        """Insert-or-overwrite ``key`` with ``value``."""
+        yield from self._pre_op(txn)
+        if self.config.scheduler == "occ":
+            txn.workspace[(table, key)] = ("write", value)
+            txn.write_set.add((table, key))
+            return
+        yield from self._apply_write(txn, "write", table, key, value)
+
+    def insert(
+        self, txn: LocalTransaction, table: str, key: Any, value: Any
+    ) -> Generator[Any, Any, None]:
+        """Insert ``key``; raises :class:`DuplicateKey` if present."""
+        yield from self._pre_op(txn)
+        exists = yield from self._current_exists(txn, table, key)
+        if exists:
+            raise DuplicateKey(f"{table}[{key!r}]")
+        if self.config.scheduler == "occ":
+            txn.workspace[(table, key)] = ("write", value)
+            txn.write_set.add((table, key))
+            return
+        yield from self._apply_write(txn, "insert", table, key, value)
+
+    def delete(self, txn: LocalTransaction, table: str, key: Any) -> Generator[Any, Any, None]:
+        """Delete ``key``; raises :class:`KeyNotFound` if absent."""
+        yield from self._pre_op(txn)
+        exists = yield from self._current_exists(txn, table, key)
+        if not exists:
+            raise KeyNotFound(f"{table}[{key!r}]")
+        if self.config.scheduler == "occ":
+            txn.workspace[(table, key)] = ("delete", None)
+            txn.write_set.add((table, key))
+            return
+        yield from self._apply_write(txn, "delete", table, key, None)
+
+    def increment(
+        self, txn: LocalTransaction, table: str, key: Any, delta: Any
+    ) -> Generator[Any, Any, Any]:
+        """Add ``delta`` to a numeric value; returns the new value.
+
+        At this level (L0) an increment is a read-modify-write and
+        conflicts like a write; the commutativity is exploited one level
+        up, by the L1 conflict table of :mod:`repro.mlt`.
+        """
+        yield from self._pre_op(txn)
+        if self.config.scheduler == "occ":
+            before = yield from self._occ_read(txn, table, key)
+            txn.read_set.add((table, key))
+            if before is None:
+                raise KeyNotFound(f"{table}[{key!r}]")
+            txn.workspace[(table, key)] = ("write", before + delta)
+            txn.write_set.add((table, key))
+            self._record_op(txn, "increment", table, key)
+            return before + delta
+        heap = self.catalog.heap(table)
+        yield from self._acquire(txn, table, heap.page_of(key), LockMode.EXCLUSIVE)
+        before = yield from heap.read(key)
+        self._check_txn(txn)
+        if before is None:
+            raise KeyNotFound(f"{table}[{key!r}]")
+        after = before + delta
+        record = self._log_update(txn, table, key, before, after, heap.page_of(key))
+        yield from heap.write(key, after, record.lsn)
+        self._check_txn(txn)
+        txn.write_set.add((table, key))
+        self._record_op(txn, "increment", table, key)
+        return after
+
+    def scan(self, txn: LocalTransaction, table: str) -> Generator[Any, Any, list]:
+        """All committed (key, value) pairs of ``table`` (S-locks all pages)."""
+        yield from self._pre_op(txn)
+        heap = self.catalog.heap(table)
+        if self.config.scheduler == "2pl":
+            for page_id in heap.page_ids:
+                yield from self._acquire(txn, table, page_id, LockMode.SHARED)
+        rows = yield from heap.scan()
+        self._check_txn(txn)
+        if self.config.scheduler == "occ":
+            overlay = {
+                key: op for (tbl, key), op in txn.workspace.items() if tbl == table
+            }
+            merged = {k: v for k, v in rows}
+            for key, (kind, value) in overlay.items():
+                if kind == "delete":
+                    merged.pop(key, None)
+                else:
+                    merged[key] = value
+            rows = sorted(merged.items(), key=lambda kv: repr(kv[0]))
+            for key, _value in rows:
+                txn.read_set.add((table, key))
+        return rows
+
+    # ------------------------------------------------------------------
+    # Commit / abort / prepare
+    # ------------------------------------------------------------------
+
+    def commit(self, txn: LocalTransaction) -> Generator[Any, Any, None]:
+        """Commit: force the commit record, then release locks.
+
+        With the standard interface this transition is atomic from the
+        caller's perspective -- there is no externally visible state
+        between *running* and *committed*, which is precisely why plain
+        2PC cannot be layered on top of it.
+        """
+        self._check_txn(txn)
+        txn.require_state(LocalTxnState.RUNNING, LocalTxnState.READY)
+        yield self.config.storage.cpu_op_time
+        self._check_txn(txn)
+        if self.config.scheduler == "occ" and txn.state is LocalTxnState.RUNNING:
+            yield from self._occ_commit(txn)
+            return
+        txn.finishing = True
+        record = self.log.append(
+            lambda lsn: CommitRecord(lsn=lsn, txn_id=txn.txn_id, prev_lsn=txn.last_lsn)
+        )
+        txn.last_lsn = record.lsn
+        yield from self.log.force(record.lsn)
+        if self.crashed:
+            # The force rode a group window that a crash emptied; the
+            # commit record never reached stable storage.
+            raise TransactionAborted(txn.txn_id, LocalAbortReason.CRASH)
+        self._finalize_commit(txn)
+
+    def abort(
+        self,
+        txn: LocalTransaction,
+        reason: LocalAbortReason = LocalAbortReason.REQUESTED,
+    ) -> Generator[Any, Any, None]:
+        """Roll back and release (intended abort unless stated otherwise)."""
+        self._check_txn(txn)
+        txn.require_state(LocalTxnState.RUNNING, LocalTxnState.READY)
+        yield from self._rollback(txn, reason)
+
+    def prepare(self, txn: LocalTransaction) -> Generator[Any, Any, None]:
+        """Enter the ready state (modified TMs only; see interface module)."""
+        self._check_txn(txn)
+        txn.require_state(LocalTxnState.RUNNING)
+        if self.config.scheduler == "occ":
+            # A preparable OCC engine validates at prepare time and
+            # installs its workspace under commit locks, deferring only
+            # the final commit record.
+            yield from self._occ_install(txn)
+        record = self.log.append(
+            lambda lsn: PrepareRecord(
+                lsn=lsn, txn_id=txn.txn_id, prev_lsn=txn.last_lsn, gtxn_id=txn.gtxn_id
+            )
+        )
+        txn.last_lsn = record.lsn
+        yield from self.log.force(record.lsn)
+        self._check_txn(txn)
+        txn.state = LocalTxnState.READY
+        self._trace_state(txn)
+
+    def force_abort(self, txn_id: str, reason: LocalAbortReason) -> "Process":
+        """Asynchronously abort a transaction from outside its process.
+
+        Used by the fault injector ("system abort") and by commit
+        protocols reacting to the global decision.  Returns the spawned
+        rollback process.  No-op (returns a finished process) when the
+        transaction is already finishing or terminated.
+        """
+        txn = self._txns.get(txn_id)
+
+        def _noop() -> Generator[Any, Any, None]:
+            return
+            yield  # pragma: no cover - makes this a generator
+
+        if txn is None or not txn.active or txn.finishing:
+            return self.kernel.spawn(_noop(), name=f"abort-noop:{txn_id}")
+        self.locks.cancel_wait(txn_id, TransactionAborted(txn_id, reason))
+
+        def _do_abort() -> Generator[Any, Any, None]:
+            if txn.active and not txn.finishing:
+                yield from self._rollback(txn, reason)
+
+        return self.kernel.spawn(_do_abort(), name=f"force-abort:{txn_id}")
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> Generator[Any, Any, int]:
+        """Sharp checkpoint: flush dirty pages, then truncate the log.
+
+        Every page effect up to now becomes durable, so the stable log
+        only needs to reach back to the oldest *active* transaction's
+        begin record (its undo chain).  Returns the number of stable
+        log records dropped.
+        """
+        yield from self.buffer.flush_all()
+        active = {t.txn_id: t.last_lsn for t in self._txns.values() if t.active}
+        record = self.log.append(
+            lambda lsn: CheckpointRecord(
+                lsn=lsn, txn_id="", prev_lsn=0, active_txns=active
+            )
+        )
+        yield from self.log.force(record.lsn)
+        candidates = [
+            t.first_lsn
+            for t in self._txns.values()
+            if t.active and t.first_lsn > 0
+        ]
+        # Pages dirtied while (or after) we flushed still need their
+        # redo records: never truncate past the oldest recovery LSN.
+        min_dirty = self.buffer.min_rec_lsn()
+        if min_dirty is not None:
+            candidates.append(max(1, min_dirty))
+        candidates.append(record.lsn)
+        safe_lsn = min(candidates)
+        dropped = self.log.truncate_stable(safe_lsn)
+        self.checkpoints += 1
+        self.kernel.trace.emit(
+            "checkpoint", self.site, f"lsn{record.lsn}",
+            safe_lsn=safe_lsn, dropped=dropped,
+        )
+        return dropped
+
+    def start_checkpointing(self, interval: float) -> "Process":
+        """Spawn a background process taking periodic checkpoints."""
+
+        def checkpointer() -> Generator[Any, Any, None]:
+            while True:
+                yield interval
+                if not self.crashed:
+                    yield from self.checkpoint()
+
+        return self.kernel.spawn(checkpointer(), name=f"checkpointer:{self.site}")
+
+    # ------------------------------------------------------------------
+    # Crash / restart
+    # ------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose all volatile state instantly (the site fails)."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crashes += 1
+        self.disk.crash_epoch += 1
+        for txn in self._txns.values():
+            if txn.active:
+                txn.state = LocalTxnState.ABORTED
+                txn.abort_reason = LocalAbortReason.CRASH
+                txn.end_time = self.kernel.now
+                self.aborts[LocalAbortReason.CRASH] += 1
+                self._trace_state(txn)
+        self.locks.crash()
+        self.buffer.crash()
+        self.log.crash()
+        self._occ_gate.reset(SiteCrashed(f"{self.site} crashed"))
+        self.kernel.trace.emit("site", self.site, "crash")
+
+    def restart(self) -> Generator[Any, Any, None]:
+        """Recover from stable storage and come back up."""
+        from repro.localdb.recovery import recover
+
+        if not self.crashed:
+            raise InvalidTransactionState(f"{self.site} is not crashed")
+        self.locks = LockManager(
+            self.kernel,
+            self.site,
+            default_timeout=self.config.lock_timeout,
+            deadlock_detection=self.config.deadlock_detection,
+        )
+        self.buffer = BufferPool(self.disk, self.log, self.config.buffer_capacity)
+        self.log.rebuild_after_crash()
+        self.catalog.reload(self.buffer)
+        self._txns = {t.txn_id: t for t in self._txns.values() if not t.active}
+        self._occ_gate = FifoLock(name=f"{self.site}:occ-commit")
+        yield from recover(self)
+        self.crashed = False
+        self.kernel.trace.emit("site", self.site, "restart")
+
+    # ------------------------------------------------------------------
+    # Durable outcome lookup (for communication managers)
+    # ------------------------------------------------------------------
+
+    def stable_outcome(self, txn_id: str) -> Optional[str]:
+        """``"committed"``/``"aborted"`` per the stable log, else ``None``.
+
+        This models a commit-log the local system keeps *inside* its
+        database ([WV 90]); the unreliable alternative -- volatile
+        memory of the communication manager -- is exercised by
+        experiment EXP-A2.
+        """
+        outcome = None
+        for record in self.disk.stable_log():
+            if record.txn_id != txn_id:
+                continue
+            if isinstance(record, CommitRecord):
+                outcome = "committed"
+            elif isinstance(record, AbortRecord):
+                outcome = "aborted"
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+
+    def metrics(self) -> dict[str, Any]:
+        """Snapshot of this site's counters."""
+        return {
+            "site": self.site,
+            "commits": self.commits,
+            "aborts": {r.value: n for r, n in self.aborts.items() if n},
+            "ops": self.ops,
+            "crashes": self.crashes,
+            "lock_waits": self.locks.waits,
+            "lock_wait_time": self.locks.total_wait_time,
+            "lock_hold_time": self.locks.total_hold_time,
+            "deadlocks": self.locks.deadlocks,
+            "lock_timeouts": self.locks.timeouts,
+            "log_forces": self.disk.log_forces,
+            "log_records": self.log.appended,
+            "page_reads": self.disk.page_reads,
+            "page_writes": self.disk.page_writes,
+            "buffer_hits": self.buffer.hits,
+            "buffer_misses": self.buffer.misses,
+        }
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _pre_op(self, txn: LocalTransaction) -> Generator[Any, Any, None]:
+        self._check_txn(txn)
+        txn.require_state(LocalTxnState.RUNNING)
+        self.ops += 1
+        txn.ops_executed += 1
+        yield self.config.storage.cpu_op_time
+        self._check_txn(txn)
+
+    def _check_txn(self, txn: LocalTransaction) -> None:
+        if txn.state is LocalTxnState.ABORTED:
+            raise TransactionAborted(txn.txn_id, txn.abort_reason)
+        if self.crashed:
+            raise SiteCrashed(f"{self.site} is down")
+
+    def _acquire(
+        self, txn: LocalTransaction, table: str, page_id: int, mode: LockMode
+    ) -> Generator[Any, Any, None]:
+        """Lock with automatic rollback on deadlock/timeout."""
+        try:
+            yield from self.locks.acquire(txn.txn_id, (table, page_id), mode)
+        except DeadlockDetected as exc:
+            yield from self._rollback(txn, LocalAbortReason.DEADLOCK)
+            raise TransactionAborted(txn.txn_id, LocalAbortReason.DEADLOCK) from exc
+        except LockTimeout as exc:
+            yield from self._rollback(txn, LocalAbortReason.TIMEOUT)
+            raise TransactionAborted(txn.txn_id, LocalAbortReason.TIMEOUT) from exc
+        self._check_txn(txn)
+
+    def _current_exists(
+        self, txn: LocalTransaction, table: str, key: Any
+    ) -> Generator[Any, Any, bool]:
+        """Does ``key`` exist from this transaction's point of view?"""
+        if self.config.scheduler == "occ":
+            if (table, key) in txn.workspace:
+                kind, _value = txn.workspace[(table, key)]
+                return kind != "delete"
+            txn.read_set.add((table, key))
+            heap = self.catalog.heap(table)
+            exists = yield from heap.exists(key)
+            self._check_txn(txn)
+            return exists
+        heap = self.catalog.heap(table)
+        yield from self._acquire(txn, table, heap.page_of(key), LockMode.EXCLUSIVE)
+        exists = yield from heap.exists(key)
+        self._check_txn(txn)
+        return exists
+
+    def _apply_write(
+        self,
+        txn: LocalTransaction,
+        kind: str,
+        table: str,
+        key: Any,
+        value: Any,
+    ) -> Generator[Any, Any, None]:
+        """2PL write path: lock, log (WAL), apply."""
+        heap = self.catalog.heap(table)
+        page_id = heap.page_of(key)
+        yield from self._acquire(txn, table, page_id, LockMode.EXCLUSIVE)
+        before = yield from heap.read(key)
+        self._check_txn(txn)
+        after = None if kind == "delete" else value
+        record = self._log_update(txn, table, key, before, after, page_id)
+        if kind == "delete":
+            yield from heap.delete(key, record.lsn)
+        else:
+            yield from heap.write(key, value, record.lsn)
+        self._check_txn(txn)
+        txn.write_set.add((table, key))
+        self._record_op(txn, kind, table, key)
+
+    def _log_update(
+        self,
+        txn: LocalTransaction,
+        table: str,
+        key: Any,
+        before: Any,
+        after: Any,
+        page_id: int,
+    ) -> UpdateRecord:
+        record = self.log.append(
+            lambda lsn: UpdateRecord(
+                lsn=lsn,
+                txn_id=txn.txn_id,
+                prev_lsn=txn.last_lsn,
+                table=table,
+                key=key,
+                before=before,
+                after=after,
+                page_id=page_id,
+            )
+        )
+        txn.last_lsn = record.lsn
+        return record
+
+    def _record_op(self, txn: LocalTransaction, kind: str, table: str, key: Any) -> None:
+        self._op_seq += 1
+        self.op_history.append(
+            OpRecord(self._op_seq, txn.txn_id, txn.gtxn_id, kind, table, key)
+        )
+
+    def _finalize_commit(self, txn: LocalTransaction) -> None:
+        txn.state = LocalTxnState.COMMITTED
+        txn.end_time = self.kernel.now
+        self.locks.release_all(txn.txn_id)
+        self.commits += 1
+        self.committed_txn_ids.add(txn.txn_id)
+        self._trace_state(txn)
+
+    def _rollback(
+        self, txn: LocalTransaction, reason: LocalAbortReason
+    ) -> Generator[Any, Any, None]:
+        """Undo (2PL) or discard (OCC), then release everything."""
+        if txn.finishing or not txn.active:
+            return
+        txn.finishing = True
+        # A pending lock request of this transaction (an operation still
+        # in flight elsewhere) must never be granted post-mortem.
+        self.locks.cancel_wait(txn.txn_id, TransactionAborted(txn.txn_id, reason))
+        if self.config.scheduler == "occ":
+            txn.workspace.clear()
+        else:
+            yield from self._undo_chain(txn)
+            record = self.log.append(
+                lambda lsn: AbortRecord(lsn=lsn, txn_id=txn.txn_id, prev_lsn=txn.last_lsn)
+            )
+            txn.last_lsn = record.lsn
+        txn.state = LocalTxnState.ABORTED
+        txn.abort_reason = reason
+        txn.end_time = self.kernel.now
+        self.locks.release_all(txn.txn_id)
+        self.aborts[reason] += 1
+        self._trace_state(txn)
+
+    def _undo_chain(self, txn: LocalTransaction) -> Generator[Any, Any, None]:
+        """Walk the transaction's log chain backwards applying before images."""
+        lsn = txn.last_lsn
+        while lsn > 0:
+            record = self.log.record_at(lsn)
+            if isinstance(record, UpdateRecord):
+                heap = self.catalog.heap(record.table)
+                clr = self.log.append(
+                    lambda l, r=record: CompensationRecord(
+                        lsn=l,
+                        txn_id=txn.txn_id,
+                        prev_lsn=txn.last_lsn,
+                        table=r.table,
+                        key=r.key,
+                        after=r.before,
+                        page_id=r.page_id,
+                        undo_of_lsn=r.lsn,
+                        undo_next_lsn=r.prev_lsn,
+                    )
+                )
+                txn.last_lsn = clr.lsn
+                if record.before is None:
+                    yield from heap.delete(record.key, clr.lsn)
+                else:
+                    yield from heap.write(record.key, record.before, clr.lsn)
+                lsn = record.prev_lsn
+            elif isinstance(record, CompensationRecord):
+                lsn = record.undo_next_lsn
+            else:
+                lsn = record.prev_lsn
+
+    # -- optimistic scheduler ------------------------------------------------
+
+    def _occ_read(
+        self, txn: LocalTransaction, table: str, key: Any
+    ) -> Generator[Any, Any, Any]:
+        if (table, key) in txn.workspace:
+            kind, value = txn.workspace[(table, key)]
+            return None if kind == "delete" else value
+        heap = self.catalog.heap(table)
+        value = yield from heap.read(key)
+        self._check_txn(txn)
+        return value
+
+    def _occ_commit(self, txn: LocalTransaction) -> Generator[Any, Any, None]:
+        yield from self._occ_install(txn)
+        txn.finishing = True
+        record = self.log.append(
+            lambda lsn: CommitRecord(lsn=lsn, txn_id=txn.txn_id, prev_lsn=txn.last_lsn)
+        )
+        txn.last_lsn = record.lsn
+        yield from self.log.force(record.lsn)
+        self._finalize_commit(txn)
+
+    def _occ_install(self, txn: LocalTransaction) -> Generator[Any, Any, None]:
+        """Validate and install the workspace (critical section)."""
+        yield from self._occ_gate.acquire()
+        released = False
+        try:
+            self._check_txn(txn)
+            conflicts = {
+                key
+                for seq, writes in self._occ_committed
+                if seq > txn.start_commit_seq
+                for key in writes & txn.read_set
+            }
+            if conflicts:
+                self._occ_gate.release()
+                released = True
+                yield from self._rollback(txn, LocalAbortReason.VALIDATION)
+                raise TransactionAborted(txn.txn_id, LocalAbortReason.VALIDATION)
+            if txn.workspace:
+                record = self.log.append(
+                    lambda lsn: BeginRecord(lsn=lsn, txn_id=txn.txn_id, prev_lsn=0)
+                )
+                txn.last_lsn = record.lsn
+                for (table, key), (kind, value) in list(txn.workspace.items()):
+                    heap = self.catalog.heap(table)
+                    page_id = heap.page_of(key)
+                    before = yield from heap.read(key)
+                    self._check_txn(txn)
+                    after = None if kind == "delete" else value
+                    update = self._log_update(txn, table, key, before, after, page_id)
+                    if kind == "delete":
+                        yield from heap.delete(key, update.lsn)
+                    else:
+                        yield from heap.write(key, value, update.lsn)
+                    self._check_txn(txn)
+                    self._record_op(txn, kind, table, key)
+            self._commit_seq += 1
+            if txn.write_set:
+                self._occ_committed.append((self._commit_seq, frozenset(txn.write_set)))
+        finally:
+            # On a crash the gate was already reset; do not double-release.
+            if not released and not self.crashed:
+                self._occ_gate.release()
+
+    def _trace_state(self, txn: LocalTransaction) -> None:
+        details: dict[str, Any] = {"state": txn.state.value}
+        if txn.gtxn_id:
+            details["gtxn"] = txn.gtxn_id
+        if txn.abort_reason is not None:
+            details["reason"] = txn.abort_reason.value
+        self.kernel.trace.emit("txn_state", self.site, txn.txn_id, **details)
+
+    def __repr__(self) -> str:
+        status = "crashed" if self.crashed else "up"
+        return f"<LocalDatabase {self.site} {status} txns={len(self._txns)}>"

@@ -1,0 +1,281 @@
+"""Strict two-phase-locking lock manager (level L0).
+
+Page-granularity shared/exclusive locks with FIFO queueing, upgrade
+support, waits-for deadlock detection (requester aborts) and optional
+wait timeouts.  Lock waits, hold times and grants are counted so the
+experiments can report the paper's central quantity: how long L0 locks
+are held under each commit protocol.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import TYPE_CHECKING, Any, Generator, Hashable, Optional
+
+from repro.errors import DeadlockDetected, LockTimeout, SiteCrashed
+from repro.localdb.deadlock import WaitsForGraph
+from repro.sim.events import AnyOf, Future
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Kernel
+
+
+class LockMode(enum.Enum):
+    """L0 lock modes (the L1 semantic modes live in :mod:`repro.mlt`)."""
+
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+def compatible(a: LockMode, b: LockMode) -> bool:
+    """Two L0 modes are compatible only if both are shared."""
+    return a is LockMode.SHARED and b is LockMode.SHARED
+
+
+class _Request:
+    __slots__ = ("txn_id", "mode", "future", "request_time", "grant_time", "upgrade")
+
+    def __init__(self, txn_id: str, mode: LockMode, request_time: float, upgrade: bool):
+        self.txn_id = txn_id
+        self.mode = mode
+        self.future: Optional[Future] = None
+        self.request_time = request_time
+        self.grant_time: Optional[float] = None
+        self.upgrade = upgrade
+
+
+class _ResourceState:
+    __slots__ = ("holders", "waiters")
+
+    def __init__(self) -> None:
+        self.holders: dict[str, _Request] = {}
+        self.waiters: deque[_Request] = deque()
+
+
+class LockManager:
+    """Lock table for one site."""
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        site: str,
+        default_timeout: Optional[float] = None,
+        deadlock_detection: bool = True,
+    ):
+        self._kernel = kernel
+        self.site = site
+        self.default_timeout = default_timeout
+        self.deadlock_detection = deadlock_detection
+        self._resources: dict[Hashable, _ResourceState] = {}
+        self._graph = WaitsForGraph()
+        # Metrics.
+        self.grants = 0
+        self.waits = 0
+        self.total_wait_time = 0.0
+        self.total_hold_time = 0.0
+        self.deadlocks = 0
+        self.timeouts = 0
+
+    # -- queries -----------------------------------------------------------
+
+    def holders_of(self, resource: Hashable) -> dict[str, LockMode]:
+        state = self._resources.get(resource)
+        if state is None:
+            return {}
+        return {txn: req.mode for txn, req in state.holders.items()}
+
+    def holds(self, txn_id: str, resource: Hashable, mode: LockMode) -> bool:
+        """Does ``txn_id`` hold a lock at least as strong as ``mode``?"""
+        state = self._resources.get(resource)
+        if state is None or txn_id not in state.holders:
+            return False
+        held = state.holders[txn_id].mode
+        return held is LockMode.EXCLUSIVE or mode is LockMode.SHARED
+
+    def locks_held_by(self, txn_id: str) -> list[Hashable]:
+        return [
+            resource
+            for resource, state in self._resources.items()
+            if txn_id in state.holders
+        ]
+
+    # -- acquisition ---------------------------------------------------------
+
+    def acquire(
+        self,
+        txn_id: str,
+        resource: Hashable,
+        mode: LockMode,
+        timeout: Optional[float] = None,
+    ) -> Generator[Any, Any, None]:
+        """Acquire ``mode`` on ``resource`` for ``txn_id``, blocking.
+
+        Raises :class:`DeadlockDetected` if the request closes a
+        waits-for cycle (the requester is the victim) and
+        :class:`LockTimeout` if the wait exceeds the timeout.
+        """
+        if timeout is None:
+            timeout = self.default_timeout
+        state = self._resources.setdefault(resource, _ResourceState())
+        held = state.holders.get(txn_id)
+        if held is not None:
+            if held.mode is LockMode.EXCLUSIVE or mode is LockMode.SHARED:
+                return  # already sufficient
+            request = _Request(txn_id, mode, self._kernel.now, upgrade=True)
+            if len(state.holders) == 1:
+                # Sole holder: upgrade in place, ahead of any waiters.
+                held.mode = LockMode.EXCLUSIVE
+                self.grants += 1
+                return
+            state.waiters.appendleft(request)  # upgrades go first
+        else:
+            request = _Request(txn_id, mode, self._kernel.now, upgrade=False)
+            if not state.waiters and self._grantable(state, request):
+                self._grant(state, request)
+                return
+            state.waiters.append(request)
+
+        self._restate_blockers(resource)
+        if self.deadlock_detection:
+            cycle = self._graph.find_cycle_from(txn_id)
+            if cycle is not None:
+                self._remove_waiter(resource, request)
+                self.deadlocks += 1
+                raise DeadlockDetected(
+                    f"{self.site}: {txn_id} in cycle {' -> '.join(cycle)}"
+                )
+
+        request.future = Future(label=f"lock:{self.site}:{resource}:{txn_id}")
+        self.waits += 1
+        yield from self._wait(resource, request, timeout)
+        self.total_wait_time += self._kernel.now - request.request_time
+
+    def _wait(
+        self, resource: Hashable, request: _Request, timeout: Optional[float]
+    ) -> Generator[Any, Any, None]:
+        assert request.future is not None
+        if timeout is None:
+            yield request.future
+            return
+        timer = self._kernel.timer(timeout, label="lock-timeout")
+        index, _value = yield AnyOf([request.future, timer])
+        if index == 0:
+            return
+        # Timer fired first -- but the grant may have landed at the very
+        # same instant; treat that as a successful acquisition.
+        if request.grant_time is not None:
+            return
+        self._remove_waiter(resource, request)
+        self.timeouts += 1
+        raise LockTimeout(f"{self.site}: {request.txn_id} on {resource}")
+
+    def cancel_wait(self, txn_id: str, exc: BaseException) -> None:
+        """Abort any pending wait of ``txn_id`` by failing its future."""
+        for resource, state in self._resources.items():
+            for request in list(state.waiters):
+                if request.txn_id == txn_id and request.future is not None:
+                    self._remove_waiter(resource, request, dispatch=True)
+                    request.future.fail(exc)
+
+    # -- release ---------------------------------------------------------------
+
+    def release_all(self, txn_id: str) -> None:
+        """Strict 2PL release: drop every lock of ``txn_id`` at once."""
+        for resource, state in list(self._resources.items()):
+            request = state.holders.pop(txn_id, None)
+            if request is not None:
+                grant_time = (
+                    request.grant_time
+                    if request.grant_time is not None
+                    else request.request_time
+                )
+                self.total_hold_time += self._kernel.now - grant_time
+                self._dispatch(resource)
+        self._graph.clear_txn(txn_id)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _grantable(self, state: _ResourceState, request: _Request) -> bool:
+        return all(
+            compatible(request.mode, holder.mode)
+            for holder in state.holders.values()
+            if holder.txn_id != request.txn_id
+        )
+
+    def _grant(self, state: _ResourceState, request: _Request) -> None:
+        request.grant_time = self._kernel.now
+        if request.upgrade and request.txn_id in state.holders:
+            state.holders[request.txn_id].mode = LockMode.EXCLUSIVE
+        else:
+            state.holders[request.txn_id] = request
+        self.grants += 1
+        if request.future is not None and not request.future.done:
+            request.future.resolve(None)
+
+    def _dispatch(self, resource: Hashable) -> None:
+        """Grant from the queue front while requests are compatible."""
+        state = self._resources.get(resource)
+        if state is None:
+            return
+        while state.waiters:
+            front = state.waiters[0]
+            if front.upgrade:
+                others = [h for h in state.holders.values() if h.txn_id != front.txn_id]
+                if others:
+                    break
+            elif not self._grantable(state, front):
+                break
+            state.waiters.popleft()
+            self._graph.clear(resource, front.txn_id)
+            self._grant(state, front)
+        self._restate_blockers(resource)
+        if not state.holders and not state.waiters:
+            del self._resources[resource]
+
+    def _remove_waiter(
+        self, resource: Hashable, request: _Request, dispatch: bool = True
+    ) -> None:
+        state = self._resources.get(resource)
+        if state is None:
+            return
+        try:
+            state.waiters.remove(request)
+        except ValueError:
+            pass
+        self._graph.clear(resource, request.txn_id)
+        if dispatch:
+            self._dispatch(resource)
+
+    def _restate_blockers(self, resource: Hashable) -> None:
+        """Refresh waits-for edges contributed by this resource's queue."""
+        state = self._resources.get(resource)
+        if state is None:
+            return
+        ahead: list[_Request] = []
+        for waiter in state.waiters:
+            blockers = {
+                holder.txn_id
+                for holder in state.holders.values()
+                if holder.txn_id != waiter.txn_id
+                and (waiter.upgrade or not compatible(waiter.mode, holder.mode))
+            }
+            blockers.update(
+                prior.txn_id
+                for prior in ahead
+                if not compatible(waiter.mode, prior.mode)
+            )
+            self._graph.set_blockers(resource, waiter.txn_id, blockers)
+            ahead.append(waiter)
+
+    def crash(self) -> None:
+        """Site crash: fail every waiter, drop the whole lock table."""
+        for state in self._resources.values():
+            for request in state.waiters:
+                if request.future is not None and not request.future.done:
+                    request.future.fail(SiteCrashed(f"{self.site} crashed"))
+        self._resources.clear()
+        self._graph = WaitsForGraph()
+
+    def __repr__(self) -> str:
+        return f"<LockManager {self.site} resources={len(self._resources)}>"

@@ -1,0 +1,119 @@
+"""L1 actions (global operations) and their inverse-action algebra.
+
+An :class:`Operation` is both the unit a global transaction is written
+in and the L1 action of the multi-level model.  :func:`inverse_of`
+produces the action that semantically undoes an executed operation --
+the machinery the commit-before protocol uses to abort globally after
+locals already committed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Optional
+
+
+#: Primitive operation kinds every engine executes directly.  Higher
+#: abstraction levels (see :mod:`repro.mlt.nested`) may define further
+#: kinds (e.g. ``transfer``) that expand into these.
+KINDS = ("read", "write", "increment", "insert", "delete")
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One data operation on a global object.
+
+    ``value`` holds the written value (``write``/``insert``) or the
+    delta (``increment``); it is ``None`` for ``read`` and ``delete``.
+    ``site`` and ``local_table`` are filled in by the schema mapper when
+    the operation is routed to an existing database system.
+    """
+
+    kind: str
+    table: str
+    key: Any
+    value: Any = None
+    site: Optional[str] = None
+    local_table: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.kind or not isinstance(self.kind, str):
+            raise ValueError(f"invalid operation kind {self.kind!r}")
+
+    @property
+    def writes(self) -> bool:
+        return self.kind != "read"
+
+    def routed(self, site: str, local_table: str) -> "Operation":
+        """Copy bound to a concrete site and local table."""
+        return replace(self, site=site, local_table=local_table)
+
+    def __str__(self) -> str:
+        target = f"{self.table}[{self.key!r}]"
+        if self.kind in ("write", "insert"):
+            return f"{self.kind} {target} = {self.value!r}"
+        if self.kind == "increment":
+            return f"increment {target} by {self.value!r}"
+        return f"{self.kind} {target}"
+
+
+# Convenience constructors -- keep call sites close to the paper's prose.
+
+
+def read(table: str, key: Any) -> Operation:
+    return Operation("read", table, key)
+
+
+def write(table: str, key: Any, value: Any) -> Operation:
+    return Operation("write", table, key, value)
+
+
+def increment(table: str, key: Any, delta: Any) -> Operation:
+    return Operation("increment", table, key, delta)
+
+
+def insert(table: str, key: Any, value: Any) -> Operation:
+    return Operation("insert", table, key, value)
+
+
+def delete(table: str, key: Any) -> Operation:
+    return Operation("delete", table, key)
+
+
+@dataclass(frozen=True)
+class UndoEntry:
+    """Undo-log entry: the executed operation plus what undoes it.
+
+    ``before`` is the value observed before execution (needed to invert
+    state-based operations).  ``inverse`` is ``None`` for reads.
+    """
+
+    operation: Operation
+    before: Any
+    inverse: Optional[Operation]
+
+
+def inverse_of(operation: Operation, before: Any) -> Optional[Operation]:
+    """The L1 action that semantically undoes ``operation``.
+
+    * ``increment d``  ->  ``increment -d``  (commutative undo: other
+      increments interleaved in between are preserved)
+    * ``write v``      ->  ``write before``  (or ``delete`` if the key
+      did not exist before)
+    * ``insert v``     ->  ``delete``
+    * ``delete``       ->  ``insert before``
+    * ``read``         ->  ``None`` (nothing to undo)
+    """
+    if operation.kind == "read":
+        return None
+    if operation.kind == "increment":
+        return replace(operation, kind="increment", value=-operation.value)
+    if operation.kind == "write":
+        if before is None:
+            return replace(operation, kind="delete", value=None)
+        return replace(operation, kind="write", value=before)
+    if operation.kind == "insert":
+        return replace(operation, kind="delete", value=None)
+    if operation.kind == "delete":
+        return replace(operation, kind="insert", value=before)
+    raise ValueError(f"no inverse for {operation.kind!r}")

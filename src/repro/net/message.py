@@ -1,0 +1,43 @@
+"""Network messages.
+
+The message kinds mirror the paper's protocol vocabulary: ``prepare``,
+``ready``, ``commit``, ``abort``, ``finished``, ``undo``, plus the
+operational kinds the integration layer needs (``execute_op``,
+``op_done``, ``status``, ...).  ``reply_to`` correlates a response with
+its request so the central communication manager can match futures.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+_msg_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Message:
+    """One network message."""
+
+    kind: str
+    sender: str
+    dest: str
+    payload: dict[str, Any] = field(default_factory=dict)
+    gtxn_id: Optional[str] = None
+    reply_to: Optional[int] = None
+    msg_id: int = field(default_factory=lambda: next(_msg_counter))
+
+    def reply(self, kind: str, **payload: Any) -> "Message":
+        """Build a response correlated with this message."""
+        return Message(
+            kind=kind,
+            sender=self.dest,
+            dest=self.sender,
+            payload=payload,
+            gtxn_id=self.gtxn_id,
+            reply_to=self.msg_id,
+        )
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.sender}->{self.dest}, gtxn={self.gtxn_id})"

@@ -1,0 +1,146 @@
+"""The star network.
+
+Messages travel only between the central node and a local node -- the
+paper's Figure 1 communication scheme.  Latency models, optional
+message loss, per-kind counters and a full message trace are provided
+for the experiments.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import NodeUnreachable, TopologyViolation
+from repro.net.message import Message
+from repro.net.node import Node
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Kernel
+
+
+class FixedLatency:
+    """Constant message delay."""
+
+    def __init__(self, delay: float = 1.0):
+        self.delay = delay
+
+    def sample(self, rng) -> float:
+        return self.delay
+
+
+class UniformLatency:
+    """Uniformly distributed message delay in ``[low, high]``."""
+
+    def __init__(self, low: float, high: float):
+        if low > high:
+            raise ValueError("low > high")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+class Network:
+    """Star-topology message fabric."""
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        latency: Optional[FixedLatency | UniformLatency] = None,
+        loss_rate: float = 0.0,
+        enforce_star: bool = True,
+    ):
+        self.kernel = kernel
+        self.latency = latency or FixedLatency(1.0)
+        self.loss_rate = loss_rate
+        self.enforce_star = enforce_star
+        self._nodes: dict[str, Node] = {}
+        self._rng = kernel.rng.stream("network")
+        # Deterministic fault hook: message kinds to drop exactly once
+        # (used by the fault injector to lose a specific reply).
+        self.drop_once: set[str] = set()
+        # Metrics.
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.by_kind: dict[str, int] = {}
+
+    # -- membership -----------------------------------------------------------
+
+    def add_node(self, node: Node) -> Node:
+        if node.name in self._nodes:
+            raise ValueError(f"duplicate node {node.name}")
+        self._nodes[node.name] = node
+        return node
+
+    def node(self, name: str) -> Node:
+        if name not in self._nodes:
+            raise NodeUnreachable(f"unknown node {name}")
+        return self._nodes[name]
+
+    def nodes(self) -> list[Node]:
+        return list(self._nodes.values())
+
+    @property
+    def central(self) -> Node:
+        for node in self._nodes.values():
+            if node.is_central:
+                return node
+        raise NodeUnreachable("no central node registered")
+
+    # -- sending ----------------------------------------------------------------
+
+    def send(self, message: Message) -> None:
+        """Asynchronously transmit ``message`` (fire and forget)."""
+        src = self.node(message.sender)
+        dst = self.node(message.dest)
+        if self.enforce_star and not (src.is_central or dst.is_central):
+            raise TopologyViolation(
+                f"local-to-local message {message.sender} -> {message.dest}"
+            )
+        self.sent += 1
+        self.by_kind[message.kind] = self.by_kind.get(message.kind, 0) + 1
+        self.kernel.trace.emit(
+            "message",
+            message.sender,
+            message.kind,
+            dest=message.dest,
+            gtxn=message.gtxn_id,
+            msg_id=message.msg_id,
+            reply_to=message.reply_to,
+        )
+        if message.kind in self.drop_once:
+            self.drop_once.discard(message.kind)
+            self.dropped += 1
+            self.kernel.trace.emit(
+                "message_drop", message.sender, message.kind,
+                dest=message.dest, cause="injected",
+            )
+            return
+        if self.loss_rate and self._rng.random() < self.loss_rate:
+            self.dropped += 1
+            self.kernel.trace.emit(
+                "message_drop", message.sender, message.kind, dest=message.dest
+            )
+            return
+        delay = self.latency.sample(self._rng)
+        self.kernel._schedule(delay, lambda: self._deliver(message))
+
+    def _deliver(self, message: Message) -> None:
+        dst = self._nodes.get(message.dest)
+        if dst is None or not dst.deliver(message):
+            self.dropped += 1
+            self.kernel.trace.emit(
+                "message_drop", message.sender, message.kind, dest=message.dest,
+                cause="dest down",
+            )
+            return
+        self.delivered += 1
+
+    def message_counts(self) -> dict[str, int]:
+        """Messages sent per kind (EXP-T5)."""
+        return dict(sorted(self.by_kind.items()))
+
+    def __repr__(self) -> str:
+        return f"<Network nodes={sorted(self._nodes)} sent={self.sent}>"

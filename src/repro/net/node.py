@@ -1,0 +1,70 @@
+"""Network nodes (sites)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator
+
+from repro.errors import NodeUnreachable
+from repro.net.message import Message
+from repro.sim.sync import Mailbox
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Kernel
+
+
+class Node:
+    """A site on the network with a message mailbox.
+
+    ``on_crash`` / ``on_restart`` callbacks let the integration layer
+    tie the node's fate to its local database engine and communication
+    manager.
+    """
+
+    def __init__(self, kernel: "Kernel", name: str, is_central: bool = False):
+        self.kernel = kernel
+        self.name = name
+        self.is_central = is_central
+        self.mailbox = Mailbox(name=f"{name}:mail")
+        self.crashed = False
+        self.on_crash: list[Callable[[], None]] = []
+        self.on_restart: list[Callable[[], None]] = []
+
+    def recv(self) -> Generator[Any, Any, Message]:
+        """Receive the next message (blocks)."""
+        if self.crashed:
+            raise NodeUnreachable(f"{self.name} is down")
+        message = yield from self.mailbox.recv()
+        return message
+
+    def deliver(self, message: Message) -> bool:
+        """Called by the network; returns False if the node is down."""
+        if self.crashed:
+            return False
+        self.mailbox.put(message)
+        return True
+
+    def crash(self) -> None:
+        """Fail the node: pending mail is lost, components notified."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self.mailbox.drain()
+        self.mailbox.fail_waiters(NodeUnreachable(f"{self.name} crashed"))
+        for callback in self.on_crash:
+            callback()
+
+    def restart(self) -> Generator[Any, Any, None]:
+        """Bring the node back up (components recover first)."""
+        if not self.crashed:
+            return
+        self.mailbox = Mailbox(name=f"{self.name}:mail")
+        for callback in self.on_restart:
+            result = callback()
+            if result is not None and hasattr(result, "__next__"):
+                yield from result
+        self.crashed = False
+
+    def __repr__(self) -> str:
+        role = "central" if self.is_central else "local"
+        status = "down" if self.crashed else "up"
+        return f"<Node {self.name} ({role}, {status})>"

@@ -1,0 +1,131 @@
+"""Effects and synchronization primitives for the simulation kernel.
+
+A process yields one of the following to the kernel:
+
+* :class:`Delay` (or a bare ``int``/``float``) -- resume after simulated time.
+* :class:`Future` -- resume when the future resolves; if it fails, the
+  stored exception is thrown into the process.
+* :class:`AnyOf` -- resume when the first of several futures resolves.
+* another :class:`~repro.sim.process.Process` -- processes are futures,
+  so yielding one joins it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+
+class Delay:
+    """Effect: suspend the yielding process for ``duration`` time units."""
+
+    __slots__ = ("duration",)
+
+    def __init__(self, duration: float):
+        if duration < 0:
+            raise ValueError(f"negative delay: {duration}")
+        self.duration = duration
+
+    def __repr__(self) -> str:
+        return f"Delay({self.duration})"
+
+
+class Future:
+    """A one-shot container for a value or an exception.
+
+    Futures are the kernel's only blocking primitive.  ``resolve`` and
+    ``fail`` may each be called at most once; callbacks registered with
+    :meth:`add_callback` run synchronously at resolution time (the
+    kernel uses them to schedule process resumption at the current
+    simulated instant).
+    """
+
+    __slots__ = ("_done", "_value", "_exception", "_callbacks", "label")
+
+    def __init__(self, label: str = ""):
+        self._done = False
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: list[Callable[[Future], None]] = []
+        self.label = label
+
+    @property
+    def done(self) -> bool:
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        if not self._done:
+            raise RuntimeError(f"future {self.label!r} not resolved yet")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exception if self._done else None
+
+    def resolve(self, value: Any = None) -> None:
+        """Complete the future successfully with ``value``."""
+        self._complete(value, None)
+
+    def fail(self, exception: BaseException) -> None:
+        """Complete the future with an exception."""
+        self._complete(None, exception)
+
+    def _complete(self, value: Any, exception: Optional[BaseException]) -> None:
+        if self._done:
+            raise RuntimeError(f"future {self.label!r} resolved twice")
+        self._done = True
+        self._value = value
+        self._exception = exception
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def add_callback(self, callback: Callable[[Future], None]) -> None:
+        """Run ``callback(self)`` on completion (immediately if done)."""
+        if self._done:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def __repr__(self) -> str:
+        state = "done" if self._done else "pending"
+        return f"<Future {self.label!r} {state}>"
+
+
+class AnyOf:
+    """Effect: wait for the first of several futures.
+
+    The yielding process resumes with a ``(index, value)`` pair for the
+    first future that resolves.  If the winning future failed, its
+    exception is thrown into the process.  Later resolutions of the
+    losing futures are ignored.
+    """
+
+    __slots__ = ("futures",)
+
+    def __init__(self, futures: Iterable[Future]):
+        self.futures = list(futures)
+        if not self.futures:
+            raise ValueError("AnyOf needs at least one future")
+
+    def attach(self, race: Future) -> None:
+        """Wire the race so ``race`` resolves with the first winner."""
+
+        def make_callback(index: int) -> Callable[[Future], None]:
+            def callback(completed: Future) -> None:
+                if race.done:
+                    return
+                if completed.exception is not None:
+                    race.fail(completed.exception)
+                else:
+                    race.resolve((index, completed._value))
+
+            return callback
+
+        for i, future in enumerate(self.futures):
+            future.add_callback(make_callback(i))
+
+    def __repr__(self) -> str:
+        return f"AnyOf({len(self.futures)} futures)"

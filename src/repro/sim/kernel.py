@@ -1,0 +1,134 @@
+"""The discrete-event simulation kernel.
+
+The kernel owns a priority queue of ``(time, sequence, callback)``
+entries.  The sequence number breaks ties in insertion order, making
+every run deterministic.  Processes are spawned with :meth:`Kernel.spawn`
+and stepped by callbacks the kernel schedules on their behalf.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Optional
+
+from repro.errors import KernelStopped, SimulationError
+from repro.sim.events import Future
+from repro.sim.process import Process
+from repro.sim.rng import RandomStreams
+from repro.sim.tracing import TraceLog
+
+
+class Kernel:
+    """Deterministic discrete-event scheduler.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for the kernel's named random streams
+        (:attr:`rng`).  Two kernels created with the same seed and fed
+        the same process structure produce identical traces.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = 0
+        self._now = 0.0
+        self._stopped = False
+        self.rng = RandomStreams(seed)
+        self.trace = TraceLog(self)
+        self.failures: list[tuple[Process, BaseException]] = []
+
+    # -- time ----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    # -- scheduling ------------------------------------------------------------
+
+    def _schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        if self._stopped:
+            raise KernelStopped("kernel already stopped")
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        self._sequence += 1
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, callback))
+
+    def call_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute simulated ``time`` (>= now)."""
+        self._schedule(time - self._now, callback)
+
+    def spawn(self, generator: Generator[Any, Any, Any], name: str = "") -> Process:
+        """Create and start a process from ``generator``."""
+        process = Process(self, generator, name=name)
+        process._start()
+        return process
+
+    def timer(self, delay: float, label: str = "timer") -> Future:
+        """Return a future that resolves ``delay`` time units from now."""
+        future = Future(label=label)
+        self._schedule(delay, lambda: future.done or future.resolve(self._now))
+        return future
+
+    # -- running ---------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, raise_failures: bool = True) -> float:
+        """Run until the event queue drains or simulated time ``until``.
+
+        Returns the final simulated time.  If ``raise_failures`` is
+        true, the first exception that escaped a process nobody joined
+        is re-raised after the run, so bugs never pass silently.
+        """
+        while self._queue:
+            time, _seq, callback = self._queue[0]
+            if until is not None and time > until:
+                self._now = until
+                break
+            heapq.heappop(self._queue)
+            self._now = time
+            callback()
+        if raise_failures:
+            for process, exc in self.failures:
+                if not process._observed:
+                    raise exc
+        return self._now
+
+    def stop(self) -> None:
+        """Discard all pending events and refuse further scheduling.
+
+        For tearing down a simulation with self-perpetuating processes
+        (periodic checkpointers, serve loops) when their state no longer
+        matters.
+        """
+        self._queue.clear()
+        self._stopped = True
+
+    def _on_process_failure(self, process: Process, exc: BaseException) -> None:
+        self.failures.append((process, exc))
+
+    # -- helpers usable from inside processes -----------------------------------
+
+    def sleep(self, duration: float) -> Generator[Any, Any, None]:
+        """``yield from kernel.sleep(d)`` suspends the caller for ``d``."""
+        yield duration
+
+    def wait_with_timeout(
+        self, future: Future, timeout: float
+    ) -> Generator[Any, Any, tuple[bool, Any]]:
+        """Wait for ``future`` or a timeout, whichever comes first.
+
+        Returns ``(True, value)`` if the future resolved in time and
+        ``(False, None)`` on timeout.  A failed future re-raises inside
+        the caller.
+        """
+        from repro.sim.events import AnyOf
+
+        timer = self.timer(timeout, label="timeout")
+        index, value = yield AnyOf([future, timer])
+        if index == 0:
+            return True, value
+        return False, None
+
+    def __repr__(self) -> str:
+        return f"<Kernel t={self._now} queued={len(self._queue)}>"

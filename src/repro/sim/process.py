@@ -1,0 +1,155 @@
+"""Generator-based simulation processes.
+
+A :class:`Process` wraps a generator.  Each ``yield`` hands an effect to
+the kernel (see :mod:`repro.sim.events`); the kernel resumes the
+generator when the effect completes.  A process is itself a
+:class:`~repro.sim.events.Future` completing with the generator's
+return value, so processes can be joined by yielding them.
+
+Interruption (used for deadlock victims, lock timeouts and site
+crashes) throws :class:`~repro.errors.ProcessInterrupted` into the
+generator at its current suspension point.  A *wait epoch* counter
+invalidates any resumption that was already scheduled for the
+interrupted wait, so a process is never resumed twice for one yield.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.errors import ProcessInterrupted, SimulationError
+from repro.sim.events import AnyOf, Delay, Future
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Kernel
+
+ProcessGenerator = Generator[Any, Any, Any]
+
+
+class Process(Future):
+    """A running simulation process; also a future of its return value."""
+
+    _ids = 0
+
+    def __init__(self, kernel: "Kernel", generator: ProcessGenerator, name: str = ""):
+        Process._ids += 1
+        super().__init__(label=name or f"process-{Process._ids}")
+        self._kernel = kernel
+        self._generator = generator
+        self._epoch = 0
+        self._started = False
+        self._finished = False
+        self._observed = False
+
+    @property
+    def name(self) -> str:
+        return self.label
+
+    def add_callback(self, callback) -> None:  # type: ignore[override]
+        """Mark the process as observed so its failures count as handled."""
+        self._observed = True
+        super().add_callback(callback)
+
+    @property
+    def alive(self) -> bool:
+        return not self._finished
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _start(self) -> None:
+        """Schedule the first step; called by the kernel at spawn time."""
+        if self._started:
+            raise SimulationError(f"{self.label} started twice")
+        self._started = True
+        epoch = self._epoch
+        self._kernel._schedule(0.0, lambda: self._step(epoch, None, None))
+
+    def interrupt(self, cause: object = None) -> None:
+        """Throw :class:`ProcessInterrupted` into the process.
+
+        A no-op on a finished process.  The interrupt is delivered at
+        the current simulated instant; any resumption scheduled for the
+        wait being interrupted becomes stale and is dropped.
+        """
+        if self._finished:
+            return
+        self._epoch += 1
+        epoch = self._epoch
+        exc = ProcessInterrupted(cause)
+        self._kernel._schedule(0.0, lambda: self._step(epoch, None, exc))
+
+    # -- stepping ----------------------------------------------------------
+
+    def _step(
+        self,
+        epoch: int,
+        send_value: Any,
+        throw_exc: Optional[BaseException],
+    ) -> None:
+        if self._finished or epoch != self._epoch:
+            return  # stale resumption from an interrupted wait
+        try:
+            if throw_exc is not None:
+                effect = self._generator.throw(throw_exc)
+            else:
+                effect = self._generator.send(send_value)
+        except StopIteration as stop:
+            self._finish_ok(stop.value)
+            return
+        except ProcessInterrupted as exc:
+            # An unhandled interrupt terminates the process quietly: the
+            # interrupter is responsible for the cleanup story.
+            self._finish_ok(exc)
+            return
+        except Exception as exc:
+            self._finish_err(exc)
+            return
+        self._handle_effect(effect)
+
+    def _handle_effect(self, effect: Any) -> None:
+        self._epoch += 1
+        epoch = self._epoch
+        if isinstance(effect, (int, float)):
+            effect = Delay(float(effect))
+        if isinstance(effect, Delay):
+            self._kernel._schedule(
+                effect.duration, lambda: self._step(epoch, None, None)
+            )
+        elif isinstance(effect, AnyOf):
+            race = Future(label=f"{self.label}:anyof")
+            effect.attach(race)
+            self._wait_on(race, epoch)
+        elif isinstance(effect, Future):
+            self._wait_on(effect, epoch)
+        else:
+            self._finish_err(
+                SimulationError(f"{self.label} yielded unsupported effect {effect!r}")
+            )
+
+    def _wait_on(self, future: Future, epoch: int) -> None:
+        def on_complete(completed: Future) -> None:
+            # Resume at the current instant, preserving FIFO order with
+            # other events scheduled "now".
+            if completed.exception is not None:
+                exc = completed.exception
+                self._kernel._schedule(0.0, lambda: self._step(epoch, None, exc))
+            else:
+                value = completed._value
+                self._kernel._schedule(0.0, lambda: self._step(epoch, value, None))
+
+        future.add_callback(on_complete)
+
+    def _finish_ok(self, value: Any) -> None:
+        self._finished = True
+        self._generator.close()
+        self.resolve(value)
+
+    def _finish_err(self, exc: BaseException) -> None:
+        self._finished = True
+        self._generator.close()
+        self._kernel._on_process_failure(self, exc)
+        self.fail(exc)
+
+    def __repr__(self) -> str:
+        state = "finished" if self._finished else "alive"
+        return f"<Process {self.label} {state}>"

@@ -1,0 +1,110 @@
+"""Synchronization helpers built on futures.
+
+:class:`Mailbox` is the building block for message queues (network
+nodes) and FIFO work queues (communication managers).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Generator
+
+from repro.sim.events import Future
+
+
+class Mailbox:
+    """Unbounded FIFO queue with blocking receive.
+
+    ``put`` never blocks.  ``recv`` is a generator to be driven with
+    ``yield from``; it returns the next item, waiting if the queue is
+    empty.  Multiple receivers are served in FIFO order.
+    """
+
+    def __init__(self, name: str = "mailbox"):
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._waiters: deque[Future] = deque()
+
+    def put(self, item: Any) -> None:
+        """Enqueue ``item``, waking the oldest waiting receiver if any."""
+        if self._waiters:
+            self._waiters.popleft().resolve(item)
+        else:
+            self._items.append(item)
+
+    def recv(self) -> Generator[Any, Any, Any]:
+        """Dequeue the next item, blocking the caller until one arrives."""
+        if self._items:
+            return self._items.popleft()
+        waiter = Future(label=f"{self.name}:recv")
+        self._waiters.append(waiter)
+        item = yield waiter
+        return item
+
+    def drain(self) -> list[Any]:
+        """Remove and return all queued items without blocking."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+    def fail_waiters(self, exc: BaseException) -> None:
+        """Fail every blocked receiver (used when a node crashes)."""
+        waiters, self._waiters = self._waiters, deque()
+        for waiter in waiters:
+            waiter.fail(exc)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:
+        return f"<Mailbox {self.name} items={len(self._items)} waiters={len(self._waiters)}>"
+
+
+class FifoLock:
+    """A fair mutex for processes (used e.g. to serialize OCC commits).
+
+    Usage::
+
+        yield from lock.acquire()
+        try:
+            ...
+        finally:
+            lock.release()
+    """
+
+    def __init__(self, name: str = "lock"):
+        self.name = name
+        self._locked = False
+        self._waiters: deque[Future] = deque()
+
+    @property
+    def locked(self) -> bool:
+        return self._locked
+
+    def acquire(self) -> Generator[Any, Any, None]:
+        if not self._locked:
+            self._locked = True
+            return
+        waiter = Future(label=f"{self.name}:acquire")
+        self._waiters.append(waiter)
+        yield waiter
+
+    def release(self) -> None:
+        if not self._locked:
+            raise RuntimeError(f"{self.name} released while unlocked")
+        if self._waiters:
+            # Hand the lock directly to the next waiter (stays locked).
+            self._waiters.popleft().resolve(None)
+        else:
+            self._locked = False
+
+    def reset(self, exc: BaseException) -> None:
+        """Fail every waiter and unlock (used when a site crashes)."""
+        waiters, self._waiters = self._waiters, deque()
+        for waiter in waiters:
+            waiter.fail(exc)
+        self._locked = False
+
+    def __repr__(self) -> str:
+        state = "locked" if self._locked else "free"
+        return f"<FifoLock {self.name} {state} waiters={len(self._waiters)}>"

@@ -1,0 +1,116 @@
+"""Structured trace log.
+
+Every interesting event in a run -- state transitions, messages, lock
+grants, log forces, redo/undo executions -- is appended to the kernel's
+:class:`TraceLog` as a :class:`TraceRecord`.  Experiments and the
+figure-conformance tests query the log instead of instrumenting the
+code under test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Kernel
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One timestamped event.
+
+    Attributes
+    ----------
+    time:
+        Simulated time of the event.
+    category:
+        Coarse event class, e.g. ``"message"``, ``"txn_state"``,
+        ``"lock"``, ``"log"``, ``"gtxn_state"``, ``"redo"``, ``"undo"``.
+    site:
+        Name of the node the event happened on (``"central"`` for the
+        global system).
+    subject:
+        Identifier of the entity involved (transaction id, lock name,
+        message type, ...).
+    details:
+        Free-form payload.
+    """
+
+    time: float
+    category: str
+    site: str
+    subject: str
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        detail = " ".join(f"{k}={v}" for k, v in self.details.items())
+        return f"[{self.time:10.3f}] {self.site:<12} {self.category:<10} {self.subject} {detail}"
+
+
+class TraceLog:
+    """Append-only event log with simple query helpers."""
+
+    def __init__(self, kernel: "Kernel"):
+        self._kernel = kernel
+        self.records: list[TraceRecord] = []
+        self.enabled = True
+
+    def emit(self, category: str, site: str, subject: str, **details: Any) -> None:
+        """Append a record stamped with the current simulated time."""
+        if not self.enabled:
+            return
+        self.records.append(
+            TraceRecord(self._kernel.now, category, site, subject, details)
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    def select(
+        self,
+        category: Optional[str] = None,
+        site: Optional[str] = None,
+        subject: Optional[str] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> list[TraceRecord]:
+        """Return records matching all the given filters, in time order."""
+        out = []
+        for record in self.records:
+            if category is not None and record.category != category:
+                continue
+            if site is not None and record.site != site:
+                continue
+            if subject is not None and record.subject != subject:
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            out.append(record)
+        return out
+
+    def first(self, **filters: Any) -> Optional[TraceRecord]:
+        """First record matching ``select`` filters, or ``None``."""
+        matches = self.select(**filters)
+        return matches[0] if matches else None
+
+    def last(self, **filters: Any) -> Optional[TraceRecord]:
+        """Last record matching ``select`` filters, or ``None``."""
+        matches = self.select(**filters)
+        return matches[-1] if matches else None
+
+    def subjects(self, category: str) -> list[str]:
+        """Distinct subjects seen for ``category``, in first-seen order."""
+        seen: dict[str, None] = {}
+        for record in self.records:
+            if record.category == category:
+                seen.setdefault(record.subject, None)
+        return list(seen)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def dump(self, **filters: Any) -> str:
+        """Human-readable rendering of matching records."""
+        return "\n".join(str(r) for r in self.select(**filters))

@@ -1,0 +1,46 @@
+"""Storage substrate: pages, stable disk, write-ahead log, buffer pool.
+
+The substrate models exactly the volatile/stable split the paper's
+recovery arguments depend on:
+
+* :class:`~repro.storage.disk.StableDisk` survives crashes (flushed
+  pages and the forced log prefix).
+* :class:`~repro.storage.buffer.BufferPool` and the unforced log tail
+  are volatile and vanish on a crash.
+
+Pages carry a ``page_lsn`` so redo during recovery is idempotent
+(ARIES-style "repeat history up to the page LSN").
+"""
+
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import StableDisk, StorageConfig
+from repro.storage.heap import HeapFile
+from repro.storage.page import Page
+from repro.storage.wal import (
+    AbortRecord,
+    BeginRecord,
+    CheckpointRecord,
+    CommitRecord,
+    CompensationRecord,
+    LogManager,
+    LogRecord,
+    PrepareRecord,
+    UpdateRecord,
+)
+
+__all__ = [
+    "AbortRecord",
+    "BeginRecord",
+    "BufferPool",
+    "CheckpointRecord",
+    "CommitRecord",
+    "CompensationRecord",
+    "HeapFile",
+    "LogManager",
+    "LogRecord",
+    "Page",
+    "PrepareRecord",
+    "StableDisk",
+    "StorageConfig",
+    "UpdateRecord",
+]

@@ -1,0 +1,244 @@
+"""Write-ahead log.
+
+Logical (record-level) logging with before/after images, ARIES-style
+compensation records for undo, and fuzzy checkpoints.  The
+:class:`LogManager` keeps a volatile tail; :meth:`LogManager.force`
+pushes everything up to a target LSN to the stable disk.  The WAL rule
+(force before page flush) is enforced by the buffer pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.storage.disk import StableDisk
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """Base class for all log records; ``lsn`` is assigned on append."""
+
+    lsn: int
+    txn_id: str
+    prev_lsn: int
+
+
+@dataclass(frozen=True)
+class BeginRecord(LogRecord):
+    """Transaction start."""
+
+
+@dataclass(frozen=True)
+class UpdateRecord(LogRecord):
+    """Insert/update/delete of one record, with both images.
+
+    ``before is None`` encodes an insert; ``after is None`` encodes a
+    delete; both set encode an in-place update.
+    """
+
+    table: str = ""
+    key: Any = None
+    before: Any = None
+    after: Any = None
+    page_id: int = -1
+
+
+@dataclass(frozen=True)
+class CompensationRecord(LogRecord):
+    """CLR written while undoing ``undo_of_lsn``; redo-only."""
+
+    table: str = ""
+    key: Any = None
+    after: Any = None
+    page_id: int = -1
+    undo_of_lsn: int = -1
+    undo_next_lsn: int = -1
+
+
+@dataclass(frozen=True)
+class PrepareRecord(LogRecord):
+    """Ready state reached (only written by *modified*, preparable TMs).
+
+    A transaction with a forced prepare record but no commit/abort
+    record is *in doubt* after a crash: recovery reinstates it in the
+    ready state with its locks, waiting for the global decision.
+    ``gtxn_id`` survives the crash so the communication manager can
+    re-correlate the in-doubt transaction with its global transaction.
+    """
+
+    gtxn_id: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class CommitRecord(LogRecord):
+    """Transaction commit; forcing this record is the commit point."""
+
+
+@dataclass(frozen=True)
+class AbortRecord(LogRecord):
+    """Transaction rollback completed."""
+
+
+@dataclass(frozen=True)
+class CheckpointRecord(LogRecord):
+    """Fuzzy checkpoint: active transactions and their last LSNs."""
+
+    active_txns: dict[str, int] = field(default_factory=dict)
+
+
+class LogManager:
+    """Per-site write-ahead log with a volatile tail.
+
+    LSNs start at 1 and grow monotonically.  ``flushed_lsn`` is the
+    highest LSN on stable storage; everything above it is lost in a
+    crash.
+
+    With ``group_commit_window > 0`` (and a kernel to keep time),
+    concurrent :meth:`force` calls are batched: the first caller waits
+    out the window gathering co-committers, then one disk write hardens
+    everything -- the classic group-commit trade of commit latency for
+    force throughput.
+    """
+
+    def __init__(
+        self,
+        disk: "StableDisk",
+        kernel=None,
+        group_commit_window: float = 0.0,
+    ):
+        self._disk = disk
+        self._kernel = kernel
+        self.group_commit_window = group_commit_window
+        self._next_lsn = 1
+        self._tail: list[LogRecord] = []
+        self._index: dict[int, LogRecord] = {}
+        self.flushed_lsn = 0
+        self.appended = 0
+        self.forced = 0
+        self._group_waiters: list = []  # (lsn, Future)
+        self._group_leader_active = False
+
+    @property
+    def next_lsn(self) -> int:
+        return self._next_lsn
+
+    def append(self, make_record) -> LogRecord:
+        """Append a record built by ``make_record(lsn)``; returns it.
+
+        ``make_record`` receives the assigned LSN so frozen dataclasses
+        can be constructed in one step.
+        """
+        lsn = self._next_lsn
+        self._next_lsn += 1
+        record = make_record(lsn)
+        assert record.lsn == lsn, "record must carry the assigned LSN"
+        self._tail.append(record)
+        self._index[lsn] = record
+        self.appended += 1
+        return record
+
+    def record_at(self, lsn: int) -> LogRecord:
+        """The record with the given LSN (volatile index, rebuilt on restart)."""
+        return self._index[lsn]
+
+    def force(self, upto_lsn: Optional[int] = None) -> Generator[Any, Any, None]:
+        """Harden the tail up to ``upto_lsn`` (default: everything).
+
+        With group commit enabled the call may wait out the gathering
+        window and ride a co-committer's disk write.
+        """
+        if upto_lsn is None:
+            upto_lsn = self._next_lsn - 1
+        if upto_lsn <= self.flushed_lsn:
+            return
+        if self.group_commit_window > 0 and self._kernel is not None:
+            yield from self._group_force(upto_lsn)
+            return
+        yield from self._force_now(upto_lsn)
+
+    def _force_now(self, upto_lsn: int) -> Generator[Any, Any, None]:
+        to_flush = [r for r in self._tail if r.lsn <= upto_lsn]
+        if not to_flush:
+            return
+        yield from self._disk.append_log(to_flush)
+        self.forced += 1
+        self.flushed_lsn = to_flush[-1].lsn
+        self._tail = [r for r in self._tail if r.lsn > upto_lsn]
+
+    def _group_force(self, upto_lsn: int) -> Generator[Any, Any, None]:
+        """Join (or lead) the current commit group."""
+        from repro.sim.events import Future
+
+        ticket = Future(label="group-commit")
+        self._group_waiters.append((upto_lsn, ticket))
+        if self._group_leader_active:
+            yield ticket  # the leader hardens our LSN; crash -> raises
+            return
+        self._group_leader_active = True
+        try:
+            while self._group_waiters:
+                yield self.group_commit_window  # gather co-committers
+                group, self._group_waiters = self._group_waiters, []
+                if not group:
+                    # A crash emptied the group while we slept.
+                    from repro.errors import SiteCrashed
+
+                    raise SiteCrashed(f"{self._disk.site} crashed mid-window")
+                target = max(lsn for lsn, _ in group)
+                try:
+                    yield from self._force_now(target)
+                except BaseException as exc:
+                    for _, waiter in group:
+                        if not waiter.done:
+                            waiter.fail(exc)
+                    raise
+                for _, waiter in group:
+                    if not waiter.done:
+                        waiter.resolve(None)
+        finally:
+            self._group_leader_active = False
+
+    def tail_records(self) -> list[LogRecord]:
+        """Volatile records not yet forced (lost on crash)."""
+        return list(self._tail)
+
+    def crash(self) -> None:
+        """Drop the volatile tail; stable records stay on the disk."""
+        self._tail = []
+        waiters, self._group_waiters = self._group_waiters, []
+        if waiters:
+            from repro.errors import SiteCrashed
+
+            for _, waiter in waiters:
+                if not waiter.done:
+                    waiter.fail(SiteCrashed(f"{self._disk.site} crashed"))
+        self._group_leader_active = False
+
+    def rebuild_after_crash(self) -> None:
+        """Reset LSN allocation to continue after the stable prefix."""
+        stable = self._disk.stable_log()
+        self._next_lsn = (stable[-1].lsn + 1) if stable else 1
+        self.flushed_lsn = stable[-1].lsn if stable else 0
+        self._tail = []
+        self._index = {record.lsn: record for record in stable}
+
+    def truncate_stable(self, safe_lsn: int) -> int:
+        """Drop stable records below ``safe_lsn`` (checkpointing).
+
+        The caller guarantees that no undo chain of an active
+        transaction and no unflushed page effect reaches below
+        ``safe_lsn``.  Returns the number of records dropped.
+        """
+        stable = self._disk.stable_log()
+        keep_from = 0
+        while keep_from < len(stable) and stable[keep_from].lsn < safe_lsn:
+            keep_from += 1
+        self._disk.truncate_log(keep_from)
+        for record in stable[:keep_from]:
+            self._index.pop(record.lsn, None)
+        return keep_from
+
+    def __repr__(self) -> str:
+        return f"<LogManager next={self._next_lsn} flushed={self.flushed_lsn} tail={len(self._tail)}>"

@@ -1,0 +1,21 @@
+"""Workload generators for the experiments."""
+
+from repro.workloads.banking import (
+    balance_audit,
+    build_banking_federation,
+    total_balance,
+    transfer,
+)
+from repro.workloads.counters import build_counter_site, counter_transactions
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+
+__all__ = [
+    "WorkloadGenerator",
+    "WorkloadSpec",
+    "balance_audit",
+    "build_banking_federation",
+    "build_counter_site",
+    "counter_transactions",
+    "total_balance",
+    "transfer",
+]

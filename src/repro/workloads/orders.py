@@ -1,0 +1,109 @@
+"""Order-processing workload: inserts, deletes and stock movements.
+
+Most transfer workloads only increment; this one exercises the whole
+operation vocabulary (and therefore the whole inverse-action algebra):
+placing an order inserts an order row, decrements stock and credits
+revenue; cancelling one deletes the row and reverses both counters.
+The conservation invariant pairs every order row with its stock/revenue
+movement, catching half-applied (or half-undone) transactions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.integration.federation import Federation, FederationConfig, SiteSpec
+from repro.mlt.actions import Operation
+
+
+def build_orders_federation(
+    n_products: int = 4,
+    initial_stock: int = 100,
+    config: Optional[FederationConfig] = None,
+) -> Federation:
+    """Two existing systems: a warehouse and an order-entry database."""
+    return Federation(
+        [
+            SiteSpec(
+                "warehouse",
+                tables={
+                    "stock": {f"p{i}": initial_stock for i in range(n_products)},
+                    "revenue": {"total": 0},
+                },
+            ),
+            SiteSpec("orders_db", tables={"orders": {}}),
+        ],
+        config,
+    )
+
+
+def place_order(order_id: str, product: str, quantity: int, price: int) -> list[Operation]:
+    """Insert the order row, move stock, credit revenue."""
+    return [
+        Operation("insert", "orders", order_id, {"product": product, "qty": quantity}),
+        Operation("increment", "stock", product, -quantity),
+        Operation("increment", "revenue", "total", quantity * price),
+    ]
+
+
+def cancel_order(order_id: str, product: str, quantity: int, price: int) -> list[Operation]:
+    """The compensating business action (a *forward* cancel, not undo)."""
+    return [
+        Operation("delete", "orders", order_id),
+        Operation("increment", "stock", product, quantity),
+        Operation("increment", "revenue", "total", -quantity * price),
+    ]
+
+
+def random_order(rng: random.Random, n_products: int, order_seq: int):
+    """A random order placement; returns (order_id, operations, meta)."""
+    product = f"p{rng.randrange(n_products)}"
+    quantity = rng.randint(1, 5)
+    price = rng.randint(2, 9)
+    order_id = f"o{order_seq}"
+    return order_id, place_order(order_id, product, quantity, price), {
+        "product": product, "qty": quantity, "price": price,
+    }
+
+
+def audit_consistency(
+    federation: Federation, n_products: int, initial_stock: int, price_of: dict
+) -> dict:
+    """Cross-site consistency: orders must match stock and revenue.
+
+    Returns the audit numbers; ``consistent`` is True iff every unit of
+    missing stock is accounted for by an existing order row and the
+    revenue matches the order book exactly.
+    """
+    engine = federation.engines["orders_db"]
+    order_rows = {}
+    heap = engine.catalog.heap("orders")
+
+    def collect():
+        txn = engine.begin()
+        rows = yield from engine.scan(txn, "orders")
+        yield from engine.commit(txn)
+        return rows
+
+    process = federation.kernel.spawn(collect())
+    federation.kernel.run()
+    order_rows = dict(process.value)
+
+    stock_missing = 0
+    for i in range(n_products):
+        stock_missing += initial_stock - federation.peek("warehouse", "stock", f"p{i}")
+    revenue = federation.peek("warehouse", "revenue", "total")
+
+    booked_quantity = sum(row["qty"] for row in order_rows.values())
+    booked_revenue = sum(
+        row["qty"] * price_of[order_id] for order_id, row in order_rows.items()
+    )
+    return {
+        "orders": len(order_rows),
+        "stock_missing": stock_missing,
+        "booked_quantity": booked_quantity,
+        "revenue": revenue,
+        "booked_revenue": booked_revenue,
+        "consistent": stock_missing == booked_quantity and revenue == booked_revenue,
+    }

@@ -1,0 +1,68 @@
+"""Saga baseline: compensation works, global serializability does not."""
+
+from repro.core.invariants import atomicity_report, serializability_ok
+from repro.mlt.actions import increment, read, write
+from tests.protocols.conftest import build_fed, submit_and_run, submit_delayed
+
+TRANSFER = [increment("t0", "x", -10), increment("t1", "x", 10)]
+
+
+def test_saga_commits_transfer():
+    fed = build_fed("saga", granularity="per_action")
+    outcome = submit_and_run(fed, TRANSFER)
+    assert outcome.committed
+    assert fed.peek("s0", "t0", "x") == 90
+    assert fed.peek("s1", "t1", "x") == 110
+
+
+def test_saga_compensates_on_abort():
+    fed = build_fed("saga", granularity="per_action")
+    outcome = submit_and_run(fed, TRANSFER, intends_abort=True)
+    assert not outcome.committed
+    assert outcome.undo_executions == 2
+    assert fed.peek("s0", "t0", "x") == 100
+    assert fed.peek("s1", "t1", "x") == 100
+    assert atomicity_report(fed).ok
+
+
+def test_saga_runs_without_global_locks():
+    fed = build_fed("saga", granularity="per_action")
+    assert fed.gtm.l1 is None
+    submit_and_run(fed, TRANSFER)
+
+
+def test_saga_violates_global_serializability():
+    """The §5 critique: two interleaved sagas produce a history that is
+    serializable at each site but globally cyclic."""
+    fed = build_fed("saga", granularity="per_action")
+    # T1 reads x at both sites with a long gap; T2 writes both in the gap.
+    p1 = fed.submit(
+        [read("t0", "x")] + [increment("t0", "y", 1)] * 4 + [read("t1", "x")],
+        name="T1",
+    )
+    p2 = submit_delayed(
+        fed, [write("t0", "x", 0), write("t1", "x", 0)], delay=3.0, name="T2"
+    )
+    fed.run()
+    assert p1.value.committed and p2.value.committed
+    # T1 saw pre-T2 state at s0 and post-T2 state at s1: inconsistent.
+    assert p1.value.reads["t0['x']"] == 100
+    assert p1.value.reads["t1['x']"] == 0
+    assert not serializability_ok(fed)
+
+
+def test_commit_before_prevents_the_same_anomaly():
+    """Identical workload under commit-before: the L1 locks delay T2."""
+    fed = build_fed("before", granularity="per_action")
+    p1 = fed.submit(
+        [read("t0", "x")] + [increment("t0", "y", 1)] * 4 + [read("t1", "x")],
+        name="T1",
+    )
+    p2 = submit_delayed(
+        fed, [write("t0", "x", 0), write("t1", "x", 0)], delay=3.0, name="T2"
+    )
+    fed.run()
+    assert p1.value.committed and p2.value.committed
+    assert p1.value.reads["t0['x']"] == 100
+    assert p1.value.reads["t1['x']"] == 100  # T2 had to wait
+    assert serializability_ok(fed)

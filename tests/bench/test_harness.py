@@ -1,0 +1,71 @@
+"""Benchmark harness: closed loop driver and report tables."""
+
+from repro.bench import RunStats, closed_loop, format_table, protocol_federation
+from repro.integration.federation import SiteSpec
+from repro.workloads import WorkloadGenerator, WorkloadSpec
+
+
+def small_specs():
+    return [SiteSpec(f"s{i}", tables={f"t{i}": {"k": 0}}) for i in range(2)]
+
+
+def small_generator():
+    spec = WorkloadSpec(ops_per_txn=2, read_fraction=0.0, increment_fraction=1.0)
+    return WorkloadGenerator(spec, [("t0", "k"), ("t1", "k")])
+
+
+def test_closed_loop_collects_stats():
+    fed = protocol_federation("before", small_specs(), seed=1)
+    gen = small_generator()
+    stats = closed_loop(fed, gen.next_transaction, n_workers=2, horizon=300, label="x")
+    assert stats.committed > 0
+    assert stats.throughput > 0
+    assert stats.mean_response_time > 0
+    assert stats.metrics["gtm"]["global_committed"] == stats.committed
+
+
+def test_closed_loop_deterministic():
+    def once():
+        fed = protocol_federation("before", small_specs(), seed=5)
+        gen = small_generator()
+        stats = closed_loop(fed, gen.next_transaction, n_workers=3, horizon=200)
+        return stats.committed, stats.aborted, round(stats.mean_response_time, 6)
+
+    assert once() == once()
+
+
+def test_protocol_federation_sets_preparable_for_2pc():
+    fed = protocol_federation("2pc", small_specs(), seed=1)
+    assert all(iface.has_prepare for iface in fed.interfaces.values())
+    fed2 = protocol_federation("before", small_specs(), seed=1)
+    assert not any(iface.has_prepare for iface in fed2.interfaces.values())
+
+
+def test_run_stats_percentiles():
+    stats = RunStats(label="x", horizon=10)
+    stats.response_times = [float(i) for i in range(1, 101)]
+    stats.committed = 100
+    assert stats.throughput == 10.0
+    assert stats.mean_response_time == 50.5
+    assert stats.p95_response_time == 96.0
+
+
+def test_run_stats_empty_safe():
+    stats = RunStats(label="x", horizon=0)
+    assert stats.throughput == 0.0
+    assert stats.mean_response_time == 0.0
+    assert stats.p95_response_time == 0.0
+    assert stats.abort_ratio == 0.0
+
+
+def test_format_table_alignment():
+    text = format_table(
+        ["protocol", "throughput"],
+        [["before", 1.23456], ["2pc", 0.5]],
+        title="T2",
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T2"
+    assert "protocol" in lines[1]
+    assert "1.235" in text
+    assert len({len(line) for line in lines[1:]}) <= 2  # aligned columns

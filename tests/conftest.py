@@ -1,0 +1,37 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.kernel import Kernel
+
+
+@pytest.fixture
+def kernel() -> Kernel:
+    """A fresh deterministic kernel."""
+    return Kernel(seed=1234)
+
+
+def run(kernel: Kernel, generator, name: str = "test"):
+    """Spawn ``generator``, run the kernel to idle, return its value.
+
+    Raises whatever the process raised.
+    """
+    process = kernel.spawn(generator, name=name)
+    kernel.run()
+    assert process.done, f"{name} never finished (simulation deadlock?)"
+    return process.value
+
+
+def drive(generator):
+    """Run a generator that never actually waits (pure-CPU path).
+
+    Useful for exercising generator-based APIs outside a kernel when
+    the code under test yields nothing.
+    """
+    try:
+        next(generator)
+    except StopIteration as stop:
+        return stop.value
+    raise AssertionError("generator suspended; use run(kernel, gen) instead")

@@ -1,0 +1,55 @@
+"""Global transaction objects and outcomes."""
+
+from repro.core.global_txn import GlobalOutcome, GlobalTransaction, GlobalTxnState
+from repro.mlt.actions import increment, read
+
+
+def test_initial_state_traced(kernel):
+    gtxn = GlobalTransaction(kernel, "G1", [increment("t", "k", 1)])
+    assert gtxn.state is GlobalTxnState.RUNNING
+    record = kernel.trace.first(category="gtxn_state")
+    assert record.subject == "G1"
+    assert record.details["state"] == "running"
+
+
+def test_state_transitions_traced_in_order(kernel):
+    gtxn = GlobalTransaction(kernel, "G1", [])
+    gtxn.set_state(GlobalTxnState.INQUIRE)
+    gtxn.set_state(GlobalTxnState.WAITING_TO_COMMIT)
+    gtxn.set_state(GlobalTxnState.COMMITTED)
+    states = [r.details["state"] for r in kernel.trace.select(category="gtxn_state")]
+    assert states == ["running", "inquire", "waiting_to_commit", "committed"]
+
+
+def test_decision_recorded(kernel):
+    gtxn = GlobalTransaction(kernel, "G1", [])
+    gtxn.set_decision("abort", cause="test")
+    assert gtxn.decision == "abort"
+    record = kernel.trace.first(category="gtxn_decision")
+    assert record.details["decision"] == "abort"
+    assert record.details["cause"] == "test"
+
+
+def test_sites_in_first_use_order(kernel):
+    ops = [
+        increment("t", "k", 1).routed("s2", "t"),
+        read("u", "k").routed("s1", "u"),
+        increment("t", "j", 1).routed("s2", "t"),
+    ]
+    gtxn = GlobalTransaction(kernel, "G1", ops)
+    assert gtxn.sites() == ["s2", "s1"]
+
+
+def test_outcome_response_time():
+    outcome = GlobalOutcome(
+        gtxn_id="G1", committed=True, submit_time=3.0, finish_time=10.5
+    )
+    assert outcome.response_time == 7.5
+
+
+def test_outcome_defaults():
+    outcome = GlobalOutcome(gtxn_id="G1", committed=False)
+    assert outcome.redo_executions == 0
+    assert outcome.undo_executions == 0
+    assert outcome.retriable is False
+    assert outcome.reads == {}

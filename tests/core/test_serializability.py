@@ -1,0 +1,125 @@
+"""Serialization-graph checkers."""
+
+from repro.core.serializability import (
+    HistoryOp,
+    build_graph,
+    check,
+    committed_projection,
+    global_serializability,
+    quasi_serializability,
+    rw_conflict,
+)
+from repro.mlt.conflicts import SEMANTIC_TABLE
+
+
+def op(seq, txn, kind, key="x", table="t"):
+    return HistoryOp(seq, txn, kind, table, key)
+
+
+def test_rw_conflict_predicate():
+    assert not rw_conflict("read", "read")
+    assert rw_conflict("read", "write")
+    assert rw_conflict("write", "read")
+    assert rw_conflict("write", "write")
+    assert rw_conflict("increment", "increment")  # rw view: both write
+
+
+def test_serial_history_is_serializable():
+    history = [op(1, "T1", "write"), op(2, "T1", "read"), op(3, "T2", "write")]
+    report = check(history)
+    assert report.serializable
+    assert report.serial_order == ["T1", "T2"]
+
+
+def test_classic_cycle_detected():
+    history = [
+        op(1, "T1", "read", key="x"),
+        op(2, "T2", "write", key="x"),
+        op(3, "T2", "read", key="y"),
+        op(4, "T1", "write", key="y"),
+    ]
+    report = check(history)
+    assert not report.serializable
+    assert set(report.cycle) >= {"T1", "T2"}
+
+
+def test_reads_do_not_conflict():
+    history = [op(1, "T1", "read"), op(2, "T2", "read"), op(3, "T1", "read")]
+    report = check(history)
+    assert report.serializable
+    assert report.edges == []
+
+
+def test_semantic_conflicts_let_increments_commute():
+    history = [
+        op(1, "T1", "increment"),
+        op(2, "T2", "increment"),
+        op(3, "T1", "increment"),
+    ]
+    assert not check(history).serializable  # rw view: cycle
+    assert check(history, SEMANTIC_TABLE.conflicts).serializable
+
+
+def test_different_objects_never_conflict():
+    history = [op(1, "T1", "write", key="x"), op(2, "T2", "write", key="y")]
+    assert check(history).edges == []
+
+
+def test_committed_projection_filters():
+    history = [op(1, "T1", "write"), op(2, "T2", "write")]
+    assert [o.txn for o in committed_projection(history, {"T1"})] == ["T1"]
+
+
+def test_global_cycle_across_sites():
+    """Serializable at each site, cyclic globally -- the saga anomaly."""
+    site_a = [op(1, "T1", "write", key="x"), op(2, "T2", "write", key="x")]
+    site_b = [op(1, "T2", "write", key="y"), op(2, "T1", "write", key="y")]
+    assert check(site_a).serializable
+    assert check(site_b).serializable
+    report = global_serializability({"a": site_a, "b": site_b})
+    assert not report.serializable
+
+
+def test_global_consistent_orders_pass():
+    site_a = [op(1, "T1", "write", key="x"), op(2, "T2", "write", key="x")]
+    site_b = [op(1, "T1", "write", key="y"), op(2, "T2", "write", key="y")]
+    report = global_serializability({"a": site_a, "b": site_b})
+    assert report.serializable
+    assert report.serial_order.index("T1") < report.serial_order.index("T2")
+
+
+def test_quasi_serializability_ignores_indirect_conflicts():
+    """Global txns ordered consistently; a local txn creates only an
+    indirect path -- QSR accepts what global SR would accept too here,
+    but the projection drops the local-only edges."""
+    site_a = [
+        op(1, "G1", "write", key="x"),
+        op(2, "L1", "write", key="x"),
+        op(3, "L1", "write", key="z"),
+        op(4, "G2", "write", key="z"),
+    ]
+    report = quasi_serializability({"a": site_a}, global_txns={"G1", "G2"})
+    assert report.serializable
+
+
+def test_quasi_serializability_rejects_direct_global_cycle():
+    site_a = [op(1, "G1", "write", key="x"), op(2, "G2", "write", key="x")]
+    site_b = [op(1, "G2", "write", key="y"), op(2, "G1", "write", key="y")]
+    report = quasi_serializability({"a": site_a, "b": site_b}, global_txns={"G1", "G2"})
+    assert not report.serializable
+
+
+def test_quasi_serializability_requires_local_serializability():
+    cyclic = [
+        op(1, "T1", "read", key="x"),
+        op(2, "T2", "write", key="x"),
+        op(3, "T2", "read", key="y"),
+        op(4, "T1", "write", key="y"),
+    ]
+    report = quasi_serializability({"a": cyclic}, global_txns=set())
+    assert not report.serializable
+
+
+def test_build_graph_nodes_include_all_txns():
+    graph = build_graph([op(1, "T1", "read"), op(2, "T2", "read")])
+    assert set(graph.nodes) == {"T1", "T2"}

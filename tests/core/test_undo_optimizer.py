@@ -1,0 +1,134 @@
+"""Inverse-action optimization (the §4.1 deferred optimization)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.undo import UndoLog, optimize_inverses
+from repro.mlt.actions import Operation, inverse_of
+
+
+def make_records(ops_with_before):
+    """Build an UndoLog's records from (operation, before) pairs."""
+    log = UndoLog()
+    for operation, before in ops_with_before:
+        log.record("G1", "s0", operation, inverse_of(operation, before))
+    return log.records
+
+
+def test_increments_net_out():
+    records = make_records([
+        (Operation("increment", "t", "x", 5), None),
+        (Operation("increment", "t", "x", 3), None),
+        (Operation("increment", "t", "x", -2), None),
+    ])
+    optimized = optimize_inverses(records)
+    assert len(optimized) == 1
+    assert optimized[0].kind == "increment"
+    assert optimized[0].value == -6
+
+
+def test_zero_net_increments_vanish():
+    records = make_records([
+        (Operation("increment", "t", "x", 5), None),
+        (Operation("increment", "t", "x", -5), None),
+    ])
+    assert optimize_inverses(records) == []
+
+
+def test_repeated_writes_restore_oldest_before():
+    records = make_records([
+        (Operation("write", "t", "x", 10), 1),   # before txn: x = 1
+        (Operation("write", "t", "x", 20), 10),
+        (Operation("write", "t", "x", 30), 20),
+    ])
+    optimized = optimize_inverses(records)
+    assert len(optimized) == 1
+    assert optimized[0].kind == "write"
+    assert optimized[0].value == 1
+
+
+def test_insert_then_writes_collapse_to_delete():
+    records = make_records([
+        (Operation("insert", "t", "x", 10), None),
+        (Operation("write", "t", "x", 20), 10),
+    ])
+    optimized = optimize_inverses(records)
+    assert len(optimized) == 1
+    assert optimized[0].kind == "delete"
+
+
+def test_mixed_kinds_keep_full_sequence():
+    records = make_records([
+        (Operation("write", "t", "x", 10), 1),
+        (Operation("increment", "t", "x", 5), None),
+    ])
+    optimized = optimize_inverses(records)
+    assert len(optimized) == 2  # cannot safely collapse across the mix
+
+
+def test_objects_undone_in_reverse_touch_order():
+    records = make_records([
+        (Operation("increment", "t", "a", 1), None),
+        (Operation("increment", "t", "b", 1), None),
+        (Operation("increment", "t", "a", 1), None),
+    ])
+    optimized = optimize_inverses(records)
+    # a was touched last -> undone first.
+    assert [op.key for op in optimized] == ["a", "b"]
+
+
+def test_reads_never_produce_inverses():
+    records = make_records([(Operation("read", "t", "x"), 5)])
+    assert optimize_inverses(records) == []
+
+
+# -- the correctness property: optimized == unoptimized ---------------------
+
+
+def apply_op(state: dict, op: Operation) -> dict:
+    state = dict(state)
+    if op.kind in ("write", "insert"):
+        state[op.key] = op.value
+    elif op.kind == "delete":
+        state.pop(op.key, None)
+    elif op.kind == "increment":
+        state[op.key] = state.get(op.key, 0) + op.value
+    return state
+
+
+@st.composite
+def txn_scripts(draw):
+    keys = ["x", "y"]
+    n = draw(st.integers(min_value=1, max_value=6))
+    script = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(["write", "increment"]))
+        key = draw(st.sampled_from(keys))
+        value = draw(st.integers(min_value=-9, max_value=9))
+        script.append((kind, key, value))
+    return script
+
+
+@given(script=txn_scripts())
+@settings(max_examples=150)
+def test_optimized_undo_equals_unoptimized(script):
+    state = {"x": 100, "y": 200}
+    log = UndoLog()
+    current = dict(state)
+    for kind, key, value in script:
+        operation = Operation(kind, "t", key, value)
+        before = current.get(key)
+        log.record("G1", "s0", operation, inverse_of(operation, before))
+        current = apply_op(current, operation)
+
+    # Unoptimized undo: every inverse in reverse order.
+    plain = dict(current)
+    for record in log.inverses_for("G1"):
+        plain = apply_op(plain, record.inverse)
+
+    # Optimized undo.
+    optimized_state = dict(current)
+    for op in optimize_inverses(log.records):
+        optimized_state = apply_op(optimized_state, op)
+
+    assert plain == optimized_state == state

@@ -1,0 +1,114 @@
+"""Races and retries at the communication-manager level.
+
+These reproduce, as unit scenarios, the concurrency hazards found
+during development: a retried decide racing an in-flight redo, double
+redo requests, and retried undo requests -- all of which must be
+absorbed by the per-gtxn mutex and the marker idempotence guards.
+"""
+
+import pytest
+
+from repro.integration.federation import Federation, FederationConfig, SiteSpec
+from repro.mlt.actions import increment, write
+
+
+@pytest.fixture
+def fed():
+    return Federation(
+        [SiteSpec("a", tables={"t": {"x": 100}})],
+        FederationConfig(seed=19),
+    )
+
+
+def request(fed, kind, gtxn=None, **payload):
+    def proc():
+        reply = yield from fed.central_comm.request(
+            "a", kind, gtxn_id=gtxn, timeout=200, **payload
+        )
+        return reply
+
+    process = fed.kernel.spawn(proc())
+    fed.kernel.run()
+    return process.value
+
+
+def test_double_redo_request_applies_once(fed):
+    ops = [increment("t", "x", 7).routed("a", "t")]
+    first = request(fed, "redo_subtxn", gtxn="G1", ops=ops, marker_key="G1")
+    second = request(fed, "redo_subtxn", gtxn="G1", ops=ops, marker_key="G1")
+    assert first.payload["outcome"] == "committed"
+    assert second.payload["outcome"] == "committed"
+    assert fed.peek("a", "t", "x") == 107  # not 114
+
+
+def test_double_undo_request_applies_once(fed):
+    inverse = [increment("t", "x", -7).routed("a", "t")]
+    first = request(fed, "undo_subtxn", gtxn="G1", inverse_ops=inverse, marker_key="undo:G1")
+    second = request(fed, "undo_subtxn", gtxn="G1", inverse_ops=inverse, marker_key="undo:G1")
+    assert first.payload["outcome"] == "undone"
+    assert second.payload["outcome"] == "undone"
+    assert fed.peek("a", "t", "x") == 93
+
+
+def test_double_execute_l0_applies_once_and_replays_reply(fed):
+    op = write("t", "x", 55).routed("a", "t")
+    first = request(fed, "execute_l0", gtxn="G1", op=op, marker_key="G1:0")
+    second = request(fed, "execute_l0", gtxn="G1", op=op, marker_key="G1:0")
+    assert first.payload["before"] == 100
+    # The retry answers from the marker, including the before-image.
+    assert second.payload["before"] == 100
+    assert fed.peek("a", "t", "x") == 55
+
+
+def test_concurrent_decide_and_redo_serialized(fed):
+    """A decide retry arriving during a redo must not commit a
+    half-executed redo transaction (the race found in development)."""
+    request(fed, "begin_subtxn", gtxn="G1")
+    op = increment("t", "x", 7).routed("a", "t")
+    request(fed, "execute_op", gtxn="G1", op=op)
+    # Abort the subtransaction (simulates an erroneous abort).
+    txn_id = fed.comms["a"]._subtxns["G1"]
+    from repro.localdb.txn import LocalAbortReason
+
+    fed.engines["a"].force_abort(txn_id, LocalAbortReason.SYSTEM)
+    fed.run()
+
+    # Now fire a redo and a decide *concurrently*.
+    replies = {}
+
+    def fire(kind, tag, **payload):
+        def proc():
+            reply = yield from fed.central_comm.request(
+                "a", kind, gtxn_id="G1", timeout=300, **payload
+            )
+            replies[tag] = reply
+
+        fed.kernel.spawn(proc())
+
+    fire("redo_subtxn", "redo", ops=[op], marker_key="G1")
+    fire("decide", "decide", decision="commit", marker_key="G1")
+    fed.run()
+    assert replies["redo"].payload["outcome"] == "committed"
+    assert replies["decide"].payload["outcome"] == "committed"
+    assert fed.peek("a", "t", "x") == 107  # exactly one increment
+
+
+def test_decide_after_commit_reports_committed(fed):
+    request(fed, "begin_subtxn", gtxn="G1")
+    op = increment("t", "x", 1).routed("a", "t")
+    request(fed, "execute_op", gtxn="G1", op=op)
+    first = request(fed, "decide", gtxn="G1", decision="commit", marker_key="G1")
+    second = request(fed, "decide", gtxn="G1", decision="commit", marker_key="G1")
+    assert first.payload["outcome"] == second.payload["outcome"] == "committed"
+    assert fed.peek("a", "t", "x") == 101
+
+
+def test_unmatched_reply_traced_not_fatal(fed):
+    """A reply with no pending future is logged and dropped."""
+    from repro.net.message import Message
+
+    fed.network.send(
+        Message(kind="finished", sender="a", dest="central", reply_to=99999)
+    )
+    fed.run()
+    assert fed.kernel.trace.first(category="message_unmatched") is not None

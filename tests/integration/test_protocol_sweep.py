@@ -1,0 +1,67 @@
+"""The kitchen-sink sweep: every protocol, faults on, invariants audited.
+
+One compact scenario (transfers with intended aborts plus an injected
+erroneous-abort source and a crash/recovery cycle) runs under all seven
+protocols across several seeds.  For each run the three paper-level
+invariants are audited: conservation, global atomicity, and -- for the
+serializable protocols -- global serializability.
+"""
+
+import pytest
+
+from repro.bench.harness import protocol_federation
+from repro.core.invariants import atomicity_report, serializability_ok
+from repro.faults import FaultInjector
+from repro.integration.federation import SiteSpec
+from repro.workloads.banking import total_balance, transfer
+
+PROTOCOLS = [
+    ("before", "per_action", True),
+    ("before", "per_site", True),
+    ("after", "per_site", True),
+    ("2pc", "per_site", True),
+    ("2pc-pa", "per_site", True),
+    ("3pc", "per_site", True),
+    ("saga", "per_action", False),       # not serializable by design
+    ("altruistic", "per_action", True),
+]
+
+
+def run_one(protocol: str, granularity: str, seed: int):
+    specs = [
+        SiteSpec(
+            f"bank_{i}",
+            tables={f"accounts_{i}": {f"acct{i}_{j}": 100 for j in range(3)}},
+        )
+        for i in range(2)
+    ]
+    fed = protocol_federation(
+        protocol, specs, granularity=granularity, seed=seed, msg_timeout=25
+    )
+    fed.gtm.config.status_poll_interval = 8
+    injector = FaultInjector(fed)
+    if protocol == "after":
+        injector.erroneous_aborts_after_ready(probability=0.4, delay=0.3)
+    injector.crash_site("bank_1", at=60.0, recover_after=50.0)
+    rng = fed.kernel.rng.stream("sweep")
+    batches = [
+        {
+            "operations": transfer(rng, 2, 3),
+            "intends_abort": rng.random() < 0.2,
+            "delay": rng.uniform(0, 120),
+        }
+        for _ in range(6)
+    ]
+    fed.run_transactions(batches)
+    return fed
+
+
+@pytest.mark.parametrize("protocol,granularity,must_serialize", PROTOCOLS)
+@pytest.mark.parametrize("seed", [201, 202])
+def test_sweep(protocol, granularity, must_serialize, seed):
+    fed = run_one(protocol, granularity, seed)
+    assert total_balance(fed, 2, 3) == 600, "conservation broken"
+    report = atomicity_report(fed)
+    assert report.ok, report.violations
+    if must_serialize:
+        assert serializability_ok(fed)

@@ -1,0 +1,86 @@
+"""Global schema routing and transaction decomposition."""
+
+import pytest
+
+from repro.integration.decompose import decompose
+from repro.integration.schema import GlobalSchema, Placement, SchemaError
+from repro.mlt.actions import increment, read, write
+
+
+def make_schema():
+    schema = GlobalSchema()
+    schema.map_table("accounts_a", "bank_a", "accounts")
+    schema.map_table("accounts_b", "bank_b", "accounts")
+    schema.map_partitioned(
+        "customers",
+        lambda key: Placement("bank_a" if str(key) < "m" else "bank_b", "customers"),
+    )
+    return schema
+
+
+def test_single_site_routing():
+    schema = make_schema()
+    op = schema.route(write("accounts_a", "alice", 10))
+    assert op.site == "bank_a"
+    assert op.local_table == "accounts"
+
+
+def test_partitioned_routing():
+    schema = make_schema()
+    assert schema.route(read("customers", "alice")).site == "bank_a"
+    assert schema.route(read("customers", "zoe")).site == "bank_b"
+
+
+def test_unmapped_table_rejected():
+    schema = make_schema()
+    with pytest.raises(SchemaError):
+        schema.route(read("ghost", "k"))
+
+
+def test_duplicate_mapping_rejected():
+    schema = make_schema()
+    with pytest.raises(SchemaError):
+        schema.map_table("accounts_a", "bank_b")
+
+
+def test_partition_must_return_placement():
+    schema = GlobalSchema()
+    schema.map_partitioned("bad", lambda key: ("site", "table"))
+    with pytest.raises(SchemaError):
+        schema.placement("bad", "k")
+
+
+def test_tables_listing():
+    schema = make_schema()
+    assert schema.tables() == ["accounts_a", "accounts_b", "customers"]
+
+
+def test_decompose_groups_by_site_preserving_order():
+    schema = make_schema()
+    ops = [
+        increment("accounts_a", "alice", -5),
+        increment("accounts_b", "bob", 5),
+        read("accounts_a", "carol"),
+    ]
+    decomposition = decompose(schema, ops)
+    assert len(decomposition) == 3
+    assert decomposition.sites == ["bank_a", "bank_b"]
+    assert [op.key for op in decomposition.by_site["bank_a"]] == ["alice", "carol"]
+    assert [op.key for op in decomposition.by_site["bank_b"]] == ["bob"]
+    # Global order preserved in `ordered`.
+    assert [op.key for op in decomposition.ordered] == ["alice", "bob", "carol"]
+
+
+def test_decompose_routes_operations():
+    schema = make_schema()
+    decomposition = decompose(schema, [read("customers", "zoe")])
+    op = decomposition.ordered[0]
+    assert op.site == "bank_b"
+    assert op.local_table == "customers"
+
+
+def test_decompose_empty():
+    schema = make_schema()
+    decomposition = decompose(schema, [])
+    assert len(decomposition) == 0
+    assert decomposition.sites == []

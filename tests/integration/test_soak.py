@@ -1,0 +1,76 @@
+"""Long deterministic soak: everything at once.
+
+A three-site federation with a mixed workload, intended aborts,
+injected erroneous aborts, crash/recovery cycles and periodic
+checkpoints -- the union of everything the other tests exercise
+individually.  The run must end with a clean atomicity audit and a
+serializable committed history.
+"""
+
+import pytest
+
+from repro.bench.harness import closed_loop, protocol_federation
+from repro.core.invariants import atomicity_report, serializability_ok
+from repro.faults import FaultInjector
+from repro.integration.federation import SiteSpec
+from repro.workloads import WorkloadGenerator, WorkloadSpec
+
+HORIZON = 1500
+
+
+def run_soak(protocol: str, granularity: str, seed: int):
+    specs = [
+        SiteSpec(f"s{i}", tables={f"t{i}": {f"k{j}": 1000 for j in range(5)}})
+        for i in range(3)
+    ]
+    fed = protocol_federation(
+        protocol, specs, granularity=granularity, seed=seed, msg_timeout=25,
+    )
+    fed.gtm.config.status_poll_interval = 8
+    injector = FaultInjector(fed)
+    if protocol == "after":
+        injector.erroneous_aborts_after_ready(probability=0.25, delay=0.3)
+    injector.crash_site("s1", at=400.0, recover_after=120.0)
+    injector.crash_site("s2", at=900.0, recover_after=80.0)
+    # A periodic checkpointer on the stable site; it never terminates on
+    # its own, so schedule its interrupt before the final queue drain.
+    checkpointer = fed.engines["s0"].start_checkpointing(interval=250.0)
+    fed.kernel.call_at(HORIZON + 1, lambda: checkpointer.interrupt("soak over"))
+
+    workload = WorkloadSpec(
+        ops_per_txn=3,
+        read_fraction=0.2,
+        increment_fraction=0.8,
+        hotspot_fraction=0.4,
+        hot_object_count=3,
+        intended_abort_rate=0.15,
+    )
+    generator = WorkloadGenerator(
+        workload, [(f"t{i}", f"k{j}") for i in range(3) for j in range(5)]
+    )
+    stats = closed_loop(
+        fed, generator.next_transaction, n_workers=5, horizon=HORIZON,
+        label=f"soak-{protocol}",
+    )
+    return fed, stats
+
+
+@pytest.mark.parametrize(
+    "protocol,granularity,seed",
+    [
+        ("before", "per_action", 101),
+        ("after", "per_site", 102),
+        ("2pc", "per_site", 103),
+    ],
+)
+def test_soak_conserves_and_serializes(protocol, granularity, seed):
+    fed, stats = run_soak(protocol, granularity, seed)
+    assert stats.committed > 10, "soak made no progress"
+    report = atomicity_report(fed)
+    assert report.ok, report.violations
+    assert serializability_ok(fed)
+    # The crash/recovery cycles and checkpoints actually happened.
+    assert fed.engines["s1"].crashes == 1
+    assert fed.engines["s2"].crashes == 1
+    assert not fed.nodes["s1"].crashed
+    assert fed.engines["s0"].checkpoints >= 3

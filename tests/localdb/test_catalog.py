@@ -1,0 +1,72 @@
+"""Durable catalog."""
+
+import pytest
+
+from repro.errors import UnknownTable
+from repro.localdb.catalog import Catalog
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import StableDisk
+from repro.storage.heap import HeapFile
+from repro.storage.wal import LogManager
+
+
+def make(kernel):
+    disk = StableDisk(kernel, "s")
+    pool = BufferPool(disk, LogManager(disk), capacity=8)
+    return disk, pool, Catalog(disk)
+
+
+def test_define_allocates_disjoint_page_ranges(kernel):
+    _, _, catalog = make(kernel)
+    a = catalog.define("a", 4)
+    b = catalog.define("b", 2)
+    assert a.first_page_id == 0
+    assert b.first_page_id == 4
+    range_a = set(range(a.first_page_id, a.first_page_id + 4))
+    range_b = set(range(b.first_page_id, b.first_page_id + 2))
+    assert not range_a & range_b
+
+
+def test_duplicate_table_rejected(kernel):
+    _, _, catalog = make(kernel)
+    catalog.define("t", 2)
+    with pytest.raises(ValueError):
+        catalog.define("t", 2)
+
+
+def test_unknown_table_access_rejected(kernel):
+    _, _, catalog = make(kernel)
+    with pytest.raises(UnknownTable):
+        catalog.heap("ghost")
+
+
+def test_reload_restores_definitions_and_pins(kernel):
+    disk, pool, catalog = make(kernel)
+    catalog.define("t", 4)
+    heap = HeapFile("t", disk, pool, 0, 4)
+    catalog.attach_heap("t", heap)
+    catalog.pin_key("t", "x", 2)
+
+    fresh = Catalog(disk)
+    fresh.reload(pool)
+    assert "t" in fresh
+    assert fresh.heap("t").page_of("x") == fresh.heap("t").page_ids[2]
+
+
+def test_reload_continues_page_allocation(kernel):
+    disk, pool, catalog = make(kernel)
+    catalog.define("t", 4)
+    heap = HeapFile("t", disk, pool, 0, 4)
+    catalog.attach_heap("t", heap)
+
+    fresh = Catalog(disk)
+    fresh.reload(pool)
+    definition = fresh.define("u", 2)
+    assert definition.first_page_id == 4  # no overlap with "t"
+
+
+def test_table_names_sorted(kernel):
+    _, _, catalog = make(kernel)
+    for name in ("zeta", "alpha"):
+        catalog.define(name, 1)
+    assert catalog.table_names() == ["alpha", "zeta"]

@@ -1,0 +1,84 @@
+"""Waits-for graph and cycle detection."""
+
+from repro.localdb.deadlock import WaitsForGraph
+
+
+def test_no_cycle_on_chain():
+    graph = WaitsForGraph()
+    graph.set_blockers("r1", "a", {"b"})
+    graph.set_blockers("r2", "b", {"c"})
+    assert graph.find_cycle_from("a") is None
+
+
+def test_two_cycle_detected():
+    graph = WaitsForGraph()
+    graph.set_blockers("r1", "a", {"b"})
+    graph.set_blockers("r2", "b", {"a"})
+    cycle = graph.find_cycle_from("a")
+    assert cycle is not None
+    assert cycle[0] == "a" and cycle[-1] == "a"
+
+
+def test_long_cycle_detected():
+    graph = WaitsForGraph()
+    for waiter, blocker in [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")]:
+        graph.set_blockers(f"r-{waiter}", waiter, {blocker})
+    assert graph.find_cycle_from("a") is not None
+
+
+def test_cycle_not_through_start_ignored():
+    graph = WaitsForGraph()
+    graph.set_blockers("r1", "b", {"c"})
+    graph.set_blockers("r2", "c", {"b"})
+    graph.set_blockers("r3", "a", {"b"})
+    # a -> b <-> c cycle exists but does not pass through a.
+    assert graph.find_cycle_from("a") is None
+
+
+def test_self_edges_dropped():
+    graph = WaitsForGraph()
+    graph.set_blockers("r", "a", {"a", "b"})
+    assert graph.adjacency() == {"a": {"b"}}
+
+
+def test_clear_removes_edge():
+    graph = WaitsForGraph()
+    graph.set_blockers("r1", "a", {"b"})
+    graph.set_blockers("r2", "b", {"a"})
+    graph.clear("r1", "a")
+    assert graph.find_cycle_from("b") is None
+
+
+def test_clear_txn_removes_all_waits():
+    graph = WaitsForGraph()
+    graph.set_blockers("r1", "a", {"b"})
+    graph.set_blockers("r2", "a", {"c"})
+    graph.set_blockers("r3", "b", {"a"})
+    graph.clear_txn("a")
+    assert graph.adjacency() == {"b": {"a"}}
+
+
+def test_per_resource_edges_independent():
+    graph = WaitsForGraph()
+    graph.set_blockers("r1", "a", {"b"})
+    graph.set_blockers("r2", "a", {"c"})
+    graph.set_blockers("r1", "a", {"d"})  # restate r1's contribution
+    assert graph.adjacency()["a"] == {"c", "d"}
+
+
+def test_empty_blockers_clears_entry():
+    graph = WaitsForGraph()
+    graph.set_blockers("r", "a", {"b"})
+    graph.set_blockers("r", "a", set())
+    assert len(graph) == 0
+
+
+def test_deterministic_cycle_for_same_graph():
+    def build():
+        graph = WaitsForGraph()
+        graph.set_blockers("r1", "a", {"b", "c"})
+        graph.set_blockers("r2", "b", {"a"})
+        graph.set_blockers("r3", "c", {"a"})
+        return graph.find_cycle_from("a")
+
+    assert build() == build()

@@ -1,0 +1,215 @@
+"""Optimistic (backward-validation) scheduler."""
+
+import pytest
+
+from repro.errors import TransactionAborted
+from repro.localdb.config import LocalDBConfig
+from repro.localdb.engine import LocalDatabase
+from repro.localdb.txn import LocalAbortReason
+from tests.conftest import run
+
+
+def make_db(kernel):
+    db = LocalDatabase(kernel, "occ-site", LocalDBConfig(scheduler="occ"))
+
+    def init():
+        yield from db.create_table("t", 4)
+        txn = db.begin()
+        yield from db.insert(txn, "t", "a", 10)
+        yield from db.insert(txn, "t", "b", 20)
+        yield from db.commit(txn)
+
+    run(kernel, init())
+    return db
+
+
+def test_basic_commit(kernel):
+    db = make_db(kernel)
+
+    def proc():
+        txn = db.begin()
+        a = yield from db.read(txn, "t", "a")
+        yield from db.write(txn, "t", "a", a + 1)
+        yield from db.commit(txn)
+        check = db.begin()
+        value = yield from db.read(check, "t", "a")
+        yield from db.commit(check)
+        return value
+
+    assert run(kernel, proc()) == 11
+
+
+def test_reads_own_writes(kernel):
+    db = make_db(kernel)
+
+    def proc():
+        txn = db.begin()
+        yield from db.write(txn, "t", "a", 99)
+        value = yield from db.read(txn, "t", "a")
+        yield from db.abort(txn)
+        return value
+
+    assert run(kernel, proc()) == 99
+
+
+def test_no_dirty_reads_before_install(kernel):
+    db = make_db(kernel)
+    observed = {}
+
+    def writer():
+        txn = db.begin()
+        yield from db.write(txn, "t", "a", 999)
+        yield 10  # long think time before commit
+        yield from db.commit(txn)
+
+    def reader():
+        yield 2
+        txn = db.begin()
+        value = yield from db.read(txn, "t", "a")
+        observed["a"] = value
+        yield from db.commit(txn)
+
+    kernel.spawn(writer())
+    kernel.spawn(reader())
+    kernel.run()
+    assert observed["a"] == 10  # workspace writes invisible until commit
+
+
+def test_validation_failure_on_stale_read(kernel):
+    db = make_db(kernel)
+    results = {}
+
+    def slow():
+        txn = db.begin()
+        value = yield from db.read(txn, "t", "a")
+        yield 10
+        try:
+            yield from db.write(txn, "t", "b", value)
+            yield from db.commit(txn)
+            results["slow"] = "committed"
+        except TransactionAborted as exc:
+            results["slow"] = exc.reason
+
+    def fast():
+        yield 2
+        txn = db.begin()
+        yield from db.write(txn, "t", "a", 0)
+        yield from db.commit(txn)
+        results["fast"] = "committed"
+
+    kernel.spawn(slow())
+    kernel.spawn(fast())
+    kernel.run()
+    assert results["fast"] == "committed"
+    assert results["slow"] is LocalAbortReason.VALIDATION
+
+
+def test_disjoint_transactions_both_commit(kernel):
+    db = make_db(kernel)
+    results = []
+
+    def worker(key):
+        txn = db.begin()
+        value = yield from db.read(txn, "t", key)
+        yield 5
+        yield from db.write(txn, "t", key, value * 2)
+        yield from db.commit(txn)
+        results.append(key)
+
+    kernel.spawn(worker("a"))
+    kernel.spawn(worker("b"))
+    kernel.run()
+    assert sorted(results) == ["a", "b"]
+
+
+def test_blind_writes_both_commit(kernel):
+    """Writers with empty read sets never fail backward validation."""
+    db = make_db(kernel)
+    committed = []
+
+    def writer(i):
+        txn = db.begin()
+        yield from db.write(txn, "t", "a", i)
+        yield i  # stagger commits
+        yield from db.commit(txn)
+        committed.append(i)
+
+    kernel.spawn(writer(1))
+    kernel.spawn(writer(2))
+    kernel.run()
+    assert sorted(committed) == [1, 2]
+
+
+def test_increment_in_occ(kernel):
+    db = make_db(kernel)
+
+    def proc():
+        txn = db.begin()
+        value = yield from db.increment(txn, "t", "a", 5)
+        yield from db.commit(txn)
+        return value
+
+    assert run(kernel, proc()) == 15
+
+
+def test_occ_abort_discards_workspace(kernel):
+    db = make_db(kernel)
+
+    def proc():
+        txn = db.begin()
+        yield from db.write(txn, "t", "a", 0)
+        yield from db.abort(txn)
+        check = db.begin()
+        value = yield from db.read(check, "t", "a")
+        yield from db.commit(check)
+        return value
+
+    assert run(kernel, proc()) == 10
+
+
+def test_occ_delete_and_insert(kernel):
+    db = make_db(kernel)
+
+    def proc():
+        txn = db.begin()
+        yield from db.delete(txn, "t", "a")
+        yield from db.insert(txn, "t", "c", 30)
+        yield from db.commit(txn)
+        check = db.begin()
+        a = yield from db.read(check, "t", "a")
+        c = yield from db.read(check, "t", "c")
+        yield from db.commit(check)
+        return a, c
+
+    assert run(kernel, proc()) == (None, 30)
+
+
+def test_occ_scan_merges_workspace(kernel):
+    db = make_db(kernel)
+
+    def proc():
+        txn = db.begin()
+        yield from db.write(txn, "t", "c", 30)
+        yield from db.delete(txn, "t", "a")
+        rows = yield from db.scan(txn, "t")
+        yield from db.abort(txn)
+        return rows
+
+    assert run(kernel, proc()) == [("b", 20), ("c", 30)]
+
+
+def test_validation_uses_start_snapshot_boundary(kernel):
+    """Writes committed *before* a transaction starts never conflict."""
+    db = make_db(kernel)
+
+    def proc():
+        t1 = db.begin()
+        yield from db.write(t1, "t", "a", 1)
+        yield from db.commit(t1)
+        t2 = db.begin()  # starts after t1 committed
+        yield from db.read(t2, "t", "a")
+        yield from db.write(t2, "t", "b", 2)
+        yield from db.commit(t2)
+        return "ok"
+
+    assert run(kernel, proc()) == "ok"

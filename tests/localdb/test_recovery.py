@@ -1,0 +1,261 @@
+"""Crash recovery: analysis, redo, undo, in-doubt reinstatement."""
+
+import pytest
+
+from repro.errors import SiteCrashed
+from repro.localdb.config import LocalDBConfig
+from repro.localdb.engine import LocalDatabase
+from repro.localdb.txn import LocalTxnState
+from tests.conftest import run
+
+
+def make_db(kernel, **kwargs):
+    db = LocalDatabase(kernel, "site", LocalDBConfig(**kwargs))
+
+    def init():
+        yield from db.create_table("t", 4)
+        txn = db.begin()
+        yield from db.insert(txn, "t", "a", 1)
+        yield from db.insert(txn, "t", "b", 2)
+        yield from db.commit(txn)
+
+    run(kernel, init())
+    return db
+
+
+def read_all(kernel, db):
+    def proc():
+        txn = db.begin()
+        a = yield from db.read(txn, "t", "a")
+        b = yield from db.read(txn, "t", "b")
+        yield from db.commit(txn)
+        return a, b
+
+    return run(kernel, proc())
+
+
+def crash_restart(kernel, db):
+    db.crash()
+    run(kernel, db.restart())
+
+
+def test_committed_data_survives_crash(kernel):
+    db = make_db(kernel)
+    crash_restart(kernel, db)
+    assert read_all(kernel, db) == (1, 2)
+
+
+def test_uncommitted_changes_lost_when_never_flushed(kernel):
+    db = make_db(kernel)
+
+    def proc():
+        txn = db.begin()
+        yield from db.write(txn, "t", "a", 999)
+
+    run(kernel, proc())
+    crash_restart(kernel, db)
+    assert read_all(kernel, db) == (1, 2)
+
+
+def test_stolen_dirty_page_undone_on_recovery(kernel):
+    """Steal policy: uncommitted data on disk must be rolled back."""
+    db = make_db(kernel)
+
+    def proc():
+        txn = db.begin()
+        yield from db.write(txn, "t", "a", 999)
+        yield from db.buffer.flush_all()  # steal: dirty page hits disk
+
+    run(kernel, proc())
+    crash_restart(kernel, db)
+    assert read_all(kernel, db) == (1, 2)
+
+
+def test_committed_but_unflushed_changes_redone(kernel):
+    """No-force policy: committed data only in the log must be redone."""
+    db = make_db(kernel)
+
+    def proc():
+        txn = db.begin()
+        yield from db.write(txn, "t", "a", 42)
+        yield from db.commit(txn)  # forces log, pages stay dirty in buffer
+
+    run(kernel, proc())
+    crash_restart(kernel, db)
+    assert read_all(kernel, db) == (42, 2)
+
+
+def test_recovery_summary_reports_losers(kernel):
+    from repro.localdb.recovery import recover
+
+    db = make_db(kernel)
+
+    def proc():
+        txn = db.begin()
+        yield from db.write(txn, "t", "a", 7)
+        yield from db.log.force()  # updates stable, no commit record
+        return txn.txn_id
+
+    loser_id = run(kernel, proc())
+    db.crash()
+    db.locks = type(db.locks)(kernel, db.site)
+    from repro.storage.buffer import BufferPool
+
+    db.buffer = BufferPool(db.disk, db.log, db.config.buffer_capacity)
+    db.log.rebuild_after_crash()
+    db.catalog.reload(db.buffer)
+    summary = run(kernel, recover(db))
+    db.crashed = False
+    assert loser_id in summary["losers"]
+    assert summary["undone"] >= 1
+    assert read_all(kernel, db) == (1, 2)
+
+
+def test_partial_rollback_resumed_after_crash(kernel):
+    """A crash in the middle of an abort leaves CLRs; recovery finishes."""
+    db = make_db(kernel)
+
+    def proc():
+        txn = db.begin()
+        yield from db.write(txn, "t", "a", 10)
+        yield from db.write(txn, "t", "b", 20)
+        yield from db.log.force()
+        # Manually undo one update (as an interrupted rollback would),
+        # then crash before the abort record lands on disk.
+        yield from db._undo_chain(txn)
+        yield from db.log.force(db.log.next_lsn - 2)
+
+    run(kernel, proc())
+    crash_restart(kernel, db)
+    assert read_all(kernel, db) == (1, 2)
+
+
+def test_double_recovery_idempotent(kernel):
+    db = make_db(kernel)
+
+    def proc():
+        txn = db.begin()
+        yield from db.write(txn, "t", "a", 5)
+        yield from db.commit(txn)
+        txn2 = db.begin()
+        yield from db.write(txn2, "t", "b", 99)
+        yield from db.log.force()
+
+    run(kernel, proc())
+    crash_restart(kernel, db)
+    first = read_all(kernel, db)
+    crash_restart(kernel, db)
+    assert read_all(kernel, db) == first == (5, 2)
+
+
+def test_in_doubt_transaction_reinstated_with_locks(kernel):
+    db = make_db(kernel)
+
+    def proc():
+        txn = db.begin(gtxn_id="G9")
+        yield from db.write(txn, "t", "a", 123)
+        yield from db.prepare(txn)
+        return txn.txn_id
+
+    txn_id = run(kernel, proc())
+    crash_restart(kernel, db)
+    recovered = db.find_by_gtxn("G9")
+    assert recovered is not None
+    assert recovered.state is LocalTxnState.READY
+    assert recovered.txn_id == txn_id
+    # Its exclusive locks are back: a conflicting writer must block.
+    from repro.errors import TransactionAborted
+
+    def conflicting():
+        txn = db.begin()
+        try:
+            yield from db.write(txn, "t", "a", 7)
+            return "wrote"
+        except TransactionAborted:
+            return "blocked-aborted"
+
+    db.config.lock_timeout = 5  # bound the wait
+    db.locks.default_timeout = 5
+    assert run(kernel, conflicting()) == "blocked-aborted"
+
+
+def test_in_doubt_can_commit_after_recovery(kernel):
+    db = make_db(kernel)
+
+    def proc():
+        txn = db.begin(gtxn_id="G1")
+        yield from db.write(txn, "t", "a", 55)
+        yield from db.prepare(txn)
+
+    run(kernel, proc())
+    crash_restart(kernel, db)
+    recovered = db.find_by_gtxn("G1")
+
+    def finish():
+        yield from db.commit(recovered)
+
+    run(kernel, finish())
+    assert read_all(kernel, db) == (55, 2)
+
+
+def test_in_doubt_can_abort_after_recovery(kernel):
+    db = make_db(kernel)
+
+    def proc():
+        txn = db.begin(gtxn_id="G1")
+        yield from db.write(txn, "t", "a", 55)
+        yield from db.prepare(txn)
+
+    run(kernel, proc())
+    crash_restart(kernel, db)
+    recovered = db.find_by_gtxn("G1")
+
+    def finish():
+        yield from db.abort(recovered)
+
+    run(kernel, finish())
+    assert read_all(kernel, db) == (1, 2)
+
+
+def test_active_ops_fail_during_crash(kernel):
+    db = make_db(kernel)
+    results = {}
+
+    def slow_reader():
+        txn = db.begin()
+        try:
+            # Buffer is cold after we crash mid-operation below.
+            yield from db.read(txn, "t", "a")
+            yield 10
+            yield from db.read(txn, "t", "b")
+            results["end"] = "ok"
+        except Exception as exc:
+            results["end"] = type(exc).__name__
+
+    kernel.spawn(slow_reader())
+    kernel.call_at(kernel.now + 5, db.crash)
+    kernel.run(raise_failures=False)
+    assert results["end"] in ("TransactionAborted", "SiteCrashed")
+
+
+def test_operations_rejected_while_crashed(kernel):
+    db = make_db(kernel)
+    db.crash()
+    with pytest.raises(SiteCrashed):
+        db.begin()
+
+
+def test_catalog_survives_crash(kernel):
+    db = make_db(kernel)
+    db.pin_key("t", "special", 0)
+    crash_restart(kernel, db)
+    assert "t" in db.catalog
+    assert db.catalog.heap("t").page_of("special") == db.catalog.heap("t").page_ids[0]
+
+
+def test_restart_on_healthy_engine_rejected(kernel):
+    from repro.errors import InvalidTransactionState
+
+    db = make_db(kernel)
+    with pytest.raises(InvalidTransactionState):
+        run(kernel, db.restart())

@@ -1,0 +1,87 @@
+"""Operations and the inverse-action algebra."""
+
+import pytest
+
+from repro.mlt.actions import (
+    Operation,
+    delete,
+    increment,
+    insert,
+    inverse_of,
+    read,
+    write,
+)
+
+
+def test_constructors():
+    assert read("t", "k").kind == "read"
+    assert write("t", "k", 5).value == 5
+    assert increment("t", "k", -2).value == -2
+    assert insert("t", "k", 1).kind == "insert"
+    assert delete("t", "k").kind == "delete"
+
+
+def test_custom_kinds_allowed_for_upper_levels():
+    # Higher abstraction levels define their own action kinds.
+    assert Operation("transfer", "t", ("a", "b"), 5).kind == "transfer"
+
+
+def test_empty_kind_rejected():
+    with pytest.raises(ValueError):
+        Operation("", "t", "k")
+
+
+def test_writes_property():
+    assert not read("t", "k").writes
+    for op in (write("t", "k", 1), increment("t", "k", 1), insert("t", "k", 1), delete("t", "k")):
+        assert op.writes
+
+
+def test_routed_binds_site():
+    op = write("global_accounts", "k", 1).routed("bank_a", "accounts")
+    assert op.site == "bank_a"
+    assert op.local_table == "accounts"
+    assert op.table == "global_accounts"  # global name preserved
+
+
+def test_inverse_of_read_is_none():
+    assert inverse_of(read("t", "k"), before=5) is None
+
+
+def test_inverse_of_increment_is_commutative_decrement():
+    inverse = inverse_of(increment("t", "k", 7), before=100)
+    assert inverse.kind == "increment"
+    assert inverse.value == -7  # independent of the before image
+
+
+def test_inverse_of_write_restores_before():
+    inverse = inverse_of(write("t", "k", 9), before=4)
+    assert inverse.kind == "write"
+    assert inverse.value == 4
+
+
+def test_inverse_of_write_over_absent_key_deletes():
+    inverse = inverse_of(write("t", "k", 9), before=None)
+    assert inverse.kind == "delete"
+
+
+def test_inverse_of_insert_deletes():
+    assert inverse_of(insert("t", "k", 1), before=None).kind == "delete"
+
+
+def test_inverse_of_delete_reinserts_before():
+    inverse = inverse_of(delete("t", "k"), before=42)
+    assert inverse.kind == "insert"
+    assert inverse.value == 42
+
+
+def test_inverse_preserves_routing():
+    op = increment("t", "k", 3).routed("s1", "lt")
+    inverse = inverse_of(op, before=None)
+    assert inverse.site == "s1"
+    assert inverse.local_table == "lt"
+
+
+def test_str_rendering():
+    assert "increment" in str(increment("t", "k", 3))
+    assert "write" in str(write("t", "k", 1))

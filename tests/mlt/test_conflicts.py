@@ -1,0 +1,70 @@
+"""L1 conflict tables: commutativity semantics."""
+
+import pytest
+
+from repro.mlt.conflicts import (
+    READ_WRITE_TABLE,
+    SEMANTIC_TABLE,
+    ConflictTable,
+    L1Mode,
+)
+
+
+def test_semantic_modes():
+    assert SEMANTIC_TABLE.mode_for("read") is L1Mode.SHARED
+    assert SEMANTIC_TABLE.mode_for("increment") is L1Mode.INCREMENT
+    for kind in ("write", "insert", "delete"):
+        assert SEMANTIC_TABLE.mode_for(kind) is L1Mode.EXCLUSIVE
+
+
+def test_semantic_increments_commute():
+    assert not SEMANTIC_TABLE.conflicts("increment", "increment")
+
+
+def test_semantic_reads_share():
+    assert not SEMANTIC_TABLE.conflicts("read", "read")
+
+
+def test_semantic_read_vs_increment_conflicts():
+    assert SEMANTIC_TABLE.conflicts("read", "increment")
+    assert SEMANTIC_TABLE.conflicts("increment", "read")
+
+
+def test_semantic_write_conflicts_with_everything():
+    for kind in ("read", "increment", "write", "insert", "delete"):
+        assert SEMANTIC_TABLE.conflicts("write", kind)
+
+
+def test_rw_table_increment_is_a_write():
+    assert READ_WRITE_TABLE.mode_for("increment") is L1Mode.EXCLUSIVE
+    assert READ_WRITE_TABLE.conflicts("increment", "increment")
+
+
+def test_rw_table_reads_still_share():
+    assert not READ_WRITE_TABLE.conflicts("read", "read")
+
+
+def test_symmetry_of_conflicts():
+    kinds = ("read", "write", "increment", "insert", "delete")
+    for table in (SEMANTIC_TABLE, READ_WRITE_TABLE):
+        for a in kinds:
+            for b in kinds:
+                assert table.conflicts(a, b) == table.conflicts(b, a)
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        SEMANTIC_TABLE.mode_for("merge")
+
+
+def test_custom_table():
+    table = ConflictTable(
+        "everything-commutes",
+        {"read": L1Mode.SHARED, "increment": L1Mode.INCREMENT,
+         "write": L1Mode.EXCLUSIVE, "insert": L1Mode.EXCLUSIVE,
+         "delete": L1Mode.EXCLUSIVE},
+        [frozenset({L1Mode.SHARED}), frozenset({L1Mode.INCREMENT}),
+         frozenset({L1Mode.SHARED, L1Mode.INCREMENT})],
+    )
+    assert not table.conflicts("read", "increment")
+    assert table.conflicts("write", "write")

@@ -1,0 +1,254 @@
+"""General n-level multi-level transactions.
+
+A three-level banking stack:
+
+* **L2** -- business actions: ``transfer`` (commutes with transfers)
+  and ``audit`` (reads, conflicts with transfers);
+* **L1** -- record operations (increments commute);
+* **L0** -- the engine's page transactions.
+"""
+
+import pytest
+
+from repro.localdb.engine import LocalDatabase
+from repro.mlt.actions import Operation
+from repro.mlt.conflicts import ConflictTable, L1Mode
+from repro.mlt.nested import (
+    ActionDef,
+    LevelSpec,
+    NestedTransactionManager,
+    bottom_level,
+)
+from tests.conftest import run
+
+#: L2 conflict table: transfers commute (they are increments), audits
+#: share with audits, audits conflict with transfers.
+BUSINESS_TABLE = ConflictTable(
+    "business",
+    {
+        "transfer": L1Mode.INCREMENT,
+        "audit": L1Mode.SHARED,
+        "write": L1Mode.EXCLUSIVE,
+        "read": L1Mode.SHARED,
+        "increment": L1Mode.INCREMENT,
+        "insert": L1Mode.EXCLUSIVE,
+        "delete": L1Mode.EXCLUSIVE,
+    },
+    [frozenset({L1Mode.SHARED}), frozenset({L1Mode.INCREMENT})],
+)
+
+
+def expand_transfer(action: Operation, context: dict) -> list[Operation]:
+    src, dst = action.key
+    return [
+        Operation("increment", action.table, src, -action.value),
+        Operation("increment", action.table, dst, action.value),
+    ]
+
+
+def invert_transfer(action: Operation, context: dict) -> Operation:
+    src, dst = action.key
+    return Operation("transfer", action.table, (dst, src), action.value)
+
+
+def expand_audit(action: Operation, context: dict) -> list[Operation]:
+    return [Operation("read", action.table, key) for key in action.key]
+
+
+def business_level() -> LevelSpec:
+    level = LevelSpec("L2", BUSINESS_TABLE)
+    level.define(
+        ActionDef(
+            kind="transfer",
+            mode_kind="transfer",
+            expand=expand_transfer,
+            invert=invert_transfer,
+            resources=lambda a: [(a.table, k) for k in a.key],
+        )
+    )
+    level.define(
+        ActionDef(
+            kind="audit",
+            mode_kind="audit",
+            expand=expand_audit,
+            invert=lambda a, c: None,
+            resources=lambda a: [(a.table, k) for k in a.key],
+        )
+    )
+    return level
+
+
+@pytest.fixture
+def stack(kernel):
+    engine = LocalDatabase(kernel, "bank")
+
+    def init():
+        yield from engine.create_table("acc", 4)
+        txn = engine.begin()
+        for key in ("a", "b", "c"):
+            yield from engine.insert(txn, "acc", key, 100)
+        yield from engine.commit(txn)
+
+    run(kernel, init())
+    manager = NestedTransactionManager(
+        kernel, engine, [business_level(), bottom_level()]
+    )
+    return engine, manager
+
+
+def balance(kernel, engine, key):
+    def proc():
+        txn = engine.begin()
+        value = yield from engine.read(txn, "acc", key)
+        yield from engine.commit(txn)
+        return value
+
+    return run(kernel, proc())
+
+
+def transfer(src, dst, amount):
+    return Operation("transfer", "acc", (src, dst), amount)
+
+
+def audit(*keys):
+    return Operation("audit", "acc", tuple(keys))
+
+
+def test_transfer_commits_through_three_levels(kernel, stack):
+    engine, manager = stack
+    result = run(kernel, manager.run("T1", [transfer("a", "b", 30)]))
+    assert result.committed
+    assert balance(kernel, engine, "a") == 70
+    assert balance(kernel, engine, "b") == 130
+
+
+def test_audit_reads_collected(kernel, stack):
+    engine, manager = stack
+    result = run(kernel, manager.run("T1", [audit("a", "b")]))
+    assert result.committed
+    assert result.reads == {"acc['a']": 100, "acc['b']": 100}
+
+
+def test_intended_abort_undoes_transfer_by_inverse_transfer(kernel, stack):
+    engine, manager = stack
+    result = run(
+        kernel,
+        manager.run("T1", [transfer("a", "b", 30), transfer("b", "c", 10)], abort_after=2),
+    )
+    assert not result.committed
+    assert result.inverse_actions == 2  # two inverse transfers at L2
+    for key in ("a", "b", "c"):
+        assert balance(kernel, engine, key) == 100
+
+
+def test_partial_abort_undoes_prefix_only(kernel, stack):
+    engine, manager = stack
+    result = run(
+        kernel,
+        manager.run("T1", [transfer("a", "b", 30), transfer("b", "c", 10)], abort_after=1),
+    )
+    assert not result.committed
+    assert result.inverse_actions == 1
+    assert balance(kernel, engine, "a") == 100
+
+
+def test_transfers_commute_at_l2(kernel, stack):
+    """Two transfers over the same accounts run concurrently: the L2
+    increment-mode locks commute, as do the L1 increments."""
+    engine, manager = stack
+    done = {}
+
+    def t(name, src, dst, amount):
+        result = yield from manager.run(
+            name, [transfer(src, dst, amount)], think_time=3.0
+        )
+        done[name] = result.committed
+
+    kernel.spawn(t("T1", "a", "b", 10))
+    kernel.spawn(t("T2", "b", "a", 5))
+    kernel.run()
+    assert done == {"T1": True, "T2": True}
+    assert balance(kernel, engine, "a") == 95
+    assert balance(kernel, engine, "b") == 105
+    assert manager.locks[0].waits == 0  # nobody queued at L2
+
+
+def test_audit_blocks_on_concurrent_transfer(kernel, stack):
+    """Audit (shared) conflicts with transfer (increment) at L2, so the
+    audit sees an atomic picture."""
+    engine, manager = stack
+    observed = {}
+
+    def transferer():
+        yield from manager.run("T1", [transfer("a", "b", 50)], think_time=6.0)
+
+    def auditor():
+        yield 1.0
+        result = yield from manager.run("T2", [audit("a", "b")])
+        observed.update(result.reads)
+
+    kernel.spawn(transferer())
+    kernel.spawn(auditor())
+    kernel.run()
+    assert observed["acc['a']"] + observed["acc['b']"] == 200
+    assert observed["acc['a']"] in (50, 100)  # before or after, never mid
+
+
+def test_undo_preserves_interleaved_transfer(kernel, stack):
+    """The Figure 8 argument lifted one level: T1's inverse transfer
+    must not clobber T2's interleaved commuting transfer."""
+    engine, manager = stack
+
+    def t1():
+        yield from manager.run(
+            "T1", [transfer("a", "b", 10), transfer("a", "c", 10)],
+            abort_after=2, think_time=4.0,
+        )
+
+    def t2():
+        yield 2.0  # lands between T1's two actions
+        yield from manager.run("T2", [transfer("a", "b", 100)])
+
+    kernel.spawn(t1())
+    kernel.spawn(t2())
+    kernel.run()
+    assert balance(kernel, engine, "a") == 0     # only T2's -100
+    assert balance(kernel, engine, "b") == 200   # only T2's +100
+    assert balance(kernel, engine, "c") == 100
+
+
+def test_all_levels_serializable(kernel, stack):
+    engine, manager = stack
+
+    def t(name, src, dst):
+        yield from manager.run(name, [transfer(src, dst, 5), audit("c")])
+
+    kernel.spawn(t("T1", "a", "b"))
+    kernel.spawn(t("T2", "b", "c"))
+    kernel.run()
+    assert manager.serializable(committed={"T1", "T2"})
+    reports = manager.level_reports(committed={"T1", "T2"})
+    assert len(reports) == 2
+    assert all(report.serializable for report in reports)
+
+
+def test_unknown_action_kind_rejected(kernel, stack):
+    from repro.mlt.nested import NestedTransactionError
+
+    engine, manager = stack
+
+    def proc():
+        yield from manager.run("T1", [Operation("write", "acc", "a", 1)])
+
+    # L2 defines transfer/audit only; "write" is not an L2 action here.
+    with pytest.raises(NestedTransactionError):
+        run(kernel, proc())
+
+
+def test_history_attributes_actions_to_top_level_txn(kernel, stack):
+    engine, manager = stack
+    run(kernel, manager.run("T1", [transfer("a", "b", 1)]))
+    l2_owners = {txn for _, txn, _, _, _ in manager.histories[0]}
+    l1_owners = {txn for _, txn, _, _, _ in manager.histories[1]}
+    assert l2_owners == {"T1"}
+    assert l1_owners == {"T1"}

@@ -1,0 +1,188 @@
+"""Model-based testing: the engine vs a plain dictionary.
+
+Random sequences of transactions (each a list of operations followed by
+commit or abort) run both against the real engine and an in-memory
+model; after every transaction boundary the committed state must match
+the model exactly.  This catches WAL/buffer/lock bookkeeping errors
+that targeted unit tests miss.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DuplicateKey, KeyNotFound
+from repro.localdb.config import LocalDBConfig
+from repro.localdb.engine import LocalDatabase
+from repro.sim.kernel import Kernel
+
+KEYS = ["a", "b", "c"]
+
+
+@st.composite
+def scripts(draw):
+    n_txns = draw(st.integers(min_value=1, max_value=6))
+    txns = []
+    for _ in range(n_txns):
+        n_ops = draw(st.integers(min_value=1, max_value=5))
+        ops = [
+            (
+                draw(st.sampled_from(["read", "write", "increment", "insert", "delete"])),
+                draw(st.sampled_from(KEYS)),
+                draw(st.integers(min_value=-50, max_value=50)),
+            )
+            for _ in range(n_ops)
+        ]
+        txns.append((ops, draw(st.booleans())))  # True = commit
+    return txns
+
+
+def model_apply(model: dict, kind: str, key: str, value: int):
+    """Apply one op to the dict model, mirroring engine semantics.
+
+    Returns True if the engine would raise a logic error (and leave the
+    transaction alive) for this op.
+    """
+    if kind == "read":
+        return False
+    if kind == "write":
+        model[key] = value
+        return False
+    if kind == "increment":
+        if key not in model:
+            return True
+        model[key] += value
+        return False
+    if kind == "insert":
+        if key in model:
+            return True
+        model[key] = value
+        return False
+    if kind == "delete":
+        if key not in model:
+            return True
+        del model[key]
+        return False
+    raise AssertionError(kind)
+
+
+@given(script=scripts(), seed=st.integers(min_value=0, max_value=5000),
+       scheduler=st.sampled_from(["2pl", "occ"]))
+@settings(max_examples=60, deadline=None)
+def test_engine_matches_dict_model(script, seed, scheduler):
+    kernel = Kernel(seed=seed)
+    db = LocalDatabase(kernel, "model-site", LocalDBConfig(scheduler=scheduler))
+
+    def init():
+        yield from db.create_table("t", 4)
+
+    kernel.spawn(init())
+    kernel.run()
+
+    committed_model: dict = {}
+
+    def runner():
+        for ops, should_commit in script:
+            txn = db.begin()
+            txn_model = dict(committed_model)
+            for kind, key, value in ops:
+                try:
+                    if kind == "read":
+                        engine_value = yield from db.read(txn, "t", key)
+                        assert engine_value == txn_model.get(key)
+                    elif kind == "write":
+                        yield from db.write(txn, "t", key, value)
+                    elif kind == "increment":
+                        yield from db.increment(txn, "t", key, value)
+                    elif kind == "insert":
+                        yield from db.insert(txn, "t", key, value)
+                    elif kind == "delete":
+                        yield from db.delete(txn, "t", key)
+                    rejected = False
+                except (KeyNotFound, DuplicateKey):
+                    rejected = True
+                model_rejected = model_apply(txn_model, kind, key, value)
+                assert rejected == model_rejected, (kind, key, txn_model)
+            if should_commit:
+                yield from db.commit(txn)
+                committed_model.clear()
+                committed_model.update(txn_model)
+            else:
+                yield from db.abort(txn)
+
+    kernel.spawn(runner())
+    kernel.run()
+
+    def read_back():
+        txn = db.begin()
+        state = {}
+        for key in KEYS:
+            value = yield from db.read(txn, "t", key)
+            if value is not None:
+                state[key] = value
+        yield from db.commit(txn)
+        return state
+
+    proc = kernel.spawn(read_back())
+    kernel.run()
+    assert proc.value == committed_model
+
+
+@given(script=scripts(), seed=st.integers(min_value=0, max_value=5000))
+@settings(max_examples=30, deadline=None)
+def test_engine_matches_model_across_crash(script, seed):
+    """Same equivalence, but with a crash+recovery after the script."""
+    kernel = Kernel(seed=seed)
+    db = LocalDatabase(kernel, "model-site", LocalDBConfig(buffer_capacity=4))
+
+    def init():
+        yield from db.create_table("t", 4)
+
+    kernel.spawn(init())
+    kernel.run()
+    committed_model: dict = {}
+
+    def runner():
+        for ops, should_commit in script:
+            txn = db.begin()
+            txn_model = dict(committed_model)
+            for kind, key, value in ops:
+                try:
+                    if kind == "read":
+                        yield from db.read(txn, "t", key)
+                    elif kind == "write":
+                        yield from db.write(txn, "t", key, value)
+                    elif kind == "increment":
+                        yield from db.increment(txn, "t", key, value)
+                    elif kind == "insert":
+                        yield from db.insert(txn, "t", key, value)
+                    elif kind == "delete":
+                        yield from db.delete(txn, "t", key)
+                except (KeyNotFound, DuplicateKey):
+                    pass
+                model_apply(txn_model, kind, key, value)
+            if should_commit:
+                yield from db.commit(txn)
+                committed_model.clear()
+                committed_model.update(txn_model)
+            else:
+                yield from db.abort(txn)
+
+    kernel.spawn(runner())
+    kernel.run()
+    db.crash()
+    kernel.spawn(db.restart())
+    kernel.run()
+
+    def read_back():
+        txn = db.begin()
+        state = {}
+        for key in KEYS:
+            value = yield from db.read(txn, "t", key)
+            if value is not None:
+                state[key] = value
+        yield from db.commit(txn)
+        return state
+
+    proc = kernel.spawn(read_back())
+    kernel.run()
+    assert proc.value == committed_model

@@ -1,0 +1,114 @@
+"""Property-based tests of the inverse-action algebra.
+
+Core invariant of §3.3: applying an operation and then its inverse to
+any state is the identity -- and for increments this holds even with
+other increments interleaved in between (general commutativity).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mlt.actions import Operation, inverse_of
+
+keys = st.sampled_from(["a", "b", "c"])
+values = st.integers(min_value=-1000, max_value=1000)
+
+
+def apply_op(state: dict, op: Operation) -> dict:
+    """Pure interpreter of operations over a dict state."""
+    state = dict(state)
+    if op.kind == "read":
+        return state
+    if op.kind in ("write", "insert"):
+        state[op.key] = op.value
+        return state
+    if op.kind == "delete":
+        state.pop(op.key, None)
+        return state
+    if op.kind == "increment":
+        state[op.key] = state.get(op.key, 0) + op.value
+        return state
+    raise AssertionError(op.kind)
+
+
+@st.composite
+def operations(draw, state_keys):
+    kind = draw(st.sampled_from(["write", "increment", "insert", "delete", "read"]))
+    key = draw(st.sampled_from(state_keys))
+    if kind in ("write", "insert"):
+        return Operation(kind, "t", key, draw(values))
+    if kind == "increment":
+        return Operation(kind, "t", key, draw(values))
+    return Operation(kind, "t", key)
+
+
+@st.composite
+def states(draw):
+    return {
+        key: draw(values)
+        for key in draw(st.sets(keys, min_size=0, max_size=3))
+    }
+
+
+@given(state=states(), op=operations(["a", "b", "c"]))
+@settings(max_examples=200)
+def test_inverse_restores_state(state, op):
+    # Skip semantically invalid applications the engine would reject.
+    if op.kind == "increment" and op.key not in state:
+        return
+    if op.kind == "delete" and op.key not in state:
+        return
+    if op.kind == "insert" and op.key in state:
+        return
+    before = state.get(op.key)
+    after_state = apply_op(state, op)
+    inverse = inverse_of(op, before)
+    if inverse is None:
+        assert op.kind == "read"
+        assert after_state == state
+        return
+    restored = apply_op(after_state, inverse)
+    assert restored == state
+
+
+@given(
+    state=states(),
+    delta1=values,
+    delta2=values,
+    key=keys,
+)
+@settings(max_examples=200)
+def test_increment_inverse_commutes_with_interleaved_increments(
+    state, delta1, delta2, key
+):
+    """inc(d1); inc(d2); inc(-d1) == inc(d2) -- the Figure 8 argument."""
+    state = {**state, key: state.get(key, 0)}
+    op1 = Operation("increment", "t", key, delta1)
+    interloper = Operation("increment", "t", key, delta2)
+    inverse = inverse_of(op1, state.get(key))
+    with_undo = apply_op(apply_op(apply_op(state, op1), interloper), inverse)
+    without_op1 = apply_op(state, interloper)
+    assert with_undo == without_op1
+
+
+@given(state=states(), op=operations(["a", "b", "c"]))
+@settings(max_examples=100)
+def test_inverse_of_inverse_is_original_effect(state, op):
+    """Undoing the undo re-applies the operation's effect."""
+    if op.kind == "read":
+        return
+    if op.kind == "increment" and op.key not in state:
+        return
+    if op.kind == "delete" and op.key not in state:
+        return
+    if op.kind == "insert" and op.key in state:
+        return
+    before = state.get(op.key)
+    once = apply_op(state, op)
+    inverse = inverse_of(op, before)
+    undone = apply_op(once, inverse)
+    inverse_before = undone.get(op.key)
+    inverse_of_inverse = inverse_of(inverse, once.get(op.key))
+    if inverse_of_inverse is not None:
+        redone = apply_op(apply_op(once, inverse), inverse_of_inverse)
+        assert redone == once

@@ -1,0 +1,155 @@
+"""Property-based tests of the lock managers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.localdb.locks import LockManager, LockMode
+from repro.mlt.conflicts import SEMANTIC_TABLE, L1Mode
+from repro.mlt.locks import SemanticLockManager
+from repro.sim.kernel import Kernel
+
+l0_modes = st.sampled_from([LockMode.SHARED, LockMode.EXCLUSIVE])
+l1_modes = st.sampled_from([L1Mode.SHARED, L1Mode.INCREMENT, L1Mode.EXCLUSIVE])
+resources = st.sampled_from(["r1", "r2"])
+txn_names = st.sampled_from(["t1", "t2", "t3"])
+
+
+@st.composite
+def lock_scripts(draw):
+    """Sequences of (txn, action) where action is acquire or release."""
+    steps = draw(
+        st.lists(
+            st.tuples(
+                txn_names,
+                st.sampled_from(["acquire", "release"]),
+                resources,
+                l0_modes,
+            ),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    return steps
+
+
+def holders_consistent(manager: LockManager) -> bool:
+    """No two holders of one resource have incompatible L0 modes."""
+    from repro.localdb.locks import compatible
+
+    for resource in list(manager._resources):
+        holders = manager.holders_of(resource)
+        items = list(holders.items())
+        for i, (txn_a, mode_a) in enumerate(items):
+            for txn_b, mode_b in items[i + 1:]:
+                if not compatible(mode_a, mode_b):
+                    return False
+    return True
+
+
+@given(script=lock_scripts(), seed=st.integers(min_value=0, max_value=999))
+@settings(max_examples=60, deadline=None)
+def test_l0_no_incompatible_coholders_ever(script, seed):
+    kernel = Kernel(seed=seed)
+    manager = LockManager(kernel, "s", default_timeout=30)
+    violations = []
+
+    def worker(txn, steps):
+        for action, resource, mode in steps:
+            try:
+                if action == "acquire":
+                    yield from manager.acquire(txn, resource, mode)
+                else:
+                    manager.release_all(txn)
+            except Exception:
+                manager.release_all(txn)
+                return
+            if not holders_consistent(manager):
+                violations.append((txn, action, resource))
+            yield 0.1
+        manager.release_all(txn)
+
+    by_txn: dict[str, list] = {}
+    for txn, action, resource, mode in script:
+        by_txn.setdefault(txn, []).append((action, resource, mode))
+    for txn, steps in by_txn.items():
+        kernel.spawn(worker(txn, steps))
+    kernel.run(raise_failures=False)
+    assert not violations
+
+
+def l1_holders_consistent(manager: SemanticLockManager) -> bool:
+    for resource in list(manager._resources):
+        holders = manager.holders_of(resource)
+        items = list(holders.items())
+        for i, (txn_a, modes_a) in enumerate(items):
+            for txn_b, modes_b in items[i + 1:]:
+                for mode_a in modes_a:
+                    for mode_b in modes_b:
+                        if not manager.table.compatible(mode_a, mode_b):
+                            return False
+    return True
+
+
+@given(
+    script=st.lists(
+        st.tuples(txn_names, resources, l1_modes), min_size=1, max_size=15
+    ),
+    seed=st.integers(min_value=0, max_value=999),
+)
+@settings(max_examples=60, deadline=None)
+def test_l1_no_conflicting_coholders_ever(script, seed):
+    kernel = Kernel(seed=seed)
+    manager = SemanticLockManager(kernel, SEMANTIC_TABLE, default_timeout=30)
+    violations = []
+
+    def worker(txn, steps):
+        for resource, mode in steps:
+            try:
+                yield from manager.acquire(txn, resource, mode)
+            except Exception:
+                manager.release_all(txn)
+                return
+            if not l1_holders_consistent(manager):
+                violations.append((txn, resource, mode))
+            yield 0.1
+        manager.release_all(txn)
+
+    by_txn: dict[str, list] = {}
+    for txn, resource, mode in script:
+        by_txn.setdefault(txn, []).append((resource, mode))
+    for txn, steps in by_txn.items():
+        kernel.spawn(worker(txn, steps))
+    kernel.run(raise_failures=False)
+    assert not violations
+
+
+@given(
+    script=st.lists(
+        st.tuples(txn_names, resources, l1_modes), min_size=1, max_size=12
+    ),
+    seed=st.integers(min_value=0, max_value=999),
+)
+@settings(max_examples=40, deadline=None)
+def test_l1_all_workers_terminate(script, seed):
+    """With timeouts + deadlock detection nobody hangs forever."""
+    kernel = Kernel(seed=seed)
+    manager = SemanticLockManager(kernel, SEMANTIC_TABLE, default_timeout=20)
+    finished = []
+
+    def worker(txn, steps):
+        for resource, mode in steps:
+            try:
+                yield from manager.acquire(txn, resource, mode)
+            except Exception:
+                break
+            yield 1
+        manager.release_all(txn)
+        finished.append(txn)
+
+    by_txn: dict[str, list] = {}
+    for txn, resource, mode in script:
+        by_txn.setdefault(txn, []).append((resource, mode))
+    for txn, steps in by_txn.items():
+        kernel.spawn(worker(txn, steps))
+    kernel.run(raise_failures=False)
+    assert len(finished) == len(by_txn)

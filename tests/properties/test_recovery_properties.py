@@ -1,0 +1,154 @@
+"""Property-based tests of engine recovery.
+
+Random committed/aborted/in-flight transaction mixes followed by a
+crash: recovery must restore exactly the committed effects, and running
+it twice must equal running it once.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.localdb.config import LocalDBConfig
+from repro.localdb.engine import LocalDatabase
+from repro.sim.kernel import Kernel
+
+KEYS = ["a", "b", "c", "d"]
+
+
+@st.composite
+def transaction_scripts(draw):
+    """A list of transactions: (ops, fate) with fate in commit/abort/crash."""
+    n_txns = draw(st.integers(min_value=1, max_value=5))
+    scripts = []
+    for _ in range(n_txns):
+        n_ops = draw(st.integers(min_value=1, max_value=4))
+        ops = [
+            (draw(st.sampled_from(["write", "increment"])),
+             draw(st.sampled_from(KEYS)),
+             draw(st.integers(min_value=-20, max_value=20)))
+            for _ in range(n_ops)
+        ]
+        fate = draw(st.sampled_from(["commit", "abort", "in_flight"]))
+        scripts.append((ops, fate))
+    return scripts
+
+
+def execute_scripts(db, scripts, flush_probability_rng):
+    """Run the scripts sequentially; returns the expected final state.
+
+    A transaction left in flight keeps its page locks until the crash,
+    so later scripted transactions skip keys already claimed by an
+    in-flight one (they would otherwise block until the crash, which is
+    not what this property is about).
+    """
+    expected = {key: 0 for key in KEYS}
+    blocked: set[str] = set()
+
+    def runner():
+        for ops, fate in scripts:
+            usable_ops = [op for op in ops if op[1] not in blocked]
+            if not usable_ops:
+                continue
+            txn = db.begin()
+            shadow = dict(expected)
+            for kind, key, value in usable_ops:
+                if kind == "write":
+                    yield from db.write(txn, "t", key, value)
+                    shadow[key] = value
+                else:
+                    yield from db.increment(txn, "t", key, value)
+                    shadow[key] += value
+            if fate == "commit":
+                yield from db.commit(txn)
+                expected.update(shadow)
+            elif fate == "abort":
+                yield from db.abort(txn)
+            else:
+                blocked.update(op[1] for op in usable_ops)
+                # Leave running; optionally steal its dirty pages so the
+                # crash exposes uncommitted data on disk.
+                if flush_probability_rng.random() < 0.5:
+                    yield from db.buffer.flush_all()
+                if flush_probability_rng.random() < 0.5:
+                    yield from db.log.force()
+
+    return runner(), expected
+
+
+def read_state(kernel, db):
+    def proc():
+        txn = db.begin()
+        state = {}
+        for key in KEYS:
+            state[key] = yield from db.read(txn, "t", key)
+        yield from db.commit(txn)
+        return state
+
+    process = kernel.spawn(proc())
+    kernel.run()
+    return process.value
+
+
+@given(scripts=transaction_scripts(), seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=40, deadline=None)
+def test_recovery_restores_exactly_committed_state(scripts, seed):
+    kernel = Kernel(seed=seed)
+    db = LocalDatabase(kernel, "s", LocalDBConfig(buffer_capacity=4))
+
+    def init():
+        # One page per key: lock conflicts are exactly per key, so the
+        # "blocked keys" bookkeeping below is precise.
+        yield from db.create_table("t", len(KEYS))
+        for index, key in enumerate(KEYS):
+            db.pin_key("t", key, index)
+        txn = db.begin()
+        for key in KEYS:
+            yield from db.insert(txn, "t", key, 0)
+        yield from db.commit(txn)
+
+    kernel.spawn(init())
+    kernel.run()
+
+    runner, expected = execute_scripts(db, scripts, kernel.rng.stream("flush"))
+    kernel.spawn(runner)
+    kernel.run()
+
+    db.crash()
+    kernel.spawn(db.restart())
+    kernel.run()
+    assert read_state(kernel, db) == expected
+
+
+@given(scripts=transaction_scripts(), seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=25, deadline=None)
+def test_double_crash_recovery_idempotent(scripts, seed):
+    kernel = Kernel(seed=seed)
+    db = LocalDatabase(kernel, "s", LocalDBConfig(buffer_capacity=4))
+
+    def init():
+        # One page per key: lock conflicts are exactly per key, so the
+        # "blocked keys" bookkeeping below is precise.
+        yield from db.create_table("t", len(KEYS))
+        for index, key in enumerate(KEYS):
+            db.pin_key("t", key, index)
+        txn = db.begin()
+        for key in KEYS:
+            yield from db.insert(txn, "t", key, 0)
+        yield from db.commit(txn)
+
+    kernel.spawn(init())
+    kernel.run()
+    runner, expected = execute_scripts(db, scripts, kernel.rng.stream("flush"))
+    kernel.spawn(runner)
+    kernel.run()
+
+    db.crash()
+    kernel.spawn(db.restart())
+    kernel.run()
+    first = read_state(kernel, db)
+    # Crash again immediately: recovery must be idempotent.
+    db.crash()
+    kernel.spawn(db.restart())
+    kernel.run()
+    second = read_state(kernel, db)
+    assert first == second == expected

@@ -1,0 +1,77 @@
+"""Property-based tests of the serialization-graph checker."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.serializability import HistoryOp, build_graph, check
+from repro.mlt.conflicts import READ_WRITE_TABLE, SEMANTIC_TABLE
+
+txns = st.sampled_from(["T1", "T2", "T3"])
+kinds = st.sampled_from(["read", "write", "increment"])
+obj_keys = st.sampled_from(["x", "y"])
+
+
+@st.composite
+def histories(draw, min_size=0, max_size=12):
+    rows = draw(
+        st.lists(st.tuples(txns, kinds, obj_keys), min_size=min_size, max_size=max_size)
+    )
+    return [
+        HistoryOp(seq, txn, kind, "t", key)
+        for seq, (txn, kind, key) in enumerate(rows, start=1)
+    ]
+
+
+@given(history=histories())
+@settings(max_examples=150)
+def test_serial_order_respects_every_conflict_edge(history):
+    report = check(history)
+    if not report.serializable:
+        assert report.cycle is not None
+        return
+    order = {txn: i for i, txn in enumerate(report.serial_order)}
+    graph = build_graph(history)
+    for src, dst in graph.edges:
+        assert order[src] < order[dst]
+
+
+@given(history=histories())
+@settings(max_examples=150)
+def test_serial_histories_always_serializable(history):
+    """Reordering ops so each txn runs contiguously => serializable."""
+    by_txn: dict[str, list[HistoryOp]] = {}
+    for op in history:
+        by_txn.setdefault(op.txn, []).append(op)
+    serial = [
+        HistoryOp(seq, op.txn, op.kind, op.table, op.key)
+        for seq, op in enumerate(
+            (op for txn in sorted(by_txn) for op in by_txn[txn]), start=1
+        )
+    ]
+    assert check(serial).serializable
+
+
+@given(history=histories())
+@settings(max_examples=100)
+def test_semantic_check_is_weaker_than_rw(history):
+    """Everything rw-serializable is semantically serializable too
+    (the semantic table only removes conflicts)."""
+    if check(history, READ_WRITE_TABLE.conflicts).serializable:
+        assert check(history, SEMANTIC_TABLE.conflicts).serializable
+
+
+@given(history=histories(max_size=8))
+@settings(max_examples=100)
+def test_single_transaction_always_serializable(history):
+    renamed = [
+        HistoryOp(op.seq, "T1", op.kind, op.table, op.key) for op in history
+    ]
+    assert check(renamed).serializable
+
+
+@given(history=histories())
+@settings(max_examples=100)
+def test_prefix_of_serializable_history_not_made_cyclic_by_removal(history):
+    """Dropping the last operation never creates a new cycle."""
+    if check(history).serializable and history:
+        assert check(history[:-1]).serializable

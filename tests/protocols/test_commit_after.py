@@ -1,0 +1,153 @@
+"""Local commitment after the global decision (§3.2)."""
+
+import pytest
+
+from repro.core.invariants import atomicity_report, serializability_ok
+from repro.faults import FaultInjector
+from repro.localdb.txn import LocalAbortReason, LocalTxnState
+from repro.mlt.actions import increment, read, write
+from tests.protocols.conftest import build_fed, submit_and_run
+
+
+def test_commit_happy_path_no_redo():
+    fed = build_fed("after")
+    outcome = submit_and_run(fed, [increment("t0", "x", -10), increment("t1", "x", 10)])
+    assert outcome.committed
+    assert outcome.redo_executions == 0
+    assert fed.peek("s0", "t0", "x") == 90
+    assert fed.peek("s1", "t1", "x") == 110
+
+
+def test_locals_stay_running_through_the_vote():
+    """No ready state: the vote is answered from the running state."""
+    fed = build_fed("after")
+    submit_and_run(fed, [increment("t0", "x", 1)])
+    states = [
+        r.details["state"]
+        for r in fed.kernel.trace.select(category="txn_state", site="s0")
+        if r.details.get("gtxn", "").startswith("G")
+    ]
+    assert "ready" not in states  # unlike 2PC
+    assert states[-1] == "committed"
+
+
+def test_intended_abort_is_cheap():
+    """All locals are still running: plain aborts, no redo/undo (§4.3)."""
+    fed = build_fed("after")
+    outcome = submit_and_run(
+        fed, [increment("t0", "x", -10), increment("t1", "x", 10)], intends_abort=True
+    )
+    assert not outcome.committed
+    assert outcome.undo_executions == 0
+    assert outcome.redo_executions == 0
+    assert fed.peek("s0", "t0", "x") == 100
+
+
+def test_erroneous_abort_triggers_redo():
+    """The §3.2 scenario: a local dies after voting ready; it is repeated
+    until committed, preserving global atomicity."""
+    fed = build_fed("after")
+    injector = FaultInjector(fed)
+    injector.erroneous_aborts_after_ready(probability=1.0, sites=["s0"], delay=0.2)
+    outcome = submit_and_run(fed, [increment("t0", "x", -10), increment("t1", "x", 10)])
+    assert outcome.committed
+    assert outcome.redo_executions == 1
+    assert fed.peek("s0", "t0", "x") == 90  # applied exactly once
+    assert atomicity_report(fed).ok
+
+
+def test_redo_trace_emitted():
+    fed = build_fed("after")
+    FaultInjector(fed).erroneous_aborts_after_ready(1.0, sites=["s0"], delay=0.2)
+    submit_and_run(fed, [increment("t0", "x", 1)])
+    assert len(fed.kernel.trace.select(category="redo")) == 1
+
+
+def test_both_sites_erroneously_aborted():
+    fed = build_fed("after")
+    FaultInjector(fed).erroneous_aborts_after_ready(1.0, delay=0.2)
+    outcome = submit_and_run(fed, [increment("t0", "x", -10), increment("t1", "x", 10)])
+    assert outcome.committed
+    assert outcome.redo_executions == 2
+    assert fed.peek("s0", "t0", "x") == 90
+    assert fed.peek("s1", "t1", "x") == 110
+
+
+def test_crash_during_commit_phase_resolved_by_marker():
+    """Site crashes around the decision: the durable commit marker
+    disambiguates, so the subtransaction applies exactly once."""
+    fed = build_fed("after", msg_timeout=10, poll=5.0)
+    injector = FaultInjector(fed)
+    injector.crash_site("s0", at=5.5, recover_after=50.0)
+    outcome = submit_and_run(fed, [increment("t0", "x", 7)])
+    assert outcome.committed
+    assert fed.peek("s0", "t0", "x") == 107
+    assert atomicity_report(fed).ok
+
+
+def test_serialization_order_pinned_across_redo():
+    """§3.2 serializability requirement: a conflicting global transaction
+    cannot slip between the first execution and the redo."""
+    from tests.protocols.conftest import submit_delayed
+
+    fed = build_fed("after")
+    FaultInjector(fed).erroneous_aborts_after_ready(1.0, sites=["s0"], delay=0.2)
+    p1 = fed.submit([read("t0", "x"), increment("t1", "x", 1)], name="T1")
+    # T2 arrives after T1 holds its L1 S lock on (t0, x); it must wait
+    # until T1 fully committed -- even across T1's redo at s0.
+    p2 = submit_delayed(fed, [write("t0", "x", 0)], delay=5.0, name="T2")
+    fed.run()
+    assert p1.value.committed and p2.value.committed
+    assert serializability_ok(fed)
+    assert p1.value.reads["t0['x']"] == 100  # T1 serialized before T2
+    assert p2.value.finish_time >= p1.value.finish_time
+    assert fed.peek("s0", "t0", "x") == 0
+
+
+def test_vote_abort_when_local_died_before_prepare():
+    fed = build_fed("after")
+    # Kill s1's subtransaction while the global txn is still executing
+    # on s0 (the increments below each take a while).
+    def killer():
+        yield 3.0
+        comm = fed.comms["s1"]
+        if comm._subtxns:
+            txn_id = next(iter(comm._subtxns.values()))
+            fed.engines["s1"].force_abort(txn_id, LocalAbortReason.SYSTEM)
+
+    fed.kernel.spawn(killer())
+    outcome = submit_and_run(
+        fed,
+        [increment("t1", "x", 5)] + [increment("t0", "x", 1)] * 5,
+    )
+    # Either the op failed mid-flight or the vote was abort; both end in
+    # a retried (and eventually committed) or cleanly aborted run.
+    assert atomicity_report(fed).ok
+
+
+def test_redo_log_cleared_after_finish():
+    fed = build_fed("after")
+    submit_and_run(fed, [increment("t0", "x", 1)])
+    assert fed.gtm.redo_log.entries == {}
+
+
+def test_volatile_placement_can_double_apply():
+    """EXP-A2's mechanism: with a volatile commit log, a crash between
+    local commit and propagation makes the protocol guess; redo after an
+    actually-committed transaction double-applies the increment."""
+    fed = build_fed("after", log_placement="volatile", msg_timeout=10, poll=5.0)
+    injector = FaultInjector(fed)
+    # Crash right after the decide message commits locally but before
+    # the reply reaches the coordinator.
+    injector.crash_site("s0", at=6.2, recover_after=50.0)
+    outcome = submit_and_run(fed, [increment("t0", "x", 7)])
+    assert outcome.committed
+    report = atomicity_report(fed)
+    final = fed.peek("s0", "t0", "x")
+    # Depending on exact crash timing the commit either did not land
+    # (clean redo, 107) or did land (double apply, 114, flagged).
+    if final == 114:
+        assert not report.ok
+        assert report.violations[0].kind == "double_execution"
+    else:
+        assert final == 107

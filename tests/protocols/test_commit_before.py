@@ -1,0 +1,201 @@
+"""Local commitment before the global decision (§3.3 / §4)."""
+
+import pytest
+
+from repro.core.invariants import atomicity_report, serializability_ok
+from repro.faults import FaultInjector
+from repro.mlt.actions import delete, increment, insert, read, write
+from tests.protocols.conftest import build_fed, submit_and_run
+
+
+@pytest.mark.parametrize("granularity", ["per_action", "per_site"])
+def test_commit_happy_path(granularity):
+    fed = build_fed("before", granularity=granularity)
+    outcome = submit_and_run(fed, [increment("t0", "x", -10), increment("t1", "x", 10)])
+    assert outcome.committed
+    assert fed.peek("s0", "t0", "x") == 90
+    assert fed.peek("s1", "t1", "x") == 110
+    assert atomicity_report(fed).ok
+
+
+@pytest.mark.parametrize("granularity", ["per_action", "per_site"])
+def test_intended_abort_undoes_committed_locals(granularity):
+    """§4.3: the drawback -- an intended abort needs inverse transactions
+    because the locals already committed."""
+    fed = build_fed("before", granularity=granularity)
+    outcome = submit_and_run(
+        fed, [increment("t0", "x", -10), increment("t1", "x", 10)], intends_abort=True
+    )
+    assert not outcome.committed
+    assert outcome.undo_executions >= 1
+    assert fed.peek("s0", "t0", "x") == 100
+    assert fed.peek("s1", "t1", "x") == 100
+    assert atomicity_report(fed).ok
+
+
+def test_local_locks_released_before_global_end():
+    """The paper's headline concurrency claim: a second transaction can
+    use a local object as soon as the first's L0 action committed, long
+    before the first global transaction finishes elsewhere."""
+    fed = build_fed("before", granularity="per_action", n_sites=2)
+    # T1: quick increment at s0, then a long tail of work at s1.
+    t1_ops = [increment("t0", "x", 1)] + [increment("t1", "y", 1)] * 8
+    # T2: a single increment on the same object at s0 (commutes at L1).
+    p1 = fed.submit(t1_ops, name="T1")
+    p2 = fed.submit([increment("t0", "x", 1)], name="T2")
+    fed.run()
+    o1, o2 = p1.value, p2.value
+    assert o1.committed and o2.committed
+    assert o2.finish_time < o1.finish_time  # T2 did not wait for T1
+    assert fed.peek("s0", "t0", "x") == 102
+
+
+def test_undo_restores_all_operation_kinds():
+    fed = build_fed("before", granularity="per_action")
+    outcome = submit_and_run(
+        fed,
+        [
+            write("t0", "x", 777),
+            insert("t0", "new", 5),
+            delete("t0", "y"),
+            increment("t1", "x", 3),
+        ],
+        intends_abort=True,
+    )
+    assert not outcome.committed
+    assert fed.peek("s0", "t0", "x") == 100
+    assert fed.peek("s0", "t0", "new") is None
+    assert fed.peek("s0", "t0", "y") == 50
+    assert fed.peek("s1", "t1", "x") == 100
+
+
+def test_logic_error_mid_transaction_undoes_prefix():
+    fed = build_fed("before", granularity="per_action")
+    outcome = submit_and_run(
+        fed,
+        [increment("t0", "x", -10), increment("t1", "missing", 10)],
+    )
+    assert not outcome.committed
+    assert outcome.undo_executions == 1
+    assert fed.peek("s0", "t0", "x") == 100
+    assert atomicity_report(fed).ok
+
+
+def test_per_site_mixed_outcome_triggers_undo():
+    """One local commits, another aborts autonomously before finishing:
+    the committed one must be undone (Figure 6)."""
+    fed = build_fed("before", granularity="per_site")
+    from repro.localdb.txn import LocalAbortReason
+
+    def killer():
+        # Abort s1's subtransaction while the global txn still works on s0.
+        yield 4.0
+        comm = fed.comms["s1"]
+        for txn_id in comm._subtxns.values():
+            fed.engines["s1"].force_abort(txn_id, LocalAbortReason.SYSTEM)
+
+    fed.kernel.spawn(killer())
+    outcome = submit_and_run(
+        fed,
+        [increment("t1", "x", 5)] + [increment("t0", "x", 1)] * 6,
+    )
+    assert atomicity_report(fed).ok
+    # Whatever the outcome (abort, or commit after the GTM retried), the
+    # net effect must be consistent on both sites.
+    if not outcome.committed:
+        assert fed.peek("t1" and "s1", "t1", "x") == 100
+
+
+def test_crash_site_protocol_waits_for_recovery():
+    """§3.3: 'the global transaction manager has to wait for the local
+    system to come up again'."""
+    fed = build_fed("before", granularity="per_action", msg_timeout=10, poll=5.0)
+    injector = FaultInjector(fed)
+    injector.crash_site("s1", at=3.0, recover_after=80.0)
+    outcome = submit_and_run(fed, [increment("t0", "x", -10), increment("t1", "x", 10)])
+    assert outcome.committed
+    assert outcome.finish_time > 80.0  # waited out the outage
+    assert fed.peek("s1", "t1", "x") == 110
+    assert atomicity_report(fed).ok
+
+
+def test_crash_during_undo_retries_inverse():
+    fed = build_fed("before", granularity="per_action", msg_timeout=10, poll=5.0)
+    injector = FaultInjector(fed)
+    injector.crash_site("s0", at=8.0, recover_after=60.0)
+    outcome = submit_and_run(
+        fed, [increment("t0", "x", -10), increment("t1", "x", 10)], intends_abort=True
+    )
+    assert not outcome.committed
+    assert fed.peek("s0", "t0", "x") == 100
+    assert fed.peek("s1", "t1", "x") == 100
+    assert atomicity_report(fed).ok
+
+
+def test_commit_point_before_decision_in_trace():
+    """Figure 7: local commits precede the global decision."""
+    fed = build_fed("before", granularity="per_action")
+    submit_and_run(fed, [increment("t0", "x", 1), increment("t1", "x", 1)])
+    decision = fed.kernel.trace.first(category="gtxn_decision")
+    local_commits = [
+        r.time
+        for r in fed.kernel.trace.select(category="txn_state")
+        if r.details.get("state") == "committed" and r.details.get("gtxn")
+    ]
+    assert local_commits and all(t <= decision.time for t in local_commits)
+
+
+def test_semantic_locks_allow_concurrent_increments():
+    fed = build_fed("before", granularity="per_action")
+    p1 = fed.submit([increment("t0", "x", 1)] * 3, name="T1")
+    p2 = fed.submit([increment("t0", "x", 1)] * 3, name="T2")
+    fed.run()
+    assert p1.value.committed and p2.value.committed
+    assert fed.peek("s0", "t0", "x") == 106
+    assert serializability_ok(fed)
+    # Neither waited on the other at L1 (increment locks commute).
+    assert fed.gtm.l1.waits == 0
+
+
+def test_rw_ablation_serializes_increments():
+    """EXP-A1: with the read/write table the same workload serializes."""
+    from repro.core.gtm import GTMConfig
+    from repro.integration.federation import Federation, FederationConfig, SiteSpec
+    from repro.mlt.conflicts import READ_WRITE_TABLE
+
+    fed = Federation(
+        [SiteSpec("s0", tables={"t0": {"x": 100}})],
+        FederationConfig(
+            seed=7,
+            gtm=GTMConfig(
+                protocol="before", granularity="per_action", l1_table=READ_WRITE_TABLE
+            ),
+        ),
+    )
+    p1 = fed.submit([increment("t0", "x", 1)] * 3, name="T1")
+    p2 = fed.submit([increment("t0", "x", 1)] * 3, name="T2")
+    fed.run()
+    assert p1.value.committed and p2.value.committed
+    assert fed.gtm.l1.waits > 0  # somebody had to queue
+    assert fed.peek("s0", "t0", "x") == 106
+
+
+def test_undo_log_cleared_after_finish():
+    fed = build_fed("before", granularity="per_action")
+    submit_and_run(fed, [increment("t0", "x", 1)], intends_abort=True)
+    assert fed.gtm.undo_log.records == []
+
+
+def test_erroneous_l0_aborts_retried_inside_cm():
+    """Two actions hammering the same page cause L0 conflicts; the local
+    communication manager retries them transparently."""
+    fed = build_fed("before", granularity="per_action")
+    procs = [
+        fed.submit([increment("t0", "x", 1), increment("t0", "y", 1)], name=f"T{i}")
+        for i in range(6)
+    ]
+    fed.run()
+    assert all(p.value.committed for p in procs)
+    assert fed.peek("s0", "t0", "x") == 106
+    assert fed.peek("s0", "t0", "y") == 56
+    assert atomicity_report(fed).ok

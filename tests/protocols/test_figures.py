@@ -1,0 +1,205 @@
+"""Figure-conformance tests: the executable versions of Figures 1-7.
+
+Each test replays the state/message choreography of one figure of the
+paper against the trace log and asserts its defining properties.
+"""
+
+from repro.mlt.actions import increment
+from tests.protocols.conftest import build_fed, submit_and_run
+
+TRANSFER = [increment("t0", "x", -10), increment("t1", "x", 10)]
+
+
+def message_kinds(fed, dest_filter=None):
+    records = fed.kernel.trace.select(category="message")
+    if dest_filter:
+        records = [r for r in records if r.details.get("dest") == dest_filter]
+    return [r.subject for r in records]
+
+
+# ---------------------------------------------------------------------------
+# Figure 1: architecture -- star communication
+# ---------------------------------------------------------------------------
+
+
+def test_figure1_no_local_to_local_messages():
+    fed = build_fed("before", granularity="per_action", n_sites=3)
+    submit_and_run(fed, TRANSFER + [increment("t2", "x", 0)])
+    for record in fed.kernel.trace.select(category="message"):
+        endpoints = {record.site, record.details["dest"]}
+        assert "central" in endpoints, f"local-to-local message: {record}"
+
+
+def test_figure1_one_connection_per_site():
+    fed = build_fed("2pc", n_sites=3)
+    submit_and_run(fed, TRANSFER)
+    # Every site only ever talks to the central node.
+    for record in fed.kernel.trace.select(category="message"):
+        if record.site != "central":
+            assert record.details["dest"] == "central"
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: 2PC states and messages
+# ---------------------------------------------------------------------------
+
+
+def test_figure2_message_sequence():
+    fed = build_fed("2pc")
+    submit_and_run(fed, TRANSFER)
+    kinds_to_s0 = message_kinds(fed, dest_filter="s0")
+    # prepare then the decision, in that order.
+    assert kinds_to_s0.index("prepare") < kinds_to_s0.index("decide")
+    kinds_from_s0 = [
+        r.subject for r in fed.kernel.trace.select(category="message", site="s0")
+    ]
+    assert "vote" in kinds_from_s0      # the "ready" message
+    assert "finished" in kinds_from_s0  # after following the decision
+
+
+def test_figure2_global_states():
+    fed = build_fed("2pc")
+    submit_and_run(fed, TRANSFER)
+    states = [
+        r.details["state"]
+        for r in fed.kernel.trace.select(category="gtxn_state", site="central")
+    ]
+    assert states == ["running", "inquire", "waiting_to_commit", "committed"]
+
+
+def test_figure2_local_states_pass_ready():
+    fed = build_fed("2pc")
+    submit_and_run(fed, TRANSFER)
+    states = [
+        r.details["state"]
+        for r in fed.kernel.trace.select(category="txn_state", site="s0")
+        if r.details.get("gtxn")
+    ]
+    assert states == ["running", "ready", "committed"]
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: 2PC decides in the MIDDLE of local commitment
+# ---------------------------------------------------------------------------
+
+
+def test_figure3_decision_between_ready_and_committed():
+    fed = build_fed("2pc")
+    submit_and_run(fed, TRANSFER)
+    decision = fed.kernel.trace.first(category="gtxn_decision").time
+    for site in ("s0", "s1"):
+        ready = next(
+            r.time
+            for r in fed.kernel.trace.select(category="txn_state", site=site)
+            if r.details.get("state") == "ready"
+        )
+        committed = next(
+            r.time
+            for r in fed.kernel.trace.select(category="txn_state", site=site)
+            if r.details.get("state") == "committed" and r.details.get("gtxn")
+        )
+        assert ready < decision < committed
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 / Figure 5: commit-after -- decision BEFORE local commitment
+# ---------------------------------------------------------------------------
+
+
+def test_figure5_decision_precedes_local_commits():
+    fed = build_fed("after")
+    submit_and_run(fed, TRANSFER)
+    decision = fed.kernel.trace.first(category="gtxn_decision").time
+    local_commits = [
+        r.time
+        for r in fed.kernel.trace.select(category="txn_state")
+        if r.details.get("state") == "committed" and r.details.get("gtxn")
+    ]
+    assert local_commits and all(t > decision for t in local_commits)
+
+
+def test_figure4_redo_loop_on_erroneous_abort():
+    from repro.faults import FaultInjector
+
+    fed = build_fed("after")
+    FaultInjector(fed).erroneous_aborts_after_ready(1.0, sites=["s0"], delay=0.2)
+    outcome = submit_and_run(fed, TRANSFER)
+    assert outcome.committed
+    # The double arrow of Figure 4: an aborted run followed by a redo
+    # that reaches the committed final state.
+    s0_states = [
+        (r.details["state"], r.details.get("reason"))
+        for r in fed.kernel.trace.select(category="txn_state", site="s0")
+        if r.details.get("gtxn")
+    ]
+    assert ("aborted", "system") in s0_states        # erroneous abort
+    assert s0_states[-1][0] == "committed"           # valid final state
+    assert len(fed.kernel.trace.select(category="redo")) == 1
+
+
+def test_figure4_no_ready_state_used():
+    fed = build_fed("after")
+    submit_and_run(fed, TRANSFER)
+    states = [
+        r.details["state"]
+        for r in fed.kernel.trace.select(category="txn_state")
+    ]
+    assert "ready" not in states
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 / Figure 7: commit-before -- decision AFTER local commitment
+# ---------------------------------------------------------------------------
+
+
+def test_figure7_local_commits_precede_decision():
+    fed = build_fed("before", granularity="per_action")
+    submit_and_run(fed, TRANSFER)
+    decision = fed.kernel.trace.first(category="gtxn_decision").time
+    local_commits = [
+        r.time
+        for r in fed.kernel.trace.select(category="txn_state")
+        if r.details.get("state") == "committed" and r.details.get("gtxn")
+    ]
+    assert local_commits and all(t <= decision for t in local_commits)
+
+
+def test_figure6_undo_via_inverse_transaction():
+    fed = build_fed("before", granularity="per_action")
+    outcome = submit_and_run(fed, TRANSFER, intends_abort=True)
+    assert not outcome.committed
+    # "Even though a successful inverse transaction is in the committed
+    # state, the whole local transaction is in the aborted state":
+    # committed inverse transactions exist for both sites...
+    undo_commits = [
+        r
+        for r in fed.kernel.trace.select(category="txn_state")
+        if r.details.get("state") == "committed"
+        and str(r.details.get("gtxn", "")).endswith("!undo")
+    ]
+    assert len(undo_commits) == 2
+    # ...and the data is back to the initial state.
+    assert fed.peek("s0", "t0", "x") == 100
+    assert fed.peek("s1", "t1", "x") == 100
+
+
+def test_figure6_states_waiting_to_abort():
+    fed = build_fed("before", granularity="per_action")
+    submit_and_run(fed, TRANSFER, intends_abort=True)
+    states = [
+        r.details["state"]
+        for r in fed.kernel.trace.select(category="gtxn_state", site="central")
+    ]
+    assert states == ["running", "waiting_to_abort", "aborted"]
+
+
+def test_figure6_per_site_inquire_phase():
+    fed = build_fed("before", granularity="per_site")
+    submit_and_run(fed, TRANSFER)
+    states = [
+        r.details["state"]
+        for r in fed.kernel.trace.select(category="gtxn_state", site="central")
+    ]
+    assert states == ["running", "inquire", "committed"]
+    # The final-state inquiry is carried by prepare messages (Figure 6).
+    assert "prepare" in message_kinds(fed, dest_filter="s0")

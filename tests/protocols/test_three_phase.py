@@ -1,0 +1,43 @@
+"""Three-phase commit extension."""
+
+from repro.core.invariants import atomicity_report
+from repro.mlt.actions import increment
+from tests.protocols.conftest import build_fed, submit_and_run
+
+TRANSFER = [increment("t0", "x", -10), increment("t1", "x", 10)]
+
+
+def test_commit_happy_path():
+    fed = build_fed("3pc")
+    outcome = submit_and_run(fed, TRANSFER)
+    assert outcome.committed
+    assert fed.peek("s0", "t0", "x") == 90
+    assert fed.peek("s1", "t1", "x") == 110
+    assert atomicity_report(fed).ok
+
+
+def test_intended_abort():
+    fed = build_fed("3pc")
+    outcome = submit_and_run(fed, TRANSFER, intends_abort=True)
+    assert not outcome.committed
+    assert fed.peek("s0", "t0", "x") == 100
+
+
+def test_pre_commit_round_present():
+    fed = build_fed("3pc")
+    submit_and_run(fed, TRANSFER)
+    kinds = [
+        r.subject
+        for r in fed.kernel.trace.select(category="message")
+        if r.details.get("dest") == "s0"
+    ]
+    assert kinds.index("prepare") < kinds.index("pre_commit") < kinds.index("decide")
+
+
+def test_more_messages_than_2pc():
+    """The [DS 83] point: nonblocking-ness costs a whole round."""
+    fed3 = build_fed("3pc")
+    submit_and_run(fed3, TRANSFER)
+    fed2 = build_fed("2pc")
+    submit_and_run(fed2, TRANSFER)
+    assert fed3.network.sent > fed2.network.sent

@@ -1,0 +1,129 @@
+"""Futures and AnyOf races."""
+
+import pytest
+
+from repro.sim.events import AnyOf, Delay, Future
+from tests.conftest import run
+
+
+def test_future_resolve_and_value():
+    future = Future(label="f")
+    assert not future.done
+    future.resolve(42)
+    assert future.done
+    assert future.value == 42
+
+
+def test_future_fail_raises_on_value():
+    future = Future()
+    future.fail(RuntimeError("nope"))
+    with pytest.raises(RuntimeError):
+        future.value
+
+
+def test_future_double_resolve_rejected():
+    future = Future()
+    future.resolve(1)
+    with pytest.raises(RuntimeError):
+        future.resolve(2)
+
+
+def test_value_before_resolution_rejected():
+    with pytest.raises(RuntimeError):
+        Future().value
+
+
+def test_callback_on_resolution():
+    future = Future()
+    seen = []
+    future.add_callback(lambda f: seen.append(f._value))
+    future.resolve("x")
+    assert seen == ["x"]
+
+
+def test_callback_on_already_done_future():
+    future = Future()
+    future.resolve("y")
+    seen = []
+    future.add_callback(lambda f: seen.append(f._value))
+    assert seen == ["y"]
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        Delay(-1)
+
+
+def test_anyof_needs_futures():
+    with pytest.raises(ValueError):
+        AnyOf([])
+
+
+def test_process_wakes_on_future(kernel):
+    future = Future()
+
+    def waiter():
+        value = yield future
+        return value, kernel.now
+
+    def resolver():
+        yield 6
+        future.resolve("hello")
+
+    kernel.spawn(resolver())
+    assert run(kernel, waiter()) == ("hello", 6.0)
+
+
+def test_failed_future_raises_in_process(kernel):
+    future = Future()
+
+    def waiter():
+        try:
+            yield future
+        except KeyError:
+            return "caught"
+
+    def failer():
+        yield 1
+        future.fail(KeyError("gone"))
+
+    kernel.spawn(failer())
+    assert run(kernel, waiter()) == "caught"
+
+
+def test_anyof_returns_first_winner(kernel):
+    def proc():
+        index, value = yield AnyOf([kernel.timer(10), kernel.timer(3)])
+        return index, kernel.now
+
+    assert run(kernel, proc()) == (1, 3.0)
+
+
+def test_anyof_ignores_later_resolutions(kernel):
+    slow = Future()
+    fast = Future()
+
+    def proc():
+        index, _ = yield AnyOf([slow, fast])
+        yield 5  # let the loser resolve afterwards
+        return index
+
+    def resolver():
+        yield 1
+        fast.resolve("fast")
+        yield 1
+        slow.resolve("slow")
+
+    kernel.spawn(resolver())
+    assert run(kernel, proc()) == 1
+
+
+def test_anyof_with_already_done_future(kernel):
+    ready = Future()
+    ready.resolve("now")
+
+    def proc():
+        index, value = yield AnyOf([Future(), ready])
+        return index, value
+
+    assert run(kernel, proc()) == (1, "now")

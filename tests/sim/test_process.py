@@ -1,0 +1,130 @@
+"""Process lifecycle and interruption semantics."""
+
+import pytest
+
+from repro.errors import ProcessInterrupted, SimulationError
+from repro.sim.events import Future
+from tests.conftest import run
+
+
+def test_interrupt_raises_inside_process(kernel):
+    seen = []
+
+    def sleeper():
+        try:
+            yield 100
+        except ProcessInterrupted as exc:
+            seen.append((kernel.now, exc.cause))
+
+    proc = kernel.spawn(sleeper())
+
+    def killer():
+        yield 7
+        proc.interrupt("deadline")
+
+    kernel.spawn(killer())
+    kernel.run()
+    assert seen == [(7.0, "deadline")]
+
+
+def test_interrupt_cancels_pending_timer_resume(kernel):
+    resumes = []
+
+    def sleeper():
+        try:
+            yield 100
+        except ProcessInterrupted:
+            yield 1  # continue doing something else
+        resumes.append(kernel.now)
+
+    proc = kernel.spawn(sleeper())
+    kernel.call_at(5, lambda: proc.interrupt())
+    kernel.run()
+    # Exactly one completion; the original t=100 wakeup must not fire.
+    assert resumes == [6.0]
+
+
+def test_interrupt_while_waiting_on_future_ignores_late_resolution(kernel):
+    future = Future()
+    events = []
+
+    def waiter():
+        try:
+            yield future
+            events.append("resolved")
+        except ProcessInterrupted:
+            events.append("interrupted")
+            yield 10
+            events.append("after")
+
+    proc = kernel.spawn(waiter())
+    kernel.call_at(2, lambda: proc.interrupt())
+    kernel.call_at(3, lambda: future.resolve("late"))
+    kernel.run()
+    assert events == ["interrupted", "after"]
+
+
+def test_interrupt_finished_process_is_noop(kernel):
+    def quick():
+        yield 1
+
+    proc = kernel.spawn(quick())
+    kernel.run()
+    proc.interrupt("too late")  # must not raise
+    kernel.run()
+
+
+def test_unhandled_interrupt_finishes_quietly(kernel):
+    def sleeper():
+        yield 100
+
+    proc = kernel.spawn(sleeper())
+    kernel.call_at(1, lambda: proc.interrupt("kill"))
+    kernel.run()  # must not raise
+    assert not proc.alive
+
+
+def test_yielding_garbage_fails_process(kernel):
+    def bad():
+        yield object()
+
+    kernel.spawn(bad())
+    with pytest.raises(SimulationError):
+        kernel.run()
+
+
+def test_process_names_unique():
+    from repro.sim.kernel import Kernel
+
+    kernel = Kernel()
+
+    def noop():
+        return
+        yield
+
+    a = kernel.spawn(noop())
+    b = kernel.spawn(noop())
+    assert a.name != b.name
+
+
+def test_alive_flag(kernel):
+    def proc():
+        yield 5
+
+    p = kernel.spawn(proc())
+    assert p.alive
+    kernel.run()
+    assert not p.alive
+
+
+def test_nested_yield_from_composition(kernel):
+    def inner():
+        yield 2
+        return "inner"
+
+    def outer():
+        value = yield from inner()
+        yield 3
+        return value, kernel.now
+
+    assert run(kernel, outer()) == ("inner", 5.0)

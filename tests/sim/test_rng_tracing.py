@@ -1,0 +1,80 @@
+"""Random streams and the trace log."""
+
+from repro.sim.kernel import Kernel
+from repro.sim.rng import RandomStreams
+
+
+def test_streams_are_independent():
+    streams = RandomStreams(seed=5)
+    a1 = [streams.stream("a").random() for _ in range(3)]
+    b = [streams.stream("b").random() for _ in range(10)]
+    streams2 = RandomStreams(seed=5)
+    [streams2.stream("b").random() for _ in range(10)]
+    a2 = [streams2.stream("a").random() for _ in range(3)]
+    assert a1 == a2  # draws on "b" never perturb "a"
+
+
+def test_stream_identity_cached():
+    streams = RandomStreams(seed=1)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_stream_seed_stable_across_instances():
+    a = RandomStreams(seed=9).stream("s").random()
+    b = RandomStreams(seed=9).stream("s").random()
+    assert a == b
+
+
+def test_trace_emit_and_select():
+    kernel = Kernel()
+    kernel.trace.emit("lock", "siteA", "t1", mode="X")
+    kernel.trace.emit("lock", "siteB", "t2", mode="S")
+    kernel.trace.emit("message", "central", "prepare")
+    assert len(kernel.trace) == 3
+    locks = kernel.trace.select(category="lock")
+    assert [r.site for r in locks] == ["siteA", "siteB"]
+    assert kernel.trace.first(category="message").subject == "prepare"
+    assert kernel.trace.last(category="lock").details["mode"] == "S"
+
+
+def test_trace_timestamps_follow_clock():
+    kernel = Kernel()
+
+    def proc():
+        kernel.trace.emit("step", "here", "one")
+        yield 5
+        kernel.trace.emit("step", "here", "two")
+
+    kernel.spawn(proc())
+    kernel.run()
+    times = [r.time for r in kernel.trace.select(category="step")]
+    assert times == [0.0, 5.0]
+
+
+def test_trace_subjects_in_first_seen_order():
+    kernel = Kernel()
+    for subject in ["b", "a", "b", "c"]:
+        kernel.trace.emit("x", "s", subject)
+    assert kernel.trace.subjects("x") == ["b", "a", "c"]
+
+
+def test_trace_disabled_drops_records():
+    kernel = Kernel()
+    kernel.trace.enabled = False
+    kernel.trace.emit("x", "s", "t")
+    assert len(kernel.trace) == 0
+
+
+def test_trace_predicate_filter():
+    kernel = Kernel()
+    for i in range(5):
+        kernel.trace.emit("n", "s", str(i), value=i)
+    big = kernel.trace.select(category="n", predicate=lambda r: r.details["value"] >= 3)
+    assert [r.subject for r in big] == ["3", "4"]
+
+
+def test_trace_dump_is_readable():
+    kernel = Kernel()
+    kernel.trace.emit("txn_state", "bank_a", "t1", state="committed")
+    text = kernel.trace.dump(category="txn_state")
+    assert "bank_a" in text and "committed" in text

@@ -1,0 +1,139 @@
+"""Mailbox and FifoLock semantics."""
+
+import pytest
+
+from repro.sim.sync import FifoLock, Mailbox
+from tests.conftest import run
+
+
+def test_mailbox_put_then_recv(kernel):
+    box = Mailbox()
+    box.put("a")
+
+    def consumer():
+        item = yield from box.recv()
+        return item
+
+    assert run(kernel, consumer()) == "a"
+
+
+def test_mailbox_recv_blocks_until_put(kernel):
+    box = Mailbox()
+
+    def consumer():
+        item = yield from box.recv()
+        return item, kernel.now
+
+    def producer():
+        yield 4
+        box.put("late")
+
+    kernel.spawn(producer())
+    assert run(kernel, consumer()) == ("late", 4.0)
+
+
+def test_mailbox_fifo_order(kernel):
+    box = Mailbox()
+    for i in range(3):
+        box.put(i)
+
+    def consumer():
+        items = []
+        for _ in range(3):
+            item = yield from box.recv()
+            items.append(item)
+        return items
+
+    assert run(kernel, consumer()) == [0, 1, 2]
+
+
+def test_mailbox_multiple_waiters_served_fifo(kernel):
+    box = Mailbox()
+    got = []
+
+    def consumer(i):
+        item = yield from box.recv()
+        got.append((i, item))
+
+    kernel.spawn(consumer(0))
+    kernel.spawn(consumer(1))
+
+    def producer():
+        yield 1
+        box.put("first")
+        yield 1
+        box.put("second")
+
+    kernel.spawn(producer())
+    kernel.run()
+    assert got == [(0, "first"), (1, "second")]
+
+
+def test_mailbox_drain():
+    box = Mailbox()
+    box.put(1)
+    box.put(2)
+    assert box.drain() == [1, 2]
+    assert len(box) == 0
+
+
+def test_mailbox_fail_waiters(kernel):
+    box = Mailbox()
+
+    def consumer():
+        try:
+            yield from box.recv()
+        except ConnectionError:
+            return "failed"
+
+    proc = kernel.spawn(consumer())
+    kernel.call_at(1, lambda: box.fail_waiters(ConnectionError()))
+    kernel.run()
+    assert proc.value == "failed"
+
+
+def test_fifolock_mutual_exclusion(kernel):
+    lock = FifoLock()
+    order = []
+
+    def worker(i):
+        yield from lock.acquire()
+        order.append(("in", i, kernel.now))
+        yield 5
+        order.append(("out", i, kernel.now))
+        lock.release()
+
+    kernel.spawn(worker(0))
+    kernel.spawn(worker(1))
+    kernel.run()
+    assert order == [
+        ("in", 0, 0.0), ("out", 0, 5.0),
+        ("in", 1, 5.0), ("out", 1, 10.0),
+    ]
+
+
+def test_fifolock_release_unlocked_rejected():
+    lock = FifoLock()
+    with pytest.raises(RuntimeError):
+        lock.release()
+
+
+def test_fifolock_reset_fails_waiters(kernel):
+    lock = FifoLock()
+
+    def holder():
+        yield from lock.acquire()
+        yield 100
+
+    def waiter():
+        try:
+            yield from lock.acquire()
+        except ConnectionError:
+            return "reset"
+
+    kernel.spawn(holder())
+    proc = kernel.spawn(waiter())
+    kernel.call_at(2, lambda: lock.reset(ConnectionError()))
+    kernel.run(raise_failures=False)
+    assert proc.value == "reset"
+    assert not lock.locked

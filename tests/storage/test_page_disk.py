@@ -1,0 +1,131 @@
+"""Pages and the simulated stable disk."""
+
+import pytest
+
+from repro.errors import PageNotFound, SiteCrashed
+from repro.storage.disk import StableDisk, StorageConfig
+from repro.storage.page import Page
+from tests.conftest import run
+
+
+def test_page_put_get_remove():
+    page = Page(1, "t")
+    page.put("k", 10, lsn=5)
+    assert page.get("k") == 10
+    assert "k" in page
+    assert page.page_lsn == 5
+    page.remove("k", lsn=7)
+    assert page.get("k") is None
+    assert page.page_lsn == 7
+
+
+def test_page_lsn_monotonic():
+    page = Page(1, "t")
+    page.put("a", 1, lsn=10)
+    page.put("b", 2, lsn=3)  # older LSN must not regress the stamp
+    assert page.page_lsn == 10
+
+
+def test_page_snapshot_is_deep():
+    page = Page(1, "t")
+    page.put("k", {"nested": [1]}, lsn=1)
+    snap = page.snapshot()
+    page.get("k")["nested"].append(2)
+    assert snap.get("k") == {"nested": [1]}
+
+
+def test_disk_write_read_roundtrip(kernel):
+    disk = StableDisk(kernel, "s")
+
+    def proc():
+        page = Page(3, "t")
+        page.put("k", "v", lsn=1)
+        yield from disk.write_page(page)
+        got = yield from disk.read_page(3)
+        return got.get("k")
+
+    assert run(kernel, proc()) == "v"
+
+
+def test_disk_read_missing_page(kernel):
+    disk = StableDisk(kernel, "s")
+
+    def proc():
+        yield from disk.read_page(99)
+
+    with pytest.raises(PageNotFound):
+        run(kernel, proc())
+
+
+def test_disk_write_stores_snapshot(kernel):
+    disk = StableDisk(kernel, "s")
+    page = Page(1, "t")
+    page.put("k", 1, lsn=1)
+
+    def proc():
+        yield from disk.write_page(page)
+        page.put("k", 2, lsn=2)  # mutate after write
+        stable = yield from disk.read_page(1)
+        return stable.get("k")
+
+    assert run(kernel, proc()) == 1
+
+
+def test_disk_io_consumes_time(kernel):
+    config = StorageConfig(page_read_time=2.0, page_write_time=3.0)
+    disk = StableDisk(kernel, "s", config)
+
+    def proc():
+        yield from disk.write_page(Page(1, "t"))
+        t_after_write = kernel.now
+        yield from disk.read_page(1)
+        return t_after_write, kernel.now
+
+    assert run(kernel, proc()) == (3.0, 5.0)
+
+
+def test_inflight_write_aborted_by_crash(kernel):
+    disk = StableDisk(kernel, "s")
+
+    def writer():
+        yield from disk.write_page(Page(1, "t"))
+
+    proc = kernel.spawn(writer())
+    kernel.call_at(0.5, lambda: setattr(disk, "crash_epoch", disk.crash_epoch + 1))
+    kernel.run(raise_failures=False)
+    assert isinstance(proc.exception, SiteCrashed)
+    assert not disk.has_page(1)
+
+
+def test_inflight_log_force_aborted_by_crash(kernel):
+    disk = StableDisk(kernel, "s")
+
+    def forcer():
+        yield from disk.append_log(["rec"])
+
+    proc = kernel.spawn(forcer())
+    kernel.call_at(0.5, lambda: setattr(disk, "crash_epoch", disk.crash_epoch + 1))
+    kernel.run(raise_failures=False)
+    assert isinstance(proc.exception, SiteCrashed)
+    assert disk.stable_log() == []
+
+
+def test_meta_survives_without_io(kernel):
+    disk = StableDisk(kernel, "s")
+    disk.set_meta("catalog", {"t": 1})
+    assert disk.get_meta("catalog") == {"t": 1}
+    assert disk.get_meta("absent", "default") == "default"
+    assert disk.meta_keys() == ["catalog"]
+
+
+def test_log_append_and_truncate(kernel):
+    disk = StableDisk(kernel, "s")
+
+    def proc():
+        yield from disk.append_log([1, 2])
+        yield from disk.append_log([3])
+        return disk.stable_log()
+
+    assert run(kernel, proc()) == [1, 2, 3]
+    disk.truncate_log(2)
+    assert disk.stable_log() == [3]

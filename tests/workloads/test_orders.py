@@ -1,0 +1,106 @@
+"""Order-processing workload: full operation vocabulary under undo."""
+
+import pytest
+
+from repro.core.gtm import GTMConfig
+from repro.core.invariants import atomicity_report
+from repro.integration.federation import FederationConfig
+from repro.workloads.orders import (
+    audit_consistency,
+    build_orders_federation,
+    cancel_order,
+    place_order,
+    random_order,
+)
+
+
+def build(protocol="before", granularity="per_action", seed=33):
+    return build_orders_federation(
+        config=FederationConfig(
+            seed=seed, gtm=GTMConfig(protocol=protocol, granularity=granularity)
+        )
+    )
+
+
+def test_place_order_commits_across_sites():
+    fed = build()
+    process = fed.submit(place_order("o1", "p0", 3, 10))
+    fed.run()
+    assert process.value.committed
+    assert fed.peek("orders_db", "orders", "o1") == {"product": "p0", "qty": 3}
+    assert fed.peek("warehouse", "stock", "p0") == 97
+    assert fed.peek("warehouse", "revenue", "total") == 30
+
+
+def test_aborted_order_leaves_no_trace():
+    """The inverse of an insert is a delete; of increments, decrements."""
+    fed = build()
+    process = fed.submit(place_order("o1", "p0", 3, 10), intends_abort=True)
+    fed.run()
+    assert not process.value.committed
+    assert fed.peek("orders_db", "orders", "o1") is None
+    assert fed.peek("warehouse", "stock", "p0") == 100
+    assert fed.peek("warehouse", "revenue", "total") == 0
+    assert atomicity_report(fed).ok
+
+
+def test_cancel_order_business_action():
+    fed = build()
+    fed.run_transactions([
+        {"operations": place_order("o1", "p0", 3, 10)},
+        {"operations": cancel_order("o1", "p0", 3, 10), "delay": 50},
+    ])
+    assert fed.peek("orders_db", "orders", "o1") is None
+    assert fed.peek("warehouse", "stock", "p0") == 100
+    assert fed.peek("warehouse", "revenue", "total") == 0
+
+
+def test_aborted_cancel_restores_the_order():
+    """Undoing a delete re-inserts the before-image row."""
+    fed = build()
+    fed.run_transactions([{"operations": place_order("o1", "p0", 3, 10)}])
+    process = fed.submit(cancel_order("o1", "p0", 3, 10), intends_abort=True)
+    fed.run()
+    assert not process.value.committed
+    assert fed.peek("orders_db", "orders", "o1") == {"product": "p0", "qty": 3}
+    assert fed.peek("warehouse", "stock", "p0") == 97
+
+
+def test_duplicate_order_id_aborts_globally():
+    fed = build()
+    fed.run_transactions([{"operations": place_order("o1", "p0", 1, 10)}])
+    process = fed.submit(place_order("o1", "p1", 2, 10))
+    fed.run()
+    assert not process.value.committed
+    # The stock/revenue legs of the failed order were never applied or
+    # were undone; only the first order's effects remain.
+    assert fed.peek("warehouse", "stock", "p1") == 100
+    assert fed.peek("warehouse", "stock", "p0") == 99
+
+
+@pytest.mark.parametrize("protocol,granularity", [
+    ("before", "per_action"), ("after", "per_site"), ("2pc", "per_site"),
+])
+def test_random_order_mix_stays_consistent(protocol, granularity):
+    fed = build(protocol, granularity)
+    if protocol in ("2pc",):
+        from repro.localdb.interface import PreparableTMInterface
+
+        for site, comm in fed.comms.items():
+            comm.interface = PreparableTMInterface(fed.engines[site])
+            fed.interfaces[site] = comm.interface
+    rng = fed.kernel.rng.stream("orders")
+    price_of = {}
+    batches = []
+    for seq in range(10):
+        order_id, operations, meta = random_order(rng, 4, seq)
+        price_of[order_id] = meta["price"]
+        batches.append({
+            "operations": operations,
+            "intends_abort": rng.random() < 0.3,
+            "delay": rng.uniform(0, 40),
+        })
+    fed.run_transactions(batches)
+    audit = audit_consistency(fed, 4, 100, price_of)
+    assert audit["consistent"], audit
+    assert atomicity_report(fed).ok
