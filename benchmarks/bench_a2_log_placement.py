@@ -20,7 +20,6 @@ commit-after, across three configurations:
 """
 
 from repro.bench import format_table, protocol_federation
-from repro.core.invariants import atomicity_report
 from repro.faults import FaultInjector
 from repro.integration.federation import SiteSpec
 from repro.mlt.actions import increment, write

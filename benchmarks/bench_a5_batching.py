@@ -1,0 +1,122 @@
+"""EXP-A5 -- per-site batching, decision piggybacking, grouped forces.
+
+The paper's star topology (Figure 1) funnels every protocol message
+through the central node, so concurrent global transactions constantly
+have messages for the *same* site in flight.  This sweep measures what
+the transport-level optimisations buy under that load:
+
+* **batching** (``batch_window``): logical messages for one link within
+  the window share a physical envelope;
+* **decision pipelining** (``pipeline_window``): concurrent commit
+  decisions for one site share a round-trip and a forced decision-log
+  write at the central;
+* **piggybacking** (``piggyback_decisions``): commit-before/per_site
+  rides the local-commit request on the site's last data message and
+  the outcome on its reply -- the dedicated finish round disappears.
+
+Outcomes must be identical to the unbatched run at the same seed: these
+are scheduling optimisations, not semantic changes.  The acceptance bar
+is >= 30% fewer physical envelopes per committed transaction for
+commit-after and commit-before/per_site at window 1.0 with >= 8
+concurrent transactions per site.
+"""
+
+from repro.bench import format_table
+from repro.bench.harness import protocol_federation
+from repro.integration.federation import SiteSpec
+from repro.mlt.actions import increment
+
+from benchmarks._common import run_once, save_result
+
+WINDOWS = [0.0, 0.5, 1.0, 2.0]
+CONCURRENCY = [8, 16]
+SITE_COUNTS = [2, 4]
+PROTOCOLS = [
+    ("after", "per_site", False),
+    ("before", "per_site", True),  # piggyback rides on this path
+]
+
+
+def measure(protocol, granularity, piggyback, *, window, n_txns, n_sites):
+    specs = [
+        SiteSpec(f"s{i}", tables={f"t{i}": {k: 0 for k in range(n_txns)}})
+        for i in range(n_sites)
+    ]
+    fed = protocol_federation(
+        protocol,
+        specs,
+        granularity=granularity,
+        seed=11,
+        batch_window=window,
+        pipeline_window=window,
+        piggyback_decisions=piggyback and window > 0,
+    )
+    batches = [
+        {
+            "operations": [
+                increment(f"t{i}", t % n_txns, 1) for i in range(n_sites)
+            ],
+            "name": f"T{t}",
+            "delay": 0.25 * (t % 4),
+        }
+        for t in range(n_txns)
+    ]
+    outcomes = fed.run_transactions(batches)
+    committed = [o.gtxn_id.split("~")[0] for o in outcomes if o.committed]
+    gtm = fed.gtm.metrics()
+    return {
+        "committed": committed,
+        "logical_per_txn": fed.network.sent / n_txns,
+        "envelopes_per_txn": fed.network.envelopes / n_txns,
+        "decision_forces": gtm.get("decision_forces", 0),
+        "mean_resp": sum(o.response_time for o in outcomes) / n_txns,
+    }
+
+
+def run_experiment() -> str:
+    rows = []
+    for protocol, granularity, piggyback in PROTOCOLS:
+        label = f"{protocol}/{granularity}" + ("+piggyback" if piggyback else "")
+        for n_sites in SITE_COUNTS:
+            for n_txns in CONCURRENCY:
+                baseline = None
+                for window in WINDOWS:
+                    m = measure(
+                        protocol, granularity, piggyback,
+                        window=window, n_txns=n_txns, n_sites=n_sites,
+                    )
+                    if window == 0.0:
+                        baseline = m
+                    # Transport optimisations must not change outcomes.
+                    assert m["committed"] == baseline["committed"], (
+                        f"{label} w={window}: outcome drift"
+                    )
+                    saved = 1.0 - m["envelopes_per_txn"] / baseline["envelopes_per_txn"]
+                    rows.append([
+                        label, n_sites, n_txns, window,
+                        round(m["logical_per_txn"], 1),
+                        round(m["envelopes_per_txn"], 1),
+                        f"{100 * saved:.0f}%",
+                        m["decision_forces"],
+                        round(m["mean_resp"], 1),
+                    ])
+                    # Acceptance bar: >= 30% fewer envelopes at window
+                    # 1.0 with >= 8 concurrent transactions per site.
+                    if window == 1.0 and n_txns >= 8:
+                        assert saved >= 0.30, (
+                            f"{label} sites={n_sites} txns={n_txns}: "
+                            f"only {100 * saved:.0f}% envelope reduction"
+                        )
+    return format_table(
+        [
+            "protocol", "sites", "txns", "window", "logical/txn",
+            "envelopes/txn", "saved", "decision forces", "mean resp",
+        ],
+        rows,
+        title="EXP-A5: batching window x concurrency x sites "
+        "(identical outcomes at every point)",
+    )
+
+
+def test_a5_batching(benchmark):
+    save_result("a5_batching", run_once(benchmark, run_experiment))

@@ -1,0 +1,167 @@
+"""Run every benchmark and publish machine-readable results.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/run_all.py [--only PREFIX]
+
+Each ``bench_*.py`` module exposes ``run_experiment() -> str``; this
+driver imports them all, runs each experiment once (they are
+deterministic simulations -- one round is exact), writes the rendered
+table next to the ``.txt`` snapshots as ``benchmarks/results/<name>.json``
+and finally distils the headline performance numbers into
+``BENCH_perf.json`` at the repo root:
+
+* physical envelopes and logical messages per transaction, batched vs
+  unbatched, for commit-after and commit-before/per_site;
+* forced decision-log writes per committed transaction;
+* mean response times at both settings;
+* wall-clock kernel throughput (events/s, no trace sink) and its
+  speedup over the seed tree.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import pathlib
+import sys
+import time
+import traceback
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+sys.path.insert(0, str(REPO_ROOT))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def bench_modules() -> list[str]:
+    return sorted(
+        path.stem
+        for path in (REPO_ROOT / "benchmarks").glob("bench_*.py")
+    )
+
+
+def run_benchmarks(only: str | None = None) -> list[dict]:
+    reports = []
+    for name in bench_modules():
+        if only and not name.startswith(only):
+            continue
+        module = importlib.import_module(f"benchmarks.{name}")
+        started = time.perf_counter()
+        try:
+            output = module.run_experiment()
+            ok, error = True, None
+        except Exception:
+            output, ok, error = "", False, traceback.format_exc()
+        report = {
+            "bench": name,
+            "ok": ok,
+            "seconds": round(time.perf_counter() - started, 3),
+            "output": output,
+            "error": error,
+        }
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.json").write_text(json.dumps(report, indent=2) + "\n")
+        if output:
+            (RESULTS_DIR / f"{name.removeprefix('bench_')}.txt").write_text(
+                output + "\n"
+            )
+        status = "ok" if ok else "FAILED"
+        print(f"{name:<40} {status:>6}  {report['seconds']:>7.2f}s")
+        if error:
+            print(error)
+        reports.append(report)
+    return reports
+
+
+def headline_numbers() -> dict:
+    """The distilled perf summary for BENCH_perf.json."""
+    from benchmarks.bench_a5_batching import measure
+    from benchmarks.bench_kernel_wallclock import (
+        SEED_EVENTS_PER_SEC,
+        kernel_events_per_sec,
+    )
+
+    protocols = {}
+    for protocol, granularity, piggyback in [
+        ("after", "per_site", False),
+        ("before", "per_site", True),
+    ]:
+        plain = measure(
+            protocol, granularity, piggyback, window=0.0, n_txns=16, n_sites=2
+        )
+        batched = measure(
+            protocol, granularity, piggyback, window=1.0, n_txns=16, n_sites=2
+        )
+        label = f"{protocol}/{granularity}"
+        protocols[label] = {
+            "committed": len(batched["committed"]),
+            "outcomes_identical": batched["committed"] == plain["committed"],
+            "logical_msgs_per_txn": {
+                "unbatched": round(plain["logical_per_txn"], 2),
+                "batched": round(batched["logical_per_txn"], 2),
+            },
+            "envelopes_per_txn": {
+                "unbatched": round(plain["envelopes_per_txn"], 2),
+                "batched": round(batched["envelopes_per_txn"], 2),
+            },
+            "envelope_reduction": round(
+                1.0 - batched["envelopes_per_txn"] / plain["envelopes_per_txn"], 3
+            ),
+            "decision_forces": {
+                "unbatched": plain["decision_forces"],
+                "batched": batched["decision_forces"],
+            },
+            "mean_response": {
+                "unbatched": round(plain["mean_resp"], 2),
+                "batched": round(batched["mean_resp"], 2),
+            },
+        }
+
+    events_per_sec = kernel_events_per_sec()
+    return {
+        "scenario": "16 concurrent 2-site transactions, batch/pipeline window 1.0",
+        "protocols": protocols,
+        "kernel": {
+            "events_per_sec": round(events_per_sec),
+            "seed_events_per_sec": round(SEED_EVENTS_PER_SEC),
+            "speedup_vs_seed": round(events_per_sec / SEED_EVENTS_PER_SEC, 2),
+        },
+    }
+
+
+def main(argv: list[str]) -> int:
+    only = None
+    if "--only" in argv:
+        index = argv.index("--only") + 1
+        if index >= len(argv):
+            print("error: --only requires a benchmark-name prefix", file=sys.stderr)
+            return 2
+        only = argv[index]
+        if not any(name.startswith(only) for name in bench_modules()):
+            print(f"error: no benchmark matches prefix {only!r}", file=sys.stderr)
+            return 2
+    reports = run_benchmarks(only=only)
+    if only:
+        # A partial run must not clobber the full BENCH_perf.json
+        # inventory; the per-bench JSONs above are the result.
+        print(f"\npartial run ({len(reports)} benchmark(s)); BENCH_perf.json untouched")
+    else:
+        summary = headline_numbers()
+        summary["benchmarks"] = [
+            {"bench": r["bench"], "ok": r["ok"], "seconds": r["seconds"]}
+            for r in reports
+        ]
+        out = REPO_ROOT / "BENCH_perf.json"
+        out.write_text(json.dumps(summary, indent=2) + "\n")
+        print(f"\nwrote {out}")
+    failures = [r["bench"] for r in reports if not r["ok"]]
+    if failures:
+        print(f"FAILED: {', '.join(failures)}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, Optional
+from typing import Any, Callable, Generator
 
 from repro.core.gtm import GTMConfig
 from repro.integration.federation import Federation, FederationConfig
@@ -107,6 +107,9 @@ def protocol_federation(
     l1_timeout: Any = "default",
     log_placement: str = "indb",
     msg_timeout: float = 50.0,
+    batch_window: float = 0.0,
+    pipeline_window: float = 0.0,
+    piggyback_decisions: bool = False,
 ) -> Federation:
     """Build a federation configured for one protocol under test.
 
@@ -123,12 +126,15 @@ def protocol_federation(
         granularity=granularity,
         l1_table=l1_table,
         msg_timeout=msg_timeout,
+        pipeline_window=pipeline_window,
+        piggyback_decisions=piggyback_decisions,
     )
     if l1_timeout != "default":
         gtm_kwargs["l1_timeout"] = l1_timeout
     config = FederationConfig(
         seed=seed,
         latency=latency,
+        batch_window=batch_window,
         log_placement=log_placement,
         gtm=GTMConfig(**gtm_kwargs),
     )

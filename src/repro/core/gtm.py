@@ -23,15 +23,17 @@ by the protocol's abort path, so a retry is a fresh run.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
-from repro.core.global_txn import GlobalOutcome, GlobalTransaction, GlobalTxnState
+from repro.core.global_txn import GlobalOutcome, GlobalTransaction
 from repro.core.protocols.base import make_protocol
 from repro.core.redo import RedoLog
 from repro.core.undo import UndoLog
+from repro.errors import MessageTimeout
 from repro.mlt.conflicts import READ_WRITE_TABLE, SEMANTIC_TABLE, ConflictTable
 from repro.mlt.locks import SemanticLockManager
+from repro.sim.events import Future
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.integration.comm_central import CentralCommunicationManager
@@ -68,6 +70,18 @@ class GTMConfig:
         the communication managers' ``log_placement`` (the
         :class:`~repro.integration.federation.Federation` keeps them in
         sync).
+    pipeline_window:
+        With a positive window, commit decisions bound for the same
+        site within the window share one ``decide_group`` round-trip
+        and their decision records share one forced write at the
+        central decision log (the group-decision pipeline).  ``0``
+        keeps the seed's one-decide-per-transaction path.
+    piggyback_decisions:
+        Commit-before per-site only: ride the local-commit request on
+        the site's *last* data message instead of a dedicated
+        ``finish_subtxn`` round, and read the local outcome off the
+        data reply -- the paper's "votes ride on data" taken one step
+        further.
     """
 
     protocol: str = "before"
@@ -83,6 +97,8 @@ class GTMConfig:
     max_redo_rounds: int = 50
     retry_attempts: int = 5
     retry_backoff: float = 5.0
+    pipeline_window: float = 0.0
+    piggyback_decisions: bool = False
 
     def __post_init__(self) -> None:
         if self.granularity not in ("per_action", "per_site"):
@@ -97,6 +113,106 @@ class GTMConfig:
         if self.protocol == "before":
             return SEMANTIC_TABLE
         return None  # 2pc / 2pc-pa / 3pc / saga: no L1 layer
+
+
+class DecisionLog:
+    """Central log of global commit decisions.
+
+    A decision record must be hardened (one forced write) before the
+    decision may reach any participant -- otherwise a central crash
+    could forget a decision whose effects are already visible at a
+    site.  The group-decision pipeline hands whole batches to
+    :meth:`harden`; every record in a batch shares one force, the
+    central-side analogue of local group commit.  Hardening is
+    idempotent per transaction: a transaction decided on several sites
+    forces only once.
+    """
+
+    def __init__(self):
+        self.records: list[tuple[str, str]] = []
+        self.forces = 0
+        self._hardened: set[str] = set()
+
+    def harden(self, gtxn_ids: list[str], decision: str) -> None:
+        """Durably record ``decision`` for every id, with one force."""
+        fresh = [g for g in gtxn_ids if g not in self._hardened]
+        if not fresh:
+            return
+        for gtxn_id in fresh:
+            self._hardened.add(gtxn_id)
+            self.records.append((gtxn_id, decision))
+        self.forces += 1
+
+
+class DecisionPipeline:
+    """Per-site batching of commit decisions (the group-decision path).
+
+    Concurrent global transactions that reach their commit decision
+    within ``window`` of each other and involve the same site share one
+    ``decide_group`` round-trip, and their decision records share one
+    forced write at the central :class:`DecisionLog`.  On a timeout the
+    whole group resolves to ``ambiguous`` and every member falls back
+    to its protocol's individual retry machinery, so crash behaviour is
+    unchanged.
+    """
+
+    def __init__(self, gtm: "GlobalTransactionManager", window: float):
+        self.gtm = gtm
+        self.window = window
+        self._queues: dict[str, list[tuple[str, str, Optional[str], Future]]] = {}
+        self.groups_sent = 0
+        self.decisions_grouped = 0
+
+    def decide(
+        self, site: str, gtxn_id: str, decision: str, marker_key: Optional[str]
+    ) -> Generator[Any, Any, str]:
+        """Queue one decision for ``site``; returns the site's outcome.
+
+        The returned string is ``committed`` / ``aborted`` /
+        ``ambiguous`` -- the same vocabulary as an individual decide.
+        """
+        future = Future(label=f"group-decide:{site}:{gtxn_id}")
+        queue = self._queues.setdefault(site, [])
+        queue.append((gtxn_id, decision, marker_key, future))
+        if len(queue) == 1:
+            self.gtm.kernel._schedule(self.window, self._flush, site)
+        outcome = yield future
+        return outcome
+
+    def _flush(self, site: str) -> None:
+        entries = self._queues.pop(site, None)
+        if not entries:
+            return
+        self.groups_sent += 1
+        self.decisions_grouped += len(entries)
+        self.gtm.kernel.spawn(
+            self._send_group(site, entries), name=f"decide-group:{site}"
+        )
+
+    def _send_group(
+        self, site: str, entries: list[tuple[str, str, Optional[str], Future]]
+    ) -> Generator[Any, Any, None]:
+        # One forced write hardens every decision record in the group.
+        self.gtm.decision_log.harden(
+            [gtxn_id for gtxn_id, _, _, _ in entries], "commit"
+        )
+        decisions = [
+            {"gtxn_id": gtxn_id, "decision": decision, "marker_key": marker_key}
+            for gtxn_id, decision, marker_key, _ in entries
+        ]
+        try:
+            reply = yield from self.gtm.comm.request(
+                site, "decide_group",
+                timeout=self.gtm.config.msg_timeout * 4,
+                decisions=decisions,
+            )
+        except MessageTimeout:
+            for _, _, _, future in entries:
+                future.resolve("ambiguous")
+            return
+        outcomes = reply.payload.get("outcomes", {})
+        for gtxn_id, _, _, future in entries:
+            future.resolve(outcomes.get(gtxn_id, "ambiguous"))
 
 
 class GlobalTransactionManager:
@@ -131,6 +247,12 @@ class GlobalTransactionManager:
             )
         self.redo_log = RedoLog()
         self.undo_log = UndoLog()
+        self.decision_log = DecisionLog()
+        self.pipeline: Optional[DecisionPipeline] = (
+            DecisionPipeline(self, self.config.pipeline_window)
+            if self.config.pipeline_window > 0
+            else None
+        )
         self._ids = itertools.count(1)
         self.outcomes: list[GlobalOutcome] = []
         self.committed = 0
@@ -219,6 +341,11 @@ class GlobalTransactionManager:
             "l1_wait_time": self.l1.total_wait_time if self.l1 else 0.0,
             "l1_hold_time": self.l1.total_hold_time if self.l1 else 0.0,
             "l1_deadlocks": self.l1.deadlocks if self.l1 else 0,
+            "decision_forces": self.decision_log.forces,
+            "decision_groups": self.pipeline.groups_sent if self.pipeline else 0,
+            "decisions_grouped": (
+                self.pipeline.decisions_grouped if self.pipeline else 0
+            ),
         }
 
     def __repr__(self) -> str:

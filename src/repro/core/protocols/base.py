@@ -114,6 +114,45 @@ class ProtocolContext:
             except MessageTimeout:
                 yield self.config.status_poll_interval
 
+    def decide_commit(
+        self, site: str, marker_key: Optional[str] = None
+    ) -> Generator[Any, Any, str]:
+        """Deliver the commit decision to one site.
+
+        The decision record is hardened at the central decision log
+        first.  With the group-decision pipeline enabled, concurrent
+        transactions deciding for the same site share one round-trip
+        and one forced write.  Returns ``committed`` / ``aborted`` /
+        ``ambiguous`` (timeout -- the caller's retry machinery takes
+        over, exactly as for an individual decide).
+        """
+        pipeline = self.gtm.pipeline
+        if pipeline is not None:
+            outcome = yield from pipeline.decide(
+                site, self.gtxn.gtxn_id, "commit", marker_key
+            )
+            return outcome
+        self.gtm.decision_log.harden([self.gtxn.gtxn_id], "commit")
+        try:
+            # A decide may queue behind an in-flight redo of the same
+            # transaction at the site; allow for that.
+            reply = yield from self.comm.request(
+                site, "decide", gtxn_id=self.gtxn.gtxn_id,
+                timeout=self.config.msg_timeout * 4,
+                decision="commit", marker_key=marker_key,
+            )
+            return reply.payload["outcome"]
+        except MessageTimeout:
+            return "ambiguous"
+
+    def commit_until_done(self, site: str) -> Generator[Any, Any, str]:
+        """Deliver the commit decision, waiting out crashed sites."""
+        while True:
+            outcome = yield from self.decide_commit(site)
+            if outcome != "ambiguous":
+                return outcome
+            yield self.config.status_poll_interval
+
     def parallel(
         self, jobs: dict[str, Generator[Any, Any, Any]]
     ) -> Generator[Any, Any, dict[str, Any]]:
@@ -148,24 +187,39 @@ class ProtocolContext:
         self,
         record_undo: bool = False,
         on_site_finished: Optional[Callable[[str], None]] = None,
-    ) -> Generator[Any, Any, None]:
+        finish_markers: Optional[dict[str, str]] = None,
+    ) -> Generator[Any, Any, dict[str, str]]:
         """Stream the global operations to their sites in global order.
 
         Acquires the L1 lock per operation before dispatch, collects
         read results and (optionally) undo records with before-images.
         ``on_site_finished`` fires when a site's last operation is done
         -- commit-before uses it to commit locals as early as possible.
+
+        ``finish_markers`` (commit-before per-site piggybacking) maps
+        sites to commit-marker keys; a site's *last* operation then
+        carries the local-commit request and its reply carries the
+        local outcome.  Returns the piggybacked outcomes per site
+        (empty when no markers were given).
         """
         from repro.mlt.actions import inverse_of
 
         remaining = {
             site: len(ops) for site, ops in self.decomposition.by_site.items()
         }
+        piggybacked: dict[str, str] = {}
         for operation in self.decomposition.ordered:
             yield from self.acquire_l1(operation)
+            payload: dict[str, Any] = {"op": operation}
+            if (
+                finish_markers is not None
+                and remaining[operation.site] == 1
+                and operation.site in finish_markers
+            ):
+                payload["finish_marker"] = finish_markers[operation.site]
             try:
                 reply = yield from self.request(
-                    operation.site, "execute_op", op=operation
+                    operation.site, "execute_op", **payload
                 )
             except MessageTimeout as exc:
                 raise ExecutionFailure(
@@ -188,9 +242,12 @@ class ProtocolContext:
                     operation,
                     inverse_of(operation, before),
                 )
+            if "outcome" in reply.payload:
+                piggybacked[operation.site] = reply.payload["outcome"]
             remaining[operation.site] -= 1
             if remaining[operation.site] == 0 and on_site_finished is not None:
                 on_site_finished(operation.site)
+        return piggybacked
 
 
 class CommitProtocol(abc.ABC):

@@ -139,17 +139,11 @@ class CommitAfter(CommitProtocol):
                 outcome = yield from self._try_decide(ctx, site, marker_key)
 
     def _try_decide(self, ctx: ProtocolContext, site: str, marker_key: str) -> Generator[Any, Any, str]:
-        try:
-            # A decide may queue behind an in-flight redo of the same
-            # transaction at the site; allow for that.
-            reply = yield from ctx.comm.request(
-                site, "decide", gtxn_id=ctx.gtxn.gtxn_id,
-                timeout=ctx.config.msg_timeout * 4,
-                decision="commit", marker_key=marker_key,
-            )
-            return reply.payload["outcome"]
-        except MessageTimeout:
-            return "ambiguous"
+        # Routes through the group-decision pipeline when the GTM has
+        # one: concurrent transactions deciding for this site share one
+        # decide round-trip and one forced decision-log write.
+        outcome = yield from ctx.decide_commit(site, marker_key)
+        return outcome
 
     def _try_redo(
         self, ctx: ProtocolContext, site: str, operations, marker_key: str

@@ -183,6 +183,12 @@ class CommitBefore(CommitProtocol):
     def _run_per_site(self, ctx: ProtocolContext) -> Generator[Any, Any, None]:
         gtxn = ctx.gtxn
         finishers: dict[str, Any] = {}
+        piggyback = ctx.config.piggyback_decisions
+        finish_markers = (
+            {site: f"{gtxn.gtxn_id}:{site}" for site in ctx.decomposition.sites}
+            if piggyback
+            else None
+        )
 
         def finish_site(site: str) -> None:
             # The site's last action is done: commit its local
@@ -195,10 +201,17 @@ class CommitBefore(CommitProtocol):
             )
 
         failure: Optional[str] = None
+        known: dict[str, str] = {}
         try:
             yield from ctx.begin_subtransactions()
-            yield from ctx.execute_operations(
-                record_undo=True, on_site_finished=finish_site
+            # With piggybacking the local-commit request rides on the
+            # site's last data message and the outcome rides back on
+            # its reply; otherwise a dedicated finish_subtxn round is
+            # fired as each site's last action completes.
+            known = yield from ctx.execute_operations(
+                record_undo=True,
+                on_site_finished=None if piggyback else finish_site,
+                finish_markers=finish_markers,
             )
         except ExecutionFailure as exc:
             failure = str(exc)
@@ -208,9 +221,11 @@ class CommitBefore(CommitProtocol):
             ctx.outcome.retriable = True
 
         # Inquire phase (Figure 6): ask every site for the final state
-        # of its local transaction.  Sites with an unfinished (running)
-        # subtransaction resolve it themselves: commit if they finished
-        # their actions, abort reply otherwise.
+        # of its local transaction.  Sites whose outcome already rode
+        # back on a data reply are final and need no inquiry.  Sites
+        # with an unfinished (running) subtransaction resolve it
+        # themselves: commit if they finished their actions, abort
+        # reply otherwise.
         gtxn.set_state(GlobalTxnState.INQUIRE)
         for process in finishers.values():
             yield process  # local commits are in flight; let them land
@@ -229,12 +244,16 @@ class CommitBefore(CommitProtocol):
                     resolve=resolve,
                 )
                 for site in ctx.decomposition.sites
+                if site not in known
             }
         )
-        outcomes = {
-            site: (reply.payload.get("vote") if not isinstance(reply, Exception) else "aborted")
-            for site, reply in votes.items()
-        }
+        outcomes = dict(known)
+        for site, reply in votes.items():
+            outcomes[site] = (
+                reply.payload.get("vote")
+                if not isinstance(reply, Exception)
+                else "aborted"
+            )
         all_committed = all(v == "committed" for v in outcomes.values())
 
         if failure is None and not ctx.intends_abort and all_committed:

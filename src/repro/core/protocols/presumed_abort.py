@@ -78,14 +78,12 @@ class PresumedAbort2PC(TwoPhaseCommit):
             return
 
         # Phase 2 reaches only the updaters; read-only participants are
-        # already done.
+        # already done.  Commit decisions share round-trips and forced
+        # writes through the group-decision pipeline when enabled.
         gtxn.set_state(GlobalTxnState.WAITING_TO_COMMIT)
         if updaters:
             yield from ctx.parallel(
-                {
-                    site: ctx.request_until_answered(site, "decide", decision="commit")
-                    for site in updaters
-                }
+                {site: ctx.commit_until_done(site) for site in updaters}
             )
         gtxn.set_state(GlobalTxnState.COMMITTED)
         ctx.outcome.committed = True

@@ -78,11 +78,11 @@ class ThreePhaseCommit(TwoPhaseCommit):
         )
         gtxn.set_decision("commit")
 
-        # Phase 3: do-commit.
+        # Phase 3: do-commit (grouped/pipelined like the 2PC phase 2).
         gtxn.set_state(GlobalTxnState.WAITING_TO_COMMIT)
         yield from ctx.parallel(
             {
-                site: ctx.request_until_answered(site, "decide", decision="commit")
+                site: ctx.commit_until_done(site)
                 for site in ctx.decomposition.sites
             }
         )

@@ -66,17 +66,27 @@ class TwoPhaseCommit(CommitProtocol):
 
         # Phase 2: the decision reaches every participant, surviving
         # participant crashes (recovery reinstates in-doubt locals).
+        # Commit decisions are hardened at the central decision log and
+        # routed through the group-decision pipeline when enabled.
         gtxn.set_state(
             GlobalTxnState.WAITING_TO_COMMIT
             if decision == "commit"
             else GlobalTxnState.WAITING_TO_ABORT
         )
-        yield from ctx.parallel(
-            {
-                site: ctx.request_until_answered(site, "decide", decision=decision)
-                for site in ctx.decomposition.sites
-            }
-        )
+        if decision == "commit":
+            yield from ctx.parallel(
+                {
+                    site: ctx.commit_until_done(site)
+                    for site in ctx.decomposition.sites
+                }
+            )
+        else:
+            yield from ctx.parallel(
+                {
+                    site: ctx.request_until_answered(site, "decide", decision=decision)
+                    for site in ctx.decomposition.sites
+                }
+            )
         if decision == "commit":
             gtxn.set_state(GlobalTxnState.COMMITTED)
             ctx.outcome.committed = True

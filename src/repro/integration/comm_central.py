@@ -75,7 +75,12 @@ class CentralCommunicationManager:
             kind=kind, sender=self.node.name, dest=site,
             payload=payload, gtxn_id=gtxn_id,
         )
-        future = Future(label=f"reply:{kind}:{site}")
+        # The label is purely diagnostic; skip the f-string on the hot
+        # path when tracing is off.
+        if self.kernel.trace.enabled:
+            future = Future(label=f"reply:{kind}:{site}")
+        else:
+            future = Future()
         self._pending[message.msg_id] = future
         self.requests += 1
         self.network.send(message)

@@ -177,9 +177,17 @@ class LocalCommunicationManager:
         yield  # pragma: no cover - generator protocol
 
     def _on_execute_op(self, message: Message) -> Generator[Any, Any, None]:
-        """Run one operation inside the gtxn's open subtransaction."""
+        """Run one operation inside the gtxn's open subtransaction.
+
+        A ``finish_marker`` in the payload piggybacks the commit-before
+        local commit on this (last) data message: after the operation
+        succeeds the local transaction is committed right here and the
+        outcome rides back on the ``op_done`` reply -- no dedicated
+        ``finish_subtxn`` round-trip.
+        """
         gtxn = message.gtxn_id
         operation: Operation = message.payload["op"]
+        finish_marker = message.payload.get("finish_marker")
         txn_id = self._subtxns.get(gtxn or "")
         if txn_id is None:
             self._reply(message, "op_failed", aborted=True, reason="no subtransaction")
@@ -192,7 +200,31 @@ class LocalCommunicationManager:
         except DatabaseError as exc:
             self._reply(message, "op_failed", aborted=False, reason=str(exc))
             return
-        self._reply(message, "op_done", value=value, before=before)
+        if finish_marker is None:
+            self._reply(message, "op_done", value=value, before=before)
+            return
+        outcome = yield from self._finish_local(txn_id, finish_marker)
+        self._reply(message, "op_done", value=value, before=before, outcome=outcome)
+
+    def _finish_local(
+        self, txn_id: str, marker_key: Optional[str]
+    ) -> Generator[Any, Any, str]:
+        """Commit the local transaction now; returns the final outcome."""
+        status = self.interface.status(txn_id)
+        if status is LocalTxnState.COMMITTED:
+            return "committed"
+        if status is LocalTxnState.ABORTED:
+            self._note_outcome(marker_key, "aborted")
+            return "aborted"
+        try:
+            if marker_key is not None and self.log_placement == "indb":
+                yield from self._write_marker(txn_id, marker_key)
+            yield from self.interface.commit(txn_id)
+        except TransactionAborted:
+            self._note_outcome(marker_key, "aborted")
+            return "aborted"
+        self._note_outcome(marker_key, "committed")
+        return "committed"
 
     def _on_prepare(self, message: Message) -> Generator[Any, Any, None]:
         """Vote request.
@@ -286,9 +318,45 @@ class LocalCommunicationManager:
 
     def _on_decide(self, message: Message) -> Generator[Any, Any, None]:
         """Global decision for an open subtransaction (2PC / commit-after)."""
-        gtxn = message.gtxn_id
-        decision = message.payload["decision"]
-        marker_key = message.payload.get("marker_key")
+        outcome = yield from self._decide_one(
+            message.gtxn_id,
+            message.payload["decision"],
+            message.payload.get("marker_key"),
+        )
+        if message.payload["decision"] != "commit" and message.payload.get("noreply"):
+            return
+        self._reply(message, "finished", outcome=outcome)
+
+    def _on_decide_group(self, message: Message) -> Generator[Any, Any, None]:
+        """A batch of decisions from the central group-decision pipeline.
+
+        Entries are applied in order inside this one handler process;
+        with a local ``group_commit_window`` their commit forces
+        coalesce too.  Each entry takes the per-gtxn lock so a batched
+        decide still cannot interleave with an in-flight redo of the
+        same transaction.
+        """
+        outcomes: dict[str, str] = {}
+        for entry in message.payload["decisions"]:
+            gtxn = entry["gtxn_id"]
+            lock = self._gtxn_lock(gtxn)
+            yield from lock.acquire()
+            try:
+                outcomes[gtxn] = yield from self._decide_one(
+                    gtxn, entry["decision"], entry.get("marker_key")
+                )
+            finally:
+                if lock.locked:
+                    try:
+                        lock.release()
+                    except RuntimeError:
+                        pass  # reset by a crash while we held it
+        self._reply(message, "finished_group", outcomes=outcomes)
+
+    def _decide_one(
+        self, gtxn: Optional[str], decision: str, marker_key: Optional[str]
+    ) -> Generator[Any, Any, str]:
+        """Apply one global decision; returns the local outcome."""
         txn_id = self._subtxns.get(gtxn or "")
         if txn_id is None:
             # After a crash the manager forgot the subtransaction.  For
@@ -298,67 +366,48 @@ class LocalCommunicationManager:
             if recovered is not None and recovered.state is LocalTxnState.READY:
                 txn_id = recovered.txn_id
             else:
-                self._reply(message, "finished", outcome="aborted", reason="forgotten")
-                return
+                return "aborted"
         if decision == "commit":
             status = self.interface.status(txn_id)
             if status is LocalTxnState.COMMITTED:
                 # A retried decision after the commit already happened.
-                self._reply(message, "finished", outcome="committed")
-                return
+                return "committed"
             if status is LocalTxnState.ABORTED:
                 self._note_outcome(marker_key, "aborted")
-                self._reply(message, "finished", outcome="aborted", reason="autonomous abort")
-                return
+                return "aborted"
             try:
                 if marker_key is not None and self.log_placement == "indb":
                     yield from self._write_marker(txn_id, marker_key)
                 yield from self.interface.commit(txn_id)
-            except TransactionAborted as exc:
+            except TransactionAborted:
                 self._note_outcome(marker_key, "aborted")
-                self._reply(message, "finished", outcome="aborted", reason=str(exc.reason))
-                return
+                return "aborted"
             self._note_outcome(marker_key, "committed")
-            self._reply(message, "finished", outcome="committed")
-        else:
-            status = self.interface.status(txn_id)
-            if status in (LocalTxnState.RUNNING, LocalTxnState.READY):
-                yield from self.interface.abort(txn_id)
-            self._note_outcome(marker_key, "aborted")
-            if not message.payload.get("noreply"):
-                self._reply(message, "finished", outcome="aborted")
+            return "committed"
+        status = self.interface.status(txn_id)
+        if status in (LocalTxnState.RUNNING, LocalTxnState.READY):
+            yield from self.interface.abort(txn_id)
+        self._note_outcome(marker_key, "aborted")
+        return "aborted"
 
     # ------------------------------------------------------------------
     # Commit-before: local commitment before the global decision
     # ------------------------------------------------------------------
 
     def _on_finish_subtxn(self, message: Message) -> Generator[Any, Any, None]:
-        """Commit the local transaction now (per-site commit-before)."""
+        """Commit the local transaction now (per-site commit-before).
+
+        Idempotent: a retried finish (lost reply) answers from the
+        transaction's current state instead of re-committing.
+        """
         gtxn = message.gtxn_id
         marker_key = message.payload.get("marker_key")
         txn_id = self._subtxns.get(gtxn or "")
         if txn_id is None:
             self._reply(message, "local_outcome", outcome="aborted", reason="forgotten")
             return
-        # Idempotence: a retried finish (lost reply) answers from the
-        # transaction's current state instead of re-committing.
-        status = self.interface.status(txn_id)
-        if status is LocalTxnState.COMMITTED:
-            self._reply(message, "local_outcome", outcome="committed")
-            return
-        if status is LocalTxnState.ABORTED:
-            self._reply(message, "local_outcome", outcome="aborted", reason="autonomous abort")
-            return
-        try:
-            if marker_key is not None and self.log_placement == "indb":
-                yield from self._write_marker(txn_id, marker_key)
-            yield from self.interface.commit(txn_id)
-        except TransactionAborted as exc:
-            self._note_outcome(marker_key, "aborted")
-            self._reply(message, "local_outcome", outcome="aborted", reason=str(exc.reason))
-            return
-        self._note_outcome(marker_key, "committed")
-        self._reply(message, "local_outcome", outcome="committed")
+        outcome = yield from self._finish_local(txn_id, marker_key)
+        self._reply(message, "local_outcome", outcome=outcome)
 
     def _on_execute_l0(self, message: Message) -> Generator[Any, Any, None]:
         """One L1 action as a complete L0 transaction (multi-level mode).

@@ -43,12 +43,19 @@ class SiteSpec:
 
 @dataclass
 class FederationConfig:
-    """Federation-wide knobs."""
+    """Federation-wide knobs.
+
+    ``batch_window`` > 0 turns on per-link message batching: logical
+    messages bound for the same site within the window share one
+    physical envelope (one latency sample, one loss trial).  ``0`` (the
+    default) is the seed's unbatched behaviour, message for message.
+    """
 
     seed: int = 0
     latency: float = 1.0
     latency_jitter: float = 0.0
     loss_rate: float = 0.0
+    batch_window: float = 0.0
     log_placement: str = "indb"  # "indb" | "volatile"
     gtm: GTMConfig = field(default_factory=GTMConfig)
 
@@ -75,7 +82,10 @@ class Federation:
             else FixedLatency(self.config.latency)
         )
         self.network = Network(
-            self.kernel, latency=latency, loss_rate=self.config.loss_rate
+            self.kernel,
+            latency=latency,
+            loss_rate=self.config.loss_rate,
+            batch_window=self.config.batch_window,
         )
         self.schema = GlobalSchema()
         self.engines: dict[str, LocalDatabase] = {}
@@ -240,6 +250,8 @@ class Federation:
                 "sent": self.network.sent,
                 "delivered": self.network.delivered,
                 "dropped": self.network.dropped,
+                "envelopes": self.network.envelopes,
+                "piggybacked": self.network.piggybacked,
                 "by_kind": self.network.message_counts(),
             },
             "sites": {site: engine.metrics() for site, engine in self.engines.items()},

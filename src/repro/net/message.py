@@ -5,6 +5,13 @@ The message kinds mirror the paper's protocol vocabulary: ``prepare``,
 operational kinds the integration layer needs (``execute_op``,
 ``op_done``, ``status``, ...).  ``reply_to`` correlates a response with
 its request so the central communication manager can match futures.
+
+:class:`BatchMessage` is a *physical envelope*: several logical
+messages bound for the same destination, coalesced by the network's
+per-destination outbox (see :class:`~repro.net.network.Network`).
+Receivers never see it -- the network unwraps envelopes at delivery
+time -- but the metrics distinguish logical messages from envelopes so
+the EXP-T5 accounting stays honest.
 """
 
 from __future__ import annotations
@@ -16,9 +23,20 @@ from typing import Any, Optional
 _msg_counter = itertools.count(1)
 
 
-@dataclass(frozen=True)
+def reset_message_ids() -> None:
+    """Restart the global message-id counter (test support only).
+
+    Message ids appear in traces; two runs inside one interpreter can
+    only produce byte-identical traces if the counter starts from the
+    same point.  Production code must never call this.
+    """
+    global _msg_counter
+    _msg_counter = itertools.count(1)
+
+
+@dataclass(frozen=True, slots=True)
 class Message:
-    """One network message."""
+    """One logical network message."""
 
     kind: str
     sender: str
@@ -41,3 +59,37 @@ class Message:
 
     def __str__(self) -> str:
         return f"{self.kind}({self.sender}->{self.dest}, gtxn={self.gtxn_id})"
+
+
+@dataclass(frozen=True, slots=True)
+class BatchMessage:
+    """One physical envelope carrying several logical messages.
+
+    All carried messages share the same ``(sender, dest)`` link -- the
+    outbox coalesces per destination, so an envelope never mixes
+    senders.  The envelope itself has no protocol meaning; it exists so
+    one network transmission (one latency sample, one loss trial) can
+    carry many logical messages.
+    """
+
+    sender: str
+    dest: str
+    messages: tuple[Message, ...]
+    msg_id: int = field(default_factory=lambda: next(_msg_counter))
+
+    def __post_init__(self) -> None:
+        if not self.messages:
+            raise ValueError("empty batch")
+        for message in self.messages:
+            if message.sender != self.sender or message.dest != self.dest:
+                raise ValueError(
+                    f"batch {self.sender}->{self.dest} cannot carry "
+                    f"{message.sender}->{message.dest} message"
+                )
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+    def __str__(self) -> str:
+        kinds = "+".join(m.kind for m in self.messages)
+        return f"batch[{kinds}]({self.sender}->{self.dest})"

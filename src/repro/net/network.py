@@ -4,6 +4,16 @@ Messages travel only between the central node and a local node -- the
 paper's Figure 1 communication scheme.  Latency models, optional
 message loss, per-kind counters and a full message trace are provided
 for the experiments.
+
+With ``batch_window > 0`` the network keeps a per-link outbox: logical
+messages bound for the same ``(sender, dest)`` link within the window
+are coalesced into one :class:`~repro.net.message.BatchMessage`
+envelope -- one latency sample, one loss trial, one transmission.
+Metrics count *logical* messages (``sent``/``by_kind``) and *physical*
+envelopes (``envelopes``) separately so the EXP-T5 message-complexity
+accounting stays honest; ``piggybacked`` counts the logical messages
+that rode along in an envelope after the first.  ``batch_window = 0``
+(the default) takes exactly the unbatched path of the seed system.
 """
 
 from __future__ import annotations
@@ -11,7 +21,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from repro.errors import NodeUnreachable, TopologyViolation
-from repro.net.message import Message
+from repro.net.message import BatchMessage, Message
 from repro.net.node import Node
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -50,20 +60,32 @@ class Network:
         latency: Optional[FixedLatency | UniformLatency] = None,
         loss_rate: float = 0.0,
         enforce_star: bool = True,
+        batch_window: float = 0.0,
     ):
+        if batch_window < 0:
+            raise ValueError(f"negative batch window {batch_window}")
         self.kernel = kernel
         self.latency = latency or FixedLatency(1.0)
         self.loss_rate = loss_rate
         self.enforce_star = enforce_star
+        self.batch_window = batch_window
         self._nodes: dict[str, Node] = {}
         self._rng = kernel.rng.stream("network")
+        # Per-link outboxes for the batching path: (sender, dest) ->
+        # queued logical messages, plus a generation counter that
+        # invalidates stale scheduled flushes after an explicit flush.
+        self._outboxes: dict[tuple[str, str], list[Message]] = {}
+        self._outbox_gen: dict[tuple[str, str], int] = {}
         # Deterministic fault hook: message kinds to drop exactly once
         # (used by the fault injector to lose a specific reply).
         self.drop_once: set[str] = set()
-        # Metrics.
+        # Metrics.  ``sent``/``delivered``/``dropped``/``by_kind`` count
+        # logical messages; ``envelopes`` counts physical transmissions.
         self.sent = 0
         self.delivered = 0
         self.dropped = 0
+        self.envelopes = 0
+        self.piggybacked = 0
         self.by_kind: dict[str, int] = {}
 
     # -- membership -----------------------------------------------------------
@@ -101,46 +123,138 @@ class Network:
             )
         self.sent += 1
         self.by_kind[message.kind] = self.by_kind.get(message.kind, 0) + 1
-        self.kernel.trace.emit(
-            "message",
-            message.sender,
-            message.kind,
-            dest=message.dest,
-            gtxn=message.gtxn_id,
-            msg_id=message.msg_id,
-            reply_to=message.reply_to,
-        )
+        trace = self.kernel.trace
+        if trace.enabled:
+            trace.emit(
+                "message",
+                message.sender,
+                message.kind,
+                dest=message.dest,
+                gtxn=message.gtxn_id,
+                msg_id=message.msg_id,
+                reply_to=message.reply_to,
+            )
         if message.kind in self.drop_once:
             self.drop_once.discard(message.kind)
             self.dropped += 1
-            self.kernel.trace.emit(
+            trace.emit(
                 "message_drop", message.sender, message.kind,
                 dest=message.dest, cause="injected",
             )
             return
-        if self.loss_rate and self._rng.random() < self.loss_rate:
-            self.dropped += 1
-            self.kernel.trace.emit(
-                "message_drop", message.sender, message.kind, dest=message.dest
-            )
+        if self.batch_window > 0:
+            self._enqueue(message)
             return
-        delay = self.latency.sample(self._rng)
-        self.kernel._schedule(delay, lambda: self._deliver(message))
+        self._transmit(message.sender, message.dest, (message,))
 
-    def _deliver(self, message: Message) -> None:
-        dst = self._nodes.get(message.dest)
-        if dst is None or not dst.deliver(message):
-            self.dropped += 1
-            self.kernel.trace.emit(
-                "message_drop", message.sender, message.kind, dest=message.dest,
-                cause="dest down",
-            )
+    # -- batching --------------------------------------------------------------
+
+    def _enqueue(self, message: Message) -> None:
+        key = (message.sender, message.dest)
+        queue = self._outboxes.setdefault(key, [])
+        queue.append(message)
+        if len(queue) == 1:
+            generation = self._outbox_gen.get(key, 0)
+            self.kernel._schedule(self.batch_window, self._flush, key, generation)
+
+    def _flush(self, key: tuple[str, str], generation: int) -> None:
+        if self._outbox_gen.get(key, 0) != generation:
+            return  # flushed explicitly in the meantime
+        self._flush_link(key)
+
+    def _flush_link(self, key: tuple[str, str]) -> None:
+        queue = self._outboxes.get(key)
+        if not queue:
             return
-        self.delivered += 1
+        self._outboxes[key] = []
+        self._outbox_gen[key] = self._outbox_gen.get(key, 0) + 1
+        sender, dest = key
+        src = self._nodes.get(sender)
+        if src is None or src.crashed:
+            # The sender died while the envelope sat in its outbox.
+            self.dropped += len(queue)
+            trace = self.kernel.trace
+            if trace.enabled:
+                for message in queue:
+                    trace.emit(
+                        "message_drop", message.sender, message.kind,
+                        dest=message.dest, cause="sender down",
+                    )
+            return
+        envelope = BatchMessage(sender=sender, dest=dest, messages=tuple(queue))
+        trace = self.kernel.trace
+        if trace.enabled:
+            trace.emit(
+                "envelope", sender, "batch", dest=dest, size=len(envelope),
+                kinds="+".join(m.kind for m in envelope.messages),
+                msg_id=envelope.msg_id,
+            )
+        self._transmit(sender, dest, envelope.messages)
+
+    def flush(self) -> None:
+        """Force every pending outbox onto the wire immediately."""
+        for key in list(self._outboxes):
+            self._flush_link(key)
+
+    @property
+    def pending_batched(self) -> int:
+        """Logical messages currently waiting in outboxes."""
+        return sum(len(q) for q in self._outboxes.values())
+
+    # -- transmission ----------------------------------------------------------
+
+    def _transmit(self, sender: str, dest: str, messages: tuple[Message, ...]) -> None:
+        """One physical transmission: one loss trial, one latency sample."""
+        if self.loss_rate and self._rng.random() < self.loss_rate:
+            self.dropped += len(messages)
+            trace = self.kernel.trace
+            if trace.enabled:
+                for message in messages:
+                    trace.emit(
+                        "message_drop", message.sender, message.kind, dest=message.dest
+                    )
+            return
+        self.envelopes += 1
+        if len(messages) > 1:
+            self.piggybacked += len(messages) - 1
+        delay = self.latency.sample(self._rng)
+        self.kernel._schedule(delay, self._deliver_all, messages)
+
+    def _deliver_all(self, messages: tuple[Message, ...]) -> None:
+        dst = self._nodes.get(messages[0].dest)
+        if dst is None or dst.crashed:
+            self.dropped += len(messages)
+            trace = self.kernel.trace
+            if trace.enabled:
+                for message in messages:
+                    trace.emit(
+                        "message_drop", message.sender, message.kind,
+                        dest=message.dest, cause="dest down",
+                    )
+            return
+        for message in messages:
+            dst.deliver(message)
+        self.delivered += len(messages)
+
+    # -- metrics ---------------------------------------------------------------
 
     def message_counts(self) -> dict[str, int]:
-        """Messages sent per kind (EXP-T5)."""
+        """Logical messages sent per kind (EXP-T5)."""
         return dict(sorted(self.by_kind.items()))
+
+    def envelope_counts(self) -> dict[str, int]:
+        """Physical-transmission accounting (EXP-T5 with batching)."""
+        return {
+            "logical": self.sent,
+            "envelopes": self.envelopes,
+            "piggybacked": self.piggybacked,
+        }
+
+    def make_batch(self, messages: tuple[Message, ...]) -> BatchMessage:
+        """Build an envelope for ``messages`` (validates the link)."""
+        return BatchMessage(
+            sender=messages[0].sender, dest=messages[0].dest, messages=tuple(messages)
+        )
 
     def __repr__(self) -> str:
         return f"<Network nodes={sorted(self._nodes)} sent={self.sent}>"

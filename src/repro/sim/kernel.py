@@ -1,15 +1,20 @@
 """The discrete-event simulation kernel.
 
-The kernel owns a priority queue of ``(time, sequence, callback)``
+The kernel owns a priority queue of ``(time, sequence, fn, args)``
 entries.  The sequence number breaks ties in insertion order, making
 every run deterministic.  Processes are spawned with :meth:`Kernel.spawn`
 and stepped by callbacks the kernel schedules on their behalf.
+
+Scheduling stores the callable and its arguments separately instead of
+wrapping them in a closure: the hot paths (message delivery, process
+resumption) schedule millions of events per run, and a per-event
+closure allocation is pure overhead.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Optional
+from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import KernelStopped, SimulationError
 from repro.sim.events import Future
@@ -29,8 +34,10 @@ class Kernel:
         the same process structure produce identical traces.
     """
 
+    __slots__ = ("_queue", "_sequence", "_now", "_stopped", "rng", "trace", "failures")
+
     def __init__(self, seed: int = 0):
-        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._queue: list[tuple[float, int, Callable[..., None], tuple]] = []
         self._sequence = 0
         self._now = 0.0
         self._stopped = False
@@ -47,17 +54,39 @@ class Kernel:
 
     # -- scheduling ------------------------------------------------------------
 
-    def _schedule(self, delay: float, callback: Callable[[], None]) -> None:
+    def _schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
         if self._stopped:
             raise KernelStopped("kernel already stopped")
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
         self._sequence += 1
-        heapq.heappush(self._queue, (self._now + delay, self._sequence, callback))
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, callback, args))
 
-    def call_at(self, time: float, callback: Callable[[], None]) -> None:
-        """Run ``callback`` at absolute simulated ``time`` (>= now)."""
-        self._schedule(time - self._now, callback)
+    def call_at(self, time: float, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback(*args)`` at absolute simulated ``time`` (>= now)."""
+        self._schedule(time - self._now, callback, *args)
+
+    def call_at_bulk(
+        self, entries: Iterable[tuple[float, Callable[..., None], tuple]]
+    ) -> None:
+        """Schedule many ``(time, fn, args)`` entries in one pass.
+
+        Entries share one stopped-check and push straight onto the heap
+        without building a closure per event -- the cheap way to seed a
+        large simulation (e.g. one timer per transaction in a sweep).
+        """
+        if self._stopped:
+            raise KernelStopped("kernel already stopped")
+        queue = self._queue
+        now = self._now
+        push = heapq.heappush
+        sequence = self._sequence
+        for time, fn, args in entries:
+            if time < now:
+                raise SimulationError(f"time {time} is in the past (now={now})")
+            sequence += 1
+            push(queue, (time, sequence, fn, args))
+        self._sequence = sequence
 
     def spawn(self, generator: Generator[Any, Any, Any], name: str = "") -> Process:
         """Create and start a process from ``generator``."""
@@ -66,10 +95,20 @@ class Kernel:
         return process
 
     def timer(self, delay: float, label: str = "timer") -> Future:
-        """Return a future that resolves ``delay`` time units from now."""
+        """Return a future that resolves ``delay`` time units from now.
+
+        The firing callback is a reused bound method with the future as
+        its argument -- no per-timer closure -- and resolving is guarded
+        so a future already completed elsewhere (e.g. the losing arm of
+        a timeout race) is left alone.
+        """
         future = Future(label=label)
-        self._schedule(delay, lambda: future.done or future.resolve(self._now))
+        self._schedule(delay, self._fire_timer, future)
         return future
+
+    def _fire_timer(self, future: Future) -> None:
+        if not future._done:
+            future.resolve(self._now)
 
     # -- running ---------------------------------------------------------------
 
@@ -80,14 +119,21 @@ class Kernel:
         true, the first exception that escaped a process nobody joined
         is re-raised after the run, so bugs never pass silently.
         """
-        while self._queue:
-            time, _seq, callback = self._queue[0]
-            if until is not None and time > until:
-                self._now = until
-                break
-            heapq.heappop(self._queue)
-            self._now = time
-            callback()
+        queue = self._queue
+        pop = heapq.heappop
+        if until is None:
+            while queue:
+                time, _seq, fn, args = pop(queue)
+                self._now = time
+                fn(*args)
+        else:
+            while queue:
+                if queue[0][0] > until:
+                    self._now = until
+                    break
+                time, _seq, fn, args = pop(queue)
+                self._now = time
+                fn(*args)
         if raise_failures:
             for process, exc in self.failures:
                 if not process._observed:

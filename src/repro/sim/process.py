@@ -11,6 +11,10 @@ crashes) throws :class:`~repro.errors.ProcessInterrupted` into the
 generator at its current suspension point.  A *wait epoch* counter
 invalidates any resumption that was already scheduled for the
 interrupted wait, so a process is never resumed twice for one yield.
+
+Resumptions are scheduled as ``(method, args)`` pairs on the kernel's
+queue rather than closures: stepping is the single hottest path in the
+simulator and a closure per yield costs an allocation per event.
 """
 
 from __future__ import annotations
@@ -28,6 +32,8 @@ ProcessGenerator = Generator[Any, Any, Any]
 
 class Process(Future):
     """A running simulation process; also a future of its return value."""
+
+    __slots__ = ("_kernel", "_generator", "_epoch", "_started", "_finished", "_observed")
 
     _ids = 0
 
@@ -61,8 +67,7 @@ class Process(Future):
         if self._started:
             raise SimulationError(f"{self.label} started twice")
         self._started = True
-        epoch = self._epoch
-        self._kernel._schedule(0.0, lambda: self._step(epoch, None, None))
+        self._kernel._schedule(0.0, self._step, self._epoch, None, None)
 
     def interrupt(self, cause: object = None) -> None:
         """Throw :class:`ProcessInterrupted` into the process.
@@ -74,9 +79,8 @@ class Process(Future):
         if self._finished:
             return
         self._epoch += 1
-        epoch = self._epoch
         exc = ProcessInterrupted(cause)
-        self._kernel._schedule(0.0, lambda: self._step(epoch, None, exc))
+        self._kernel._schedule(0.0, self._step, self._epoch, None, exc)
 
     # -- stepping ----------------------------------------------------------
 
@@ -104,6 +108,12 @@ class Process(Future):
         except Exception as exc:
             self._finish_err(exc)
             return
+        # Inline fast path for the overwhelmingly common effect -- a
+        # bare delay -- before falling back to the generic handler.
+        if type(effect) is float or type(effect) is int:
+            self._epoch += 1
+            self._kernel._schedule(effect, self._step, self._epoch, None, None)
+            return
         self._handle_effect(effect)
 
     def _handle_effect(self, effect: Any) -> None:
@@ -112,9 +122,7 @@ class Process(Future):
         if isinstance(effect, (int, float)):
             effect = Delay(float(effect))
         if isinstance(effect, Delay):
-            self._kernel._schedule(
-                effect.duration, lambda: self._step(epoch, None, None)
-            )
+            self._kernel._schedule(effect.duration, self._step, epoch, None, None)
         elif isinstance(effect, AnyOf):
             race = Future(label=f"{self.label}:anyof")
             effect.attach(race)
@@ -131,11 +139,9 @@ class Process(Future):
             # Resume at the current instant, preserving FIFO order with
             # other events scheduled "now".
             if completed.exception is not None:
-                exc = completed.exception
-                self._kernel._schedule(0.0, lambda: self._step(epoch, None, exc))
+                self._kernel._schedule(0.0, self._step, epoch, None, completed.exception)
             else:
-                value = completed._value
-                self._kernel._schedule(0.0, lambda: self._step(epoch, value, None))
+                self._kernel._schedule(0.0, self._step, epoch, completed._value, None)
 
         future.add_callback(on_complete)
 

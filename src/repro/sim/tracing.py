@@ -5,6 +5,14 @@ grants, log forces, redo/undo executions -- is appended to the kernel's
 :class:`TraceLog` as a :class:`TraceRecord`.  Experiments and the
 figure-conformance tests query the log instead of instrumenting the
 code under test.
+
+Records are kept as structured objects and only rendered to text when a
+*sink* is attached (:meth:`TraceLog.attach_sink`) or a dump is
+requested -- formatting is lazy, so the common no-sink run pays nothing
+per event beyond the record itself.  Disabling the log entirely
+(``trace.enabled = False``) turns :meth:`TraceLog.emit` into an early
+return; hot callers additionally guard on :attr:`TraceLog.enabled` to
+skip building the keyword payload at all.
 """
 
 from __future__ import annotations
@@ -16,7 +24,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.kernel import Kernel
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One timestamped event.
 
@@ -51,18 +59,33 @@ class TraceRecord:
 class TraceLog:
     """Append-only event log with simple query helpers."""
 
+    __slots__ = ("_kernel", "records", "enabled", "_sink")
+
     def __init__(self, kernel: "Kernel"):
         self._kernel = kernel
         self.records: list[TraceRecord] = []
         self.enabled = True
+        self._sink: Optional[Callable[[str], None]] = None
+
+    def attach_sink(self, sink: Callable[[str], None]) -> None:
+        """Stream formatted lines to ``sink`` as records are emitted.
+
+        Formatting happens only while a sink is attached; remove it
+        again with :meth:`detach_sink`.
+        """
+        self._sink = sink
+
+    def detach_sink(self) -> None:
+        self._sink = None
 
     def emit(self, category: str, site: str, subject: str, **details: Any) -> None:
         """Append a record stamped with the current simulated time."""
         if not self.enabled:
             return
-        self.records.append(
-            TraceRecord(self._kernel.now, category, site, subject, details)
-        )
+        record = TraceRecord(self._kernel._now, category, site, subject, details)
+        self.records.append(record)
+        if self._sink is not None:
+            self._sink(str(record))
 
     # -- queries -----------------------------------------------------------
 

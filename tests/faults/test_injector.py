@@ -1,7 +1,6 @@
 """Fault injector."""
 
 from repro.faults import FaultInjector
-from repro.localdb.txn import LocalAbortReason
 from repro.mlt.actions import increment
 from tests.protocols.conftest import build_fed, submit_and_run
 

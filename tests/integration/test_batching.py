@@ -1,0 +1,164 @@
+"""Batching equivalence and determinism (the perf-path safety net).
+
+Batching, decision piggybacking and the group-decision pipeline are
+pure transport/scheduling optimisations: at a fixed seed they must not
+change which global transactions commit.  And a batched run must stay
+deterministic -- same seed, same config, byte-identical trace.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import protocol_federation
+from repro.core.invariants import atomicity_report
+from repro.integration.federation import SiteSpec
+from repro.mlt.actions import Operation
+from repro.net.message import reset_message_ids
+
+N_SITES = 2
+N_TXNS = 16
+
+#: (protocol, granularity, piggyback) -- all five commit protocols; the
+#: decision-piggyback rides only on the commit-before/per_site path.
+PROTOCOLS = [
+    ("after", "per_site", False),
+    ("before", "per_site", True),
+    ("before", "per_action", False),
+    ("2pc", "per_site", False),
+    ("2pc-pa", "per_site", False),
+]
+
+
+def build(protocol, granularity, piggyback, *, batched, seed=7):
+    specs = [
+        SiteSpec(f"s{i}", tables={f"t{i}": {k: 0 for k in range(N_TXNS)}})
+        for i in range(N_SITES)
+    ]
+    return protocol_federation(
+        protocol,
+        specs,
+        granularity=granularity,
+        seed=seed,
+        batch_window=1.0 if batched else 0.0,
+        pipeline_window=1.0 if batched else 0.0,
+        piggyback_decisions=piggyback if batched else False,
+    )
+
+
+def workload():
+    """N_TXNS concurrent cross-site transactions, a few intending abort."""
+    batches = []
+    for t in range(N_TXNS):
+        ops = [
+            Operation("increment", f"t{i}", t % N_TXNS, 1 + i)
+            for i in range(N_SITES)
+        ]
+        batches.append(
+            {
+                "operations": ops,
+                "name": f"T{t}",
+                "intends_abort": t % 5 == 4,
+                "delay": 0.25 * (t % 4),
+            }
+        )
+    return batches
+
+
+def run_once(protocol, granularity, piggyback, *, batched, seed=7):
+    reset_message_ids()
+    fed = build(protocol, granularity, piggyback, batched=batched, seed=seed)
+    outcomes = fed.run_transactions(workload())
+    return fed, outcomes
+
+
+def committed_flags(outcomes):
+    """Positional commit flags keyed by the submission-order base name.
+
+    The GTM renames retry attempts (``T5~r1``), so raw gtxn ids are not
+    comparable across runs -- the base name is.
+    """
+    return [(o.gtxn_id.split("~")[0], o.committed) for o in outcomes]
+
+
+# ---------------------------------------------------------------------------
+# Equivalence: batched == unbatched outcomes, per protocol
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("protocol,granularity,piggyback", PROTOCOLS)
+def test_batched_run_commits_identical_txn_set(protocol, granularity, piggyback):
+    plain_fed, plain = run_once(protocol, granularity, piggyback, batched=False)
+    batched_fed, batched = run_once(protocol, granularity, piggyback, batched=True)
+
+    assert committed_flags(batched) == committed_flags(plain)
+    # Both runs leave the same committed data behind.
+    for i in range(N_SITES):
+        for key in range(N_TXNS):
+            assert batched_fed.peek(f"s{i}", f"t{i}", key) == plain_fed.peek(
+                f"s{i}", f"t{i}", key
+            )
+    report = atomicity_report(batched_fed)
+    assert report.ok, report.violations
+
+
+@pytest.mark.parametrize("protocol,granularity,piggyback", PROTOCOLS)
+def test_batching_reduces_physical_envelopes(protocol, granularity, piggyback):
+    plain_fed, _ = run_once(protocol, granularity, piggyback, batched=False)
+    batched_fed, _ = run_once(protocol, granularity, piggyback, batched=True)
+
+    plain_envelopes = plain_fed.network.envelopes
+    batched_envelopes = batched_fed.network.envelopes
+    assert batched_envelopes < plain_envelopes
+    # The headline acceptance bar: >= 30% fewer envelopes per committed
+    # transaction for commit-after and commit-before/per_site under
+    # concurrent load (>= 8 transactions per site here).
+    if (protocol, granularity) in (("after", "per_site"), ("before", "per_site")):
+        assert batched_envelopes <= 0.7 * plain_envelopes, (
+            f"{protocol}/{granularity}: {batched_envelopes} vs {plain_envelopes}"
+        )
+
+
+def test_piggybacking_elides_dedicated_decision_rounds():
+    plain_fed, _ = run_once("before", "per_site", True, batched=False)
+    piggy_fed, _ = run_once("before", "per_site", True, batched=True)
+
+    plain_kinds = plain_fed.network.message_counts()
+    piggy_kinds = piggy_fed.network.message_counts()
+    # Unbatched commit-before runs a dedicated local-commit round per
+    # site; with piggybacking the request rides on the last execute_op
+    # and the outcome rides back on its reply.
+    assert plain_kinds.get("finish_subtxn", 0) > 0
+    assert piggy_kinds.get("finish_subtxn", 0) == 0
+    # Fewer logical messages overall, not just fewer envelopes.
+    assert piggy_fed.network.sent < plain_fed.network.sent
+
+
+def test_pipeline_groups_decision_forces():
+    plain_fed, plain = run_once("after", "per_site", False, batched=False)
+    piped_fed, piped = run_once("after", "per_site", False, batched=True)
+
+    committed = sum(1 for o in piped if o.committed)
+    assert committed == sum(1 for o in plain if o.committed)
+    gtm = piped_fed.gtm.metrics()
+    # Concurrent same-site decisions share forced decision-log writes.
+    assert gtm["decision_forces"] < committed
+    assert gtm["decisions_grouped"] > 0
+    assert piped_fed.network.message_counts().get("decide_group", 0) > 0
+
+
+# ---------------------------------------------------------------------------
+# Determinism: same seed + same config -> byte-identical traces
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("protocol,granularity,piggyback", PROTOCOLS[:3])
+def test_batched_runs_are_deterministic(protocol, granularity, piggyback):
+    def trace_of():
+        fed, _ = run_once(protocol, granularity, piggyback, batched=True)
+        return "\n".join(str(r) for r in fed.kernel.trace.records)
+
+    first = trace_of()
+    second = trace_of()
+    assert first == second
+    assert first  # non-empty: the trace actually recorded the run

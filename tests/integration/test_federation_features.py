@@ -1,6 +1,5 @@
 """Federation-level features: partitioned schemas, metrics, determinism."""
 
-import pytest
 
 from repro.core.gtm import GTMConfig
 from repro.integration.federation import Federation, FederationConfig, SiteSpec

@@ -15,6 +15,8 @@ from repro.faults import FaultInjector
 from repro.integration.federation import SiteSpec
 from repro.workloads import WorkloadGenerator, WorkloadSpec
 
+pytestmark = pytest.mark.soak
+
 HORIZON = 1500
 
 

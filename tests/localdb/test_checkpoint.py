@@ -1,8 +1,6 @@
 """Checkpointing and log truncation."""
 
-import pytest
 
-from repro.localdb.config import LocalDBConfig
 from repro.localdb.engine import LocalDatabase
 from tests.conftest import run
 

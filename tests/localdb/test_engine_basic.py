@@ -8,7 +8,6 @@ from repro.errors import (
     KeyNotFound,
     UnknownTable,
 )
-from repro.localdb.config import LocalDBConfig
 from repro.localdb.engine import LocalDatabase
 from repro.localdb.txn import LocalAbortReason, LocalTxnState
 from tests.conftest import run

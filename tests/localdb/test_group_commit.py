@@ -1,6 +1,5 @@
 """Group commit: batched log forces."""
 
-import pytest
 
 from repro.localdb.config import LocalDBConfig
 from repro.localdb.engine import LocalDatabase

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import UnsupportedInterface
-from repro.localdb.config import LocalDBConfig
 from repro.localdb.engine import LocalDatabase
 from repro.localdb.interface import PreparableTMInterface, StandardTMInterface
 from repro.localdb.txn import LocalTxnState

@@ -1,6 +1,5 @@
 """Optimistic (backward-validation) scheduler."""
 
-import pytest
 
 from repro.errors import TransactionAborted
 from repro.localdb.config import LocalDBConfig

@@ -1,8 +1,6 @@
 """Two-level transaction manager (Figure 8 semantics)."""
 
-import pytest
 
-from repro.localdb.config import LocalDBConfig
 from repro.localdb.engine import LocalDatabase
 from repro.mlt.actions import increment, read, write
 from repro.mlt.conflicts import READ_WRITE_TABLE

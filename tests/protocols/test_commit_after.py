@@ -1,10 +1,9 @@
 """Local commitment after the global decision (§3.2)."""
 
-import pytest
 
 from repro.core.invariants import atomicity_report, serializability_ok
 from repro.faults import FaultInjector
-from repro.localdb.txn import LocalAbortReason, LocalTxnState
+from repro.localdb.txn import LocalAbortReason
 from repro.mlt.actions import increment, read, write
 from tests.protocols.conftest import build_fed, submit_and_run
 

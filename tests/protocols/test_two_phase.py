@@ -2,7 +2,6 @@
 
 from repro.core.invariants import atomicity_report
 from repro.faults import FaultInjector
-from repro.localdb.txn import LocalTxnState
 from repro.mlt.actions import increment, read, write
 from tests.protocols.conftest import build_fed, submit_and_run
 
