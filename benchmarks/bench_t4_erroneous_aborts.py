@@ -19,6 +19,10 @@ from benchmarks._common import run_once, save_result
 HORIZON = 900
 FAULT_RATES = [0.0, 0.2, 0.5, 0.8]
 
+#: Injected-fault accounting over the last ``run_experiment`` call,
+#: recorded by ``run_all.py`` in the per-bench JSON report.
+FAULT_COUNTERS: dict[str, int] = {}
+
 
 def measure(rate: float):
     specs = [
@@ -26,8 +30,9 @@ def measure(rate: float):
         for i in range(2)
     ]
     fed = protocol_federation("after", specs, granularity="per_site", seed=29)
+    injector = FaultInjector(fed)
     if rate:
-        FaultInjector(fed).erroneous_aborts_after_ready(rate, delay=0.3)
+        injector.erroneous_aborts_after_ready(rate, delay=0.3)
     workload = WorkloadSpec(
         ops_per_txn=4, read_fraction=0.0, increment_fraction=1.0,
         hotspot_fraction=0.0,
@@ -40,14 +45,17 @@ def measure(rate: float):
         label=f"after@{rate}",
     )
     report = atomicity_report(fed)
-    return stats, report
+    return stats, report, injector.counters()
 
 
 def run_experiment() -> str:
     rows = []
     throughputs = {}
+    FAULT_COUNTERS.clear()
     for rate in FAULT_RATES:
-        stats, report = measure(rate)
+        stats, report, counters = measure(rate)
+        for key, value in counters.items():
+            FAULT_COUNTERS[key] = FAULT_COUNTERS.get(key, 0) + value
         throughputs[rate] = stats.throughput
         rows.append([
             rate, stats.committed, stats.redo_executions,

@@ -16,7 +16,14 @@ and finally distils the headline performance numbers into
 * forced decision-log writes per committed transaction;
 * mean response times at both settings;
 * wall-clock kernel throughput (events/s, no trace sink) and its
-  speedup over the seed tree.
+  speedup over the seed tree;
+* the EXP-R1 chaos sweep: invariants held, throughput/latency and
+  time-to-resolution per fault level.
+
+Benchmarks that inject faults additionally publish a module-level
+``FAULT_COUNTERS`` dict (injected aborts/crashes, retransmissions,
+duplicates suppressed, recovery passes...), recorded verbatim in the
+per-bench JSON report.
 """
 
 from __future__ import annotations
@@ -60,6 +67,11 @@ def run_benchmarks(only: str | None = None) -> list[dict]:
             "seconds": round(time.perf_counter() - started, 3),
             "output": output,
             "error": error,
+            # Fault-injection accounting: benchmarks that inject faults
+            # publish a module-level FAULT_COUNTERS dict (injected
+            # aborts/crashes, retransmissions, duplicates suppressed...)
+            # refreshed by run_experiment().
+            "fault_counters": dict(getattr(module, "FAULT_COUNTERS", None) or {}),
         }
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / f"{name}.json").write_text(json.dumps(report, indent=2) + "\n")
@@ -82,6 +94,7 @@ def headline_numbers() -> dict:
         SEED_EVENTS_PER_SEC,
         kernel_events_per_sec,
     )
+    from benchmarks.bench_r1_chaos import headline as chaos_headline
 
     protocols = {}
     for protocol, granularity, piggyback in [
@@ -128,6 +141,7 @@ def headline_numbers() -> dict:
             "seed_events_per_sec": round(SEED_EVENTS_PER_SEC),
             "speedup_vs_seed": round(events_per_sec / SEED_EVENTS_PER_SEC, 2),
         },
+        "chaos": chaos_headline(),
     }
 
 

@@ -132,6 +132,7 @@ class DecisionLog:
         self.records: list[tuple[str, str]] = []
         self.forces = 0
         self._hardened: set[str] = set()
+        self._decisions: dict[str, str] = {}
 
     def harden(self, gtxn_ids: list[str], decision: str) -> None:
         """Durably record ``decision`` for every id, with one force."""
@@ -141,7 +142,17 @@ class DecisionLog:
         for gtxn_id in fresh:
             self._hardened.add(gtxn_id)
             self.records.append((gtxn_id, decision))
+            self._decisions[gtxn_id] = decision
         self.forces += 1
+
+    def decision_for(self, gtxn_id: str) -> Optional[str]:
+        """The hardened decision for ``gtxn_id``, or ``None``.
+
+        This is the recovery manager's read path: an in-doubt
+        subtransaction whose global has no hardened commit record is
+        resolved by presumed abort.
+        """
+        return self._decisions.get(gtxn_id)
 
 
 class DecisionPipeline:
@@ -257,6 +268,16 @@ class GlobalTransactionManager:
         self.outcomes: list[GlobalOutcome] = []
         self.committed = 0
         self.aborted = 0
+        # Attempt-id -> in-flight GlobalTransaction.  The recovery
+        # manager consults this so a restart never aborts an in-doubt
+        # subtransaction whose coordinator is still deciding.
+        self.active: dict[str, GlobalTransaction] = {}
+        from repro.core.recovery import GlobalRecoveryManager
+
+        self.recovery = GlobalRecoveryManager(self)
+        # Stragglers answering an abandoned request reveal orphaned
+        # subtransactions; the recovery manager terminates them.
+        self.comm.on_unmatched.append(self.recovery.note_orphan_reply)
 
     # ------------------------------------------------------------------
 
@@ -303,10 +324,12 @@ class GlobalTransactionManager:
                 routed_ops=[(op.site, op.kind) for op in decomposition.ordered],
             )
             ctx = ProtocolContext(self, gtxn, decomposition, outcome, intends_abort)
+            self.active[attempt_id] = gtxn
             try:
                 yield from self.protocol.run(ctx)
             finally:
                 ctx.release_l1()
+                self.active.pop(attempt_id, None)
             outcome.finish_time = self.kernel.now
             if (
                 not outcome.committed
@@ -346,6 +369,11 @@ class GlobalTransactionManager:
             "decisions_grouped": (
                 self.pipeline.decisions_grouped if self.pipeline else 0
             ),
+            "recovery_passes": self.recovery.passes,
+            "recovery_resolved_indoubt": self.recovery.resolved_indoubt,
+            "recovery_redriven_redos": self.recovery.redriven_redos,
+            "recovery_redriven_undos": self.recovery.redriven_undos,
+            "recovery_orphans_terminated": self.recovery.orphans_terminated,
         }
 
     def __repr__(self) -> str:

@@ -1,0 +1,275 @@
+"""Protocol-level resolution of in-doubt globals after a site restart.
+
+Local (ARIES-style) recovery reinstates prepared subtransactions in the
+READY state with their locks -- but only the *global* layer knows what
+should become of them.  This manager runs after every site restart and
+re-resolves whatever the restarted site still holds in doubt, per
+protocol semantics:
+
+* **2PC / presumed abort / 3PC** -- consult the central
+  :class:`~repro.core.gtm.DecisionLog`: a hardened commit record is
+  re-driven to the site; anything without one is aborted (presumed
+  abort -- exactly the [MLO 86] rule, and the only safe answer for the
+  fire-and-forget aborts of the presumed-abort variant).
+* **commit-after** -- the §3.2 redo obligation survives the crash: any
+  redo-log entry for the site whose global decision was a hardened
+  commit but whose local commit was never confirmed is re-driven until
+  the local commits.
+* **commit-before (per-site)** -- a globally aborted transaction whose
+  inverse never confirmed is re-driven from the central undo-log, after
+  the durable commit marker confirms the forward subtransaction really
+  committed there.
+
+Transactions whose coordinator process is still running are left alone:
+the coordinator's own retry machinery (status polls, redo loops,
+``commit_until_done``) resolves them as soon as the site answers again.
+Interfering here could abort a transaction the coordinator is about to
+commit.  Every request this manager sends targets an idempotent handler
+keyed by the same marker the coordinator would use, so recovery and a
+still-live coordinator can never double-apply.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.errors import MessageTimeout
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.gtm import GlobalTransactionManager
+
+
+class GlobalRecoveryManager:
+    """Re-resolves in-doubt globals when a site comes back (§3.2/§3.3)."""
+
+    def __init__(self, gtm: "GlobalTransactionManager"):
+        self.gtm = gtm
+        self.passes = 0
+        self.resolved_indoubt = 0
+        self.redriven_redos = 0
+        self.redriven_undos = 0
+        self.orphans_terminated = 0
+        # Per-site recovery epoch: a fresh restart supersedes any sweep
+        # loop still running from the previous one.
+        self._epochs: dict[str, int] = {}
+        # (gtxn_id, site) pairs with a termination already in flight.
+        self._terminating: set[tuple[str, str]] = set()
+
+    # ------------------------------------------------------------------
+
+    def recover_site(self, site: str) -> Generator[Any, Any, None]:
+        """Recovery sweeps for a freshly restarted ``site``.
+
+        Sweeps repeat (with ``status_poll_interval`` pauses) until the
+        site reports no in-doubt subtransactions: an in-doubt local
+        whose coordinator is still running is deliberately left alone
+        on one sweep, and a later sweep -- after the coordinator made or
+        gave up on its decision -- resolves it.  Every step is
+        idempotent and every timeout ends the loop: if the site crashes
+        again the pass after its next restart starts over.
+        """
+        self.passes += 1
+        epoch = self._epochs.get(site, 0) + 1
+        self._epochs[site] = epoch
+        self.gtm.kernel.trace.emit("recovery_pass", "central", site)
+        config = self.gtm.config
+        while True:
+            unresolved = yield from self._resolve_in_doubt(site)
+            if config.protocol == "after":
+                yield from self._redrive_redos(site)
+            if config.protocol == "before" and config.granularity == "per_site":
+                yield from self._redrive_undos(site)
+            if not unresolved:
+                return
+            yield config.status_poll_interval
+            if self._epochs.get(site) != epoch:
+                return  # a newer restart owns the sweep loop now
+            if self.gtm.network.node(site).crashed:
+                return  # down again; the next restart starts over
+
+    # ------------------------------------------------------------------
+    # Orphan termination: replies nobody was waiting for
+    # ------------------------------------------------------------------
+
+    #: Reply kinds that prove the site holds *live* state for the
+    #: transaction (a begun, executed or prepared subtransaction).
+    #: Terminal acknowledgements and status answers are excluded: they
+    #: carry no obligation to clean anything up.
+    _STATE_FREE_KINDS = frozenset(
+        {"finished", "status_report", "recover_report"}
+    )
+
+    def note_orphan_reply(self, message: Any) -> None:
+        """A site answered a request the coordinator already gave up on.
+
+        If the answered transaction is no longer active, the site may
+        be holding a subtransaction (with its locks) that nothing will
+        ever resolve: the coordinator sent its decision *before* this
+        straggler arrived.  Terminate it with the hardened decision --
+        or presumed abort -- exactly as a restart-time recovery pass
+        would.  Not applicable to commit-before, whose locals are
+        already terminal when they answer; its stragglers are settled
+        through durable markers by the coordinator itself.
+        """
+        gtxn_id = message.gtxn_id
+        if not gtxn_id or gtxn_id in self.gtm.active:
+            return
+        if not self.gtm.network.reliable:
+            # Without retransmission a straggler can only be a reply
+            # that raced its own timeout -- the coordinator's decide
+            # broadcast already covers the site.  Ghost deliveries that
+            # outlive the whole attempt exist only on reliable links.
+            return
+        if self.gtm.config.protocol == "before":
+            return
+        if message.kind in self._STATE_FREE_KINDS:
+            return
+        key = (gtxn_id, message.sender)
+        if key in self._terminating:
+            return
+        self._terminating.add(key)
+        self.gtm.kernel.spawn(
+            self._terminate_orphan(gtxn_id, message.sender),
+            name=f"orphan-decide:{gtxn_id}@{message.sender}",
+        )
+
+    def _terminate_orphan(
+        self, gtxn_id: str, site: str
+    ) -> Generator[Any, Any, None]:
+        config = self.gtm.config
+        decision = self.gtm.decision_log.decision_for(gtxn_id) or "abort"
+        self.gtm.kernel.trace.emit(
+            "recovery_decide", "central", gtxn_id,
+            at=site, decision=decision, cause="orphan reply",
+        )
+        try:
+            while True:
+                try:
+                    yield from self.gtm.comm.request(
+                        site, "decide", gtxn_id=gtxn_id,
+                        timeout=config.msg_timeout * 4,
+                        decision=decision, marker_key=None,
+                    )
+                    self.orphans_terminated += 1
+                    return
+                except MessageTimeout:
+                    if self.gtm.network.node(site).crashed:
+                        # A running orphan dies with the crash; a
+                        # prepared one is handled by restart recovery.
+                        return
+                    yield config.status_poll_interval
+        finally:
+            self._terminating.discard((gtxn_id, site))
+
+    # ------------------------------------------------------------------
+
+    def _resolve_in_doubt(self, site: str) -> Generator[Any, Any, int]:
+        """Decide the READY subtransactions local recovery reinstated.
+
+        Returns the number of in-doubt subtransactions left unresolved
+        (coordinator still running, or the site stopped answering); the
+        caller sweeps again later while any remain.
+        """
+        config = self.gtm.config
+        try:
+            reply = yield from self.gtm.comm.request(
+                site, "recover_query", timeout=config.msg_timeout
+            )
+        except MessageTimeout:
+            # Unreachable: crashed again (the next restart retries) or
+            # partitioned/lossy (the caller's sweep loop retries).
+            return 1
+        unresolved = 0
+        for gtxn_id in reply.payload.get("in_doubt", ()):
+            if gtxn_id in self.gtm.active:
+                # The coordinator is still driving this transaction --
+                # deciding here could contradict the decision it is
+                # about to make.  Leave it for a later sweep.
+                unresolved += 1
+                continue
+            # Orphaned in-doubt subtransaction: the hardened decision
+            # record is authoritative, its absence means presumed abort.
+            decision = self.gtm.decision_log.decision_for(gtxn_id) or "abort"
+            self.gtm.kernel.trace.emit(
+                "recovery_decide", "central", gtxn_id, at=site, decision=decision
+            )
+            try:
+                yield from self.gtm.comm.request(
+                    site, "decide", gtxn_id=gtxn_id,
+                    timeout=config.msg_timeout * 4,
+                    decision=decision, marker_key=None,
+                )
+            except MessageTimeout:
+                unresolved += 1
+                continue
+            self.resolved_indoubt += 1
+        return unresolved
+
+    def _redrive_redos(self, site: str) -> Generator[Any, Any, None]:
+        """Re-drive orphaned §3.2 redo obligations for ``site``."""
+        config = self.gtm.config
+        for entry in self.gtm.redo_log.pending():
+            if entry.site != site:
+                continue
+            if entry.gtxn_id in self.gtm.active:
+                continue  # the coordinator's redo loop is still alive
+            if self.gtm.decision_log.decision_for(entry.gtxn_id) != "commit":
+                continue  # no hardened commit: nothing to redo
+            self.gtm.kernel.trace.emit(
+                "recovery_redo", "central", entry.gtxn_id, at=site
+            )
+            try:
+                reply = yield from self.gtm.comm.request(
+                    site, "redo_subtxn", gtxn_id=entry.gtxn_id,
+                    timeout=config.msg_timeout * 20,
+                    ops=entry.operations, marker_key=entry.gtxn_id,
+                )
+            except MessageTimeout:
+                continue
+            if reply.payload.get("outcome") == "committed":
+                self.gtm.redo_log.mark_committed(entry.gtxn_id, site)
+                self.redriven_redos += 1
+
+    def _redrive_undos(self, site: str) -> Generator[Any, Any, None]:
+        """Re-drive orphaned commit-before inverse transactions."""
+        config = self.gtm.config
+        if not config.durable_status:
+            return  # cannot safely confirm the forward commit (EXP-A2)
+        gtxn_ids: list[str] = []
+        for record in self.gtm.undo_log.records:
+            if record.site == site and record.gtxn_id not in gtxn_ids:
+                gtxn_ids.append(record.gtxn_id)
+        for gtxn_id in gtxn_ids:
+            if gtxn_id in self.gtm.active:
+                continue  # the coordinator's undo loop is still alive
+            inverse_ops = [
+                record.inverse
+                for record in self.gtm.undo_log.inverses_for(gtxn_id, site)
+            ]
+            if not inverse_ops:
+                continue
+            # Never undo a site whose forward subtransaction did not
+            # commit -- confirm through the durable commit marker first.
+            try:
+                status = yield from self.gtm.comm.request(
+                    site, "status_query", timeout=config.msg_timeout,
+                    marker_key=f"{gtxn_id}:{site}", durable=True,
+                )
+            except MessageTimeout:
+                continue
+            if status.payload.get("outcome") != "committed":
+                continue
+            self.gtm.kernel.trace.emit(
+                "recovery_undo", "central", gtxn_id, at=site
+            )
+            try:
+                reply = yield from self.gtm.comm.request(
+                    site, "undo_subtxn", gtxn_id=gtxn_id,
+                    timeout=config.msg_timeout * 4,
+                    inverse_ops=inverse_ops,
+                    marker_key=f"undo:{gtxn_id}:{site}",
+                )
+            except MessageTimeout:
+                continue
+            if reply.payload.get("outcome") == "undone":
+                self.redriven_undos += 1

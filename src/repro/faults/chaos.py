@@ -1,0 +1,289 @@
+"""Deterministic chaos harness (EXP-R1).
+
+One :func:`run_chaos` call builds a federation with reliable delivery
+turned on, subjects it to a seeded randomized fault schedule -- message
+loss, duplication, reordering, link partitions, crash/recover cycles
+and (for commit-after) erroneous local aborts -- while a batch of
+cross-site transfer transactions runs, then silences every fault source
+at ``fault_horizon`` and lets the system run on a clean network until
+``resolution_horizon``.
+
+The workload is conservation-checking by construction: every
+transaction moves value between accounts with balancing increments, so
+a committed-or-fully-undone history leaves the global total untouched.
+The result reports the three correctness obligations the paper's §3
+machinery must uphold under any such schedule:
+
+* a clean :func:`~repro.core.invariants.atomicity_report`;
+* a serializable committed history;
+* **convergence** -- every global transaction reached a terminal state
+  at every site within the post-fault horizon (no stuck coordinators,
+  no forgotten in-doubt locals, no lingering redo/undo obligations).
+
+Everything is driven from named kernel RNG streams: the same
+(protocol, seed) pair replays the identical schedule, which is what
+makes a chaos failure debuggable from its kernel trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Generator
+
+from repro.core.gtm import GTMConfig
+from repro.core.invariants import atomicity_report, serializability_ok
+from repro.faults.injector import FaultInjector
+from repro.integration.federation import Federation, FederationConfig, SiteSpec
+from repro.mlt.actions import increment
+
+#: The protocol matrix every chaos seed is swept across.
+CHAOS_PROTOCOLS: list[tuple[str, str]] = [
+    ("2pc", "per_site"),
+    ("2pc-pa", "per_site"),
+    ("3pc", "per_site"),
+    ("after", "per_site"),
+    ("before", "per_action"),
+]
+
+#: Initial balance of every account; the invariant is that the global
+#: total never drifts from ``n_sites * keys_per_site * INITIAL_BALANCE``.
+INITIAL_BALANCE = 1000
+
+
+@dataclass
+class ChaosSpec:
+    """One seeded chaos schedule for one protocol configuration."""
+
+    protocol: str
+    granularity: str = "per_site"
+    seed: int = 0
+    n_sites: int = 3
+    n_txns: int = 12
+    keys_per_site: int = 4
+    #: Transactions are submitted uniformly over ``[0, submit_spread]``.
+    submit_spread: float = 150.0
+    #: Faults are injected only before this time ...
+    fault_horizon: float = 400.0
+    #: ... and everything must be terminal by this one.
+    resolution_horizon: float = 4000.0
+    loss_rate: float = 0.05
+    dup_rate: float = 0.05
+    reorder_rate: float = 0.1
+    crash_rate: float = 0.004
+    outage: float = 60.0
+    partition_count: int = 2
+    partition_duration: float = 40.0
+    erroneous_abort_rate: float = 0.2
+    msg_timeout: float = 25.0
+    intended_abort_every: int = 4
+
+
+@dataclass
+class ChaosResult:
+    """Outcome and audit of one chaos run."""
+
+    spec: ChaosSpec
+    committed: int = 0
+    aborted: int = 0
+    end_time: float = 0.0
+    atomicity_ok: bool = False
+    violations: list = field(default_factory=list)
+    serializable: bool = False
+    converged: bool = True
+    stuck: list[str] = field(default_factory=list)
+    conserved: bool = False
+    total_balance: int = 0
+    expected_balance: int = 0
+    #: Time from the fault silence to the last transaction finishing
+    #: (0 when everything already resolved during the fault phase).
+    time_to_resolution: float = 0.0
+    counters: dict[str, Any] = field(default_factory=dict)
+    #: The live federation, kept for post-mortem trace dumps in tests.
+    federation: Any = field(default=None, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.atomicity_ok
+            and self.serializable
+            and self.converged
+            and self.conserved
+        )
+
+
+def build_chaos_federation(spec: ChaosSpec) -> Federation:
+    """A federation wired for one chaos run (reliable delivery on)."""
+    needs_prepare = spec.protocol in ("2pc", "2pc-pa", "3pc")
+    site_specs = [
+        SiteSpec(
+            f"s{i}",
+            tables={
+                f"t{i}": {
+                    f"k{j}": INITIAL_BALANCE for j in range(spec.keys_per_site)
+                }
+            },
+            preparable=needs_prepare,
+        )
+        for i in range(spec.n_sites)
+    ]
+    config = FederationConfig(
+        seed=spec.seed,
+        latency=1.0,
+        loss_rate=spec.loss_rate,
+        dup_rate=spec.dup_rate,
+        reorder_rate=spec.reorder_rate,
+        reliable=True,
+        retransmit_timeout=6.0,
+        gtm=GTMConfig(
+            protocol=spec.protocol,
+            granularity=spec.granularity,
+            msg_timeout=spec.msg_timeout,
+            status_poll_interval=8.0,
+        ),
+    )
+    return Federation(site_specs, config)
+
+
+def run_chaos(spec: ChaosSpec) -> ChaosResult:
+    """Execute one seeded chaos schedule and audit the aftermath."""
+    fed = build_chaos_federation(spec)
+    kernel = fed.kernel
+    injector = FaultInjector(fed)
+    rng = kernel.rng.stream("chaos")
+    sites = [f"s{i}" for i in range(spec.n_sites)]
+
+    # -- fault schedule (all pre-sampled: independent of interleaving) --
+    if spec.protocol == "after" and spec.erroneous_abort_rate:
+        injector.erroneous_aborts_after_ready(
+            probability=spec.erroneous_abort_rate, delay=0.3
+        )
+    injector.random_crashes(
+        sites,
+        horizon=spec.fault_horizon,
+        crash_rate=spec.crash_rate,
+        outage=spec.outage,
+    )
+    for _ in range(spec.partition_count):
+        victim = sites[int(rng.uniform(0, len(sites))) % len(sites)]
+        injector.partition_link(
+            "central", victim,
+            at=rng.uniform(0.0, spec.fault_horizon),
+            heal_after=spec.partition_duration,
+        )
+
+    def clear_faults() -> None:
+        fed.network.loss_rate = 0.0
+        fed.network.dup_rate = 0.0
+        fed.network.reorder_rate = 0.0
+        fed.network.heal()
+        kernel.trace.emit("chaos", "harness", "faults_cleared")
+
+    kernel.call_at(spec.fault_horizon, clear_faults)
+
+    # -- conservation workload: balanced cross-site transfers ----------
+    def transfer_ops(txn_rng) -> list:
+        src = int(txn_rng.uniform(0, spec.n_sites)) % spec.n_sites
+        hop = int(txn_rng.uniform(0, spec.n_sites)) % max(1, spec.n_sites - 1)
+        dst = (src + 1 + hop) % spec.n_sites
+        amount = 1 + int(txn_rng.uniform(0, 9))
+        src_key = f"k{int(txn_rng.uniform(0, spec.keys_per_site)) % spec.keys_per_site}"
+        dst_key = f"k{int(txn_rng.uniform(0, spec.keys_per_site)) % spec.keys_per_site}"
+        return [
+            increment(f"t{src}", src_key, -amount),
+            increment(f"t{dst}", dst_key, amount),
+        ]
+
+    def submitter(index: int, delay: float) -> Generator[Any, Any, Any]:
+        yield delay
+        intends_abort = (
+            spec.intended_abort_every > 0
+            and index % spec.intended_abort_every == spec.intended_abort_every - 1
+        )
+        outcome = yield fed.gtm.submit(
+            transfer_ops(rng), name=f"C{index}", intends_abort=intends_abort
+        )
+        return outcome
+
+    processes = [
+        kernel.spawn(
+            submitter(i, rng.uniform(0.0, spec.submit_spread)), name=f"chaos-submit:{i}"
+        )
+        for i in range(spec.n_txns)
+    ]
+
+    end_time = fed.run(until=spec.resolution_horizon)
+
+    # -- audit ----------------------------------------------------------
+    result = ChaosResult(spec=spec, end_time=end_time)
+    result.committed = fed.gtm.committed
+    result.aborted = fed.gtm.aborted
+    report = atomicity_report(fed)
+    result.atomicity_ok = report.ok
+    result.violations = list(report.violations)
+    result.serializable = serializability_ok(fed)
+
+    for process in processes:
+        if not process.done:
+            result.converged = False
+            result.stuck.append(f"submitter {process.name} unfinished")
+    if fed.gtm.active:
+        result.converged = False
+        result.stuck.extend(
+            f"gtxn {gtxn_id} still active" for gtxn_id in sorted(fed.gtm.active)
+        )
+    for site, engine in fed.engines.items():
+        for txn in engine.active_txns():
+            if txn.gtxn_id:
+                result.converged = False
+                result.stuck.append(
+                    f"{site}: local {txn.txn_id} of {txn.gtxn_id} non-terminal"
+                )
+
+    result.expected_balance = (
+        spec.n_sites * spec.keys_per_site * INITIAL_BALANCE
+    )
+    result.total_balance = sum(
+        fed.peek(f"s{i}", f"t{i}", f"k{j}") or 0
+        for i in range(spec.n_sites)
+        for j in range(spec.keys_per_site)
+    )
+    result.conserved = result.total_balance == result.expected_balance
+
+    finish_times = [
+        outcome.finish_time
+        for outcome in fed.gtm.outcomes
+        if outcome.finish_time is not None
+    ]
+    last_finish = max(finish_times) if finish_times else 0.0
+    result.time_to_resolution = max(0.0, last_finish - spec.fault_horizon)
+
+    result.counters = {
+        **fed.network.reliability_counts(),
+        **injector.counters(),
+        "duplicate_requests": sum(
+            comm.duplicate_requests for comm in fed.comms.values()
+        ),
+        "recovery_passes": fed.gtm.recovery.passes,
+        "recovery_resolved_indoubt": fed.gtm.recovery.resolved_indoubt,
+        "recovery_redriven_redos": fed.gtm.recovery.redriven_redos,
+        "recovery_redriven_undos": fed.gtm.recovery.redriven_undos,
+        "recovery_orphans_terminated": fed.gtm.recovery.orphans_terminated,
+    }
+    result.federation = fed
+    return result
+
+
+def chaos_matrix(
+    seeds: list[int],
+    protocols: list[tuple[str, str]] | None = None,
+    **overrides: Any,
+) -> list[ChaosResult]:
+    """Sweep ``seeds`` across the protocol matrix; returns all results."""
+    results = []
+    for protocol, granularity in protocols or CHAOS_PROTOCOLS:
+        for seed in seeds:
+            spec = ChaosSpec(
+                protocol=protocol, granularity=granularity, seed=seed, **overrides
+            )
+            results.append(run_chaos(spec))
+    return results

@@ -36,6 +36,7 @@ class FaultInjector:
         self._rng = self.kernel.rng.stream(stream)
         self.injected_aborts = 0
         self.injected_crashes = 0
+        self.injected_partitions = 0
 
     # ------------------------------------------------------------------
     # Erroneous aborts in the §3.2 window
@@ -106,16 +107,51 @@ class FaultInjector:
         self.federation.network.drop_once.add(kind)
 
     def crash_site(self, site: str, at: float, recover_after: Optional[float] = None) -> None:
-        """Crash ``site`` at ``at``; restart after ``recover_after`` if set."""
+        """Crash ``site`` at ``at``; restart after ``recover_after`` if set.
+
+        Overlap-safe: a crash landing inside another outage only
+        extends the downtime (:meth:`Federation.hold_down`) -- it is not
+        counted as a fresh crash, and the earlier outage's restart
+        cannot resurrect the site before the extended outage ends.
+        """
 
         def fire() -> None:
+            node = self.federation.nodes[site]
+            if recover_after is not None:
+                self.federation.hold_down(site, self.kernel.now + recover_after)
+            if node.crashed:
+                return  # already down: the outage was merely extended
             self.injected_crashes += 1
             self.kernel.trace.emit("fault", site, site, kind="crash")
-            self.federation.nodes[site].crash()
+            node.crash()
 
         self.kernel.call_at(at, fire)
         if recover_after is not None:
             self.federation.restart_site(site, at=at + recover_after)
+
+    def partition_link(
+        self, a: str, b: str, at: float, heal_after: Optional[float] = None
+    ) -> None:
+        """Cut the ``a``--``b`` link at ``at``; heal ``heal_after`` later."""
+
+        def fire() -> None:
+            self.injected_partitions += 1
+            self.kernel.trace.emit("fault", a, b, kind="partition")
+            self.federation.network.partition(a, b)
+
+        self.kernel.call_at(at, fire)
+        if heal_after is not None:
+            self.kernel.call_at(
+                at + heal_after, self.federation.network.heal, a, b
+            )
+
+    def counters(self) -> dict[str, int]:
+        """Injected-fault accounting for the per-bench JSON reports."""
+        return {
+            "injected_aborts": self.injected_aborts,
+            "injected_crashes": self.injected_crashes,
+            "injected_partitions": self.injected_partitions,
+        }
 
     def random_crashes(
         self,
@@ -128,8 +164,11 @@ class FaultInjector:
 
         Each site crashes with exponential inter-arrival ``1/crash_rate``
         and recovers ``outage`` later.  Crash times are pre-sampled so
-        the schedule is independent of execution interleaving.
+        the schedule is independent of execution interleaving.  A zero
+        rate schedules nothing (the fault-level-0 baseline).
         """
+        if crash_rate <= 0.0:
+            return
         for site in sites:
             t = self._rng.expovariate(crash_rate)
             while t < horizon:

@@ -32,6 +32,10 @@ class CentralCommunicationManager:
         self._serve_process = kernel.spawn(self._serve(), name="central-comm")
         self.requests = 0
         self.timeouts = 0
+        # Observers of replies that matched no pending request -- the
+        # recovery manager uses them to spot orphaned subtransactions
+        # (a site answered after the requester had already moved on).
+        self.on_unmatched: list = []
 
     def _serve(self) -> Generator[Any, Any, None]:
         """Route incoming replies to the futures awaiting them."""
@@ -47,6 +51,8 @@ class CentralCommunicationManager:
                     "message_unmatched", self.node.name, message.kind,
                     sender=message.sender,
                 )
+                for hook in self.on_unmatched:
+                    hook(message)
 
     # -- API used by the GTM and the protocols --------------------------------
 
@@ -91,6 +97,11 @@ class CentralCommunicationManager:
         if not ok:
             self._pending.pop(message.msg_id, None)
             self.timeouts += 1
+            # Stop the reliable layer from retransmitting a request we
+            # gave up on: the caller's retry sends a fresh one, and a
+            # late ghost delivery of this one could make the site act
+            # on a transaction the coordinator already resolved.
+            self.network.abandon(message.msg_id)
             raise MessageTimeout(f"{kind} to {site} (gtxn={gtxn_id})")
         return reply
 

@@ -67,6 +67,16 @@ class LocalCommunicationManager:
         self._subtxns: dict[str, str] = {}
         # Volatile outcome memory: marker key -> "committed" | "aborted".
         self._outcomes: dict[str, str] = {}
+        # Request-level duplicate suppression: request msg_id -> the
+        # exact reply sent (None if the handler finished without
+        # replying).  A redelivered request re-sends the cached reply
+        # instead of re-running the handler; a request still being
+        # handled is dropped (the sender's retransmission covers it).
+        # Volatile by design -- after a crash the durable commit
+        # markers, not this cache, make redelivery safe.
+        self._processed_replies: dict[int, Optional[Message]] = {}
+        self._in_flight: set[int] = set()
+        self.duplicate_requests = 0
         # Per-global-transaction mutex: a retried decide and an
         # in-flight redo (or two redo retries) must never interleave on
         # the same subtransaction.
@@ -96,6 +106,8 @@ class LocalCommunicationManager:
         """The site failed: all communication-manager memory is lost."""
         self._subtxns.clear()
         self._outcomes.clear()
+        self._processed_replies.clear()
+        self._in_flight.clear()
         for lock in self._gtxn_locks.values():
             lock.reset(SiteCrashed(f"{self.site} crashed"))
         self._gtxn_locks.clear()
@@ -124,6 +136,21 @@ class LocalCommunicationManager:
                 message = yield from self.node.recv()
             except NodeUnreachable:
                 return
+            if message.msg_id in self._processed_replies:
+                # Redelivered request already handled: re-send the same
+                # reply (the first one may have been lost) and do NOT
+                # re-run the handler.
+                self.duplicate_requests += 1
+                cached = self._processed_replies[message.msg_id]
+                if cached is not None and not self.node.crashed:
+                    self.network.send(cached)
+                continue
+            if message.msg_id in self._in_flight:
+                # Redelivered while the first delivery is still being
+                # handled; the reply (or the sender's retry machinery)
+                # covers it.
+                self.duplicate_requests += 1
+                continue
             self.kernel.spawn(
                 self._handle(message), name=f"{self.site}:{message.kind}"
             )
@@ -145,13 +172,19 @@ class LocalCommunicationManager:
             if message.kind in self._SERIALIZED_KINDS
             else None
         )
+        self._in_flight.add(message.msg_id)
         try:
             if lock is not None:
                 yield from lock.acquire()
             yield from handler(message)
+            # Handler ran to completion: remember that (and the reply
+            # _reply recorded, if any) so a redelivery is answered from
+            # the cache instead of re-executed.
+            self._processed_replies.setdefault(message.msg_id, None)
         except (SiteCrashed, NodeUnreachable):
             return  # the site died mid-request; the central will time out
         finally:
+            self._in_flight.discard(message.msg_id)
             if lock is not None and lock.locked:
                 try:
                     lock.release()
@@ -161,7 +194,9 @@ class LocalCommunicationManager:
     def _reply(self, message: Message, kind: str, **payload: Any) -> None:
         if self.node.crashed:
             return
-        self.network.send(message.reply(kind, **payload))
+        reply = message.reply(kind, **payload)
+        self._processed_replies[message.msg_id] = reply
+        self.network.send(reply)
 
     # ------------------------------------------------------------------
     # Subtransaction lifecycle (2PC and commit-after)
@@ -600,6 +635,24 @@ class LocalCommunicationManager:
 
     def _on_ping(self, message: Message) -> Generator[Any, Any, None]:
         self._reply(message, "pong")
+        return
+        yield  # pragma: no cover - generator protocol
+
+    def _on_recover_query(self, message: Message) -> Generator[Any, Any, None]:
+        """List the in-doubt globals local recovery reinstated (READY).
+
+        The global recovery manager asks this after a restart; the
+        answer drives its protocol-specific re-resolution pass.
+        """
+        engine = self.interface._engine
+        in_doubt = sorted(
+            {
+                txn.gtxn_id
+                for txn in engine._txns.values()
+                if txn.gtxn_id and txn.state is LocalTxnState.READY
+            }
+        )
+        self._reply(message, "recover_report", in_doubt=in_doubt)
         return
         yield  # pragma: no cover - generator protocol
 

@@ -56,6 +56,13 @@ class FederationConfig:
     latency_jitter: float = 0.0
     loss_rate: float = 0.0
     batch_window: float = 0.0
+    dup_rate: float = 0.0
+    reorder_rate: float = 0.0
+    reorder_spread: float = 5.0
+    reliable: bool = False
+    retransmit_timeout: float = 15.0
+    retransmit_backoff: float = 2.0
+    max_retransmits: int = 12
     log_placement: str = "indb"  # "indb" | "volatile"
     gtm: GTMConfig = field(default_factory=GTMConfig)
 
@@ -86,6 +93,13 @@ class Federation:
             latency=latency,
             loss_rate=self.config.loss_rate,
             batch_window=self.config.batch_window,
+            dup_rate=self.config.dup_rate,
+            reorder_rate=self.config.reorder_rate,
+            reorder_spread=self.config.reorder_spread,
+            reliable=self.config.reliable,
+            retransmit_timeout=self.config.retransmit_timeout,
+            retransmit_backoff=self.config.retransmit_backoff,
+            max_retransmits=self.config.max_retransmits,
         )
         self.schema = GlobalSchema()
         self.engines: dict[str, LocalDatabase] = {}
@@ -99,6 +113,10 @@ class Federation:
         self.gtm = GlobalTransactionManager(
             self.kernel, self.network, self.schema, self.central_comm, self.config.gtm
         )
+
+        # Per-site end-of-outage time; overlapping crash schedules
+        # extend it so stale restarts cannot resurrect a site early.
+        self._outage_until: dict[str, float] = {}
 
         for spec in site_specs:
             self._add_site(spec)
@@ -203,17 +221,46 @@ class Federation:
         else:
             self.kernel.call_at(at, node.crash)
 
+    def hold_down(self, name: str, until: float) -> None:
+        """Extend ``name``'s outage: restarts before ``until`` are ignored.
+
+        Overlapping crash schedules extend (never shorten) each other --
+        a crash landing inside another outage must not let the earlier
+        outage's restart resurrect the site early.
+        """
+        current = self._outage_until.get(name, 0.0)
+        self._outage_until[name] = max(current, until)
+
     def restart_site(self, name: str, at: Optional[float] = None) -> None:
-        """Restart ``name`` now or at simulated time ``at``."""
+        """Restart ``name`` now or at simulated time ``at``.
+
+        Idempotent: restarting a running site is a no-op, and a restart
+        scheduled before the site's current outage ends (see
+        :meth:`hold_down`) is ignored -- the outage that extended the
+        downtime carries its own, later restart.
+        """
         node = self.nodes[name]
 
         def do_restart() -> None:
-            self.kernel.spawn(node.restart(), name=f"restart:{name}")
+            if not node.crashed:
+                return  # already up: nothing to do
+            if self.kernel.now < self._outage_until.get(name, 0.0):
+                return  # a longer overlapping outage owns the restart
+            self.kernel.spawn(
+                self._restart_and_recover(name), name=f"restart:{name}"
+            )
 
         if at is None:
             do_restart()
         else:
             self.kernel.call_at(at, do_restart)
+
+    def _restart_and_recover(self, name: str) -> Generator[Any, Any, None]:
+        """Bring the node back, then re-resolve its in-doubt globals."""
+        node = self.nodes[name]
+        yield from node.restart()
+        if name != self.CENTRAL:
+            yield from self.gtm.recovery.recover_site(name)
 
     # ------------------------------------------------------------------
     # Inspection
@@ -253,6 +300,10 @@ class Federation:
                 "envelopes": self.network.envelopes,
                 "piggybacked": self.network.piggybacked,
                 "by_kind": self.network.message_counts(),
+                "reliability": self.network.reliability_counts(),
+                "duplicate_requests": sum(
+                    c.duplicate_requests for c in self.comms.values()
+                ),
             },
             "sites": {site: engine.metrics() for site, engine in self.engines.items()},
         }

@@ -14,10 +14,26 @@ envelopes (``envelopes``) separately so the EXP-T5 message-complexity
 accounting stays honest; ``piggybacked`` counts the logical messages
 that rode along in an envelope after the first.  ``batch_window = 0``
 (the default) takes exactly the unbatched path of the seed system.
+
+Fault knobs beyond probabilistic loss: ``dup_rate`` delivers a
+transmission twice, ``reorder_rate`` adds extra latency to some
+transmissions so later ones overtake them, and named link partitions
+(:meth:`Network.partition` / :meth:`Network.heal`) cut a link in both
+directions until healed.
+
+With ``reliable=True`` every physical transmission is acknowledged by
+the receiving end: unacknowledged transmissions are retransmitted with
+exponential backoff up to a retry budget, and the receiver suppresses
+duplicate transmissions (re-acking them, in case the first ack was
+lost).  Acks and retransmissions are *physical* control traffic -- they
+never appear in the logical ``sent``/``by_kind`` accounting.  All new
+knobs at their defaults leave the transmission path byte-identical to
+the unreliable seed system: no extra random draws, no extra events.
 """
 
 from __future__ import annotations
 
+import itertools
 from typing import TYPE_CHECKING, Optional
 
 from repro.errors import NodeUnreachable, TopologyViolation
@@ -61,14 +77,31 @@ class Network:
         loss_rate: float = 0.0,
         enforce_star: bool = True,
         batch_window: float = 0.0,
+        dup_rate: float = 0.0,
+        reorder_rate: float = 0.0,
+        reorder_spread: float = 5.0,
+        reliable: bool = False,
+        retransmit_timeout: float = 15.0,
+        retransmit_backoff: float = 2.0,
+        max_retransmits: int = 12,
     ):
         if batch_window < 0:
             raise ValueError(f"negative batch window {batch_window}")
+        for name, rate in (("dup_rate", dup_rate), ("reorder_rate", reorder_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} {rate} outside [0, 1]")
         self.kernel = kernel
         self.latency = latency or FixedLatency(1.0)
         self.loss_rate = loss_rate
         self.enforce_star = enforce_star
         self.batch_window = batch_window
+        self.dup_rate = dup_rate
+        self.reorder_rate = reorder_rate
+        self.reorder_spread = reorder_spread
+        self.reliable = reliable
+        self.retransmit_timeout = retransmit_timeout
+        self.retransmit_backoff = retransmit_backoff
+        self.max_retransmits = max_retransmits
         self._nodes: dict[str, Node] = {}
         self._rng = kernel.rng.stream("network")
         # Per-link outboxes for the batching path: (sender, dest) ->
@@ -79,6 +112,20 @@ class Network:
         # Deterministic fault hook: message kinds to drop exactly once
         # (used by the fault injector to lose a specific reply).
         self.drop_once: set[str] = set()
+        # Named link partitions: a link in this set drops traffic in
+        # both directions until healed.
+        self._partitioned: set[frozenset[str]] = set()
+        # Reliable-delivery state: unacked transmissions by id
+        # (sender side) and transmission ids already delivered per
+        # destination (receiver-side duplicate suppression).
+        self._xmit_ids = itertools.count(1)
+        self._pending_xmits: dict[int, list] = {}
+        self._seen_xmits: dict[str, set[int]] = {}
+        # Logical messages whose requester gave up (request timeout):
+        # never retransmitted again, never delivered late.  Keeps the
+        # at-most-once-per-request-window semantics the protocols'
+        # own retry machinery was written against.
+        self._abandoned: set[int] = set()
         # Metrics.  ``sent``/``delivered``/``dropped``/``by_kind`` count
         # logical messages; ``envelopes`` counts physical transmissions.
         self.sent = 0
@@ -87,6 +134,16 @@ class Network:
         self.envelopes = 0
         self.piggybacked = 0
         self.by_kind: dict[str, int] = {}
+        # Reliability/fault metrics (physical layer).
+        self.retransmissions = 0
+        self.retransmit_drops = 0
+        self.lost_transmissions = 0
+        self.partition_blocked = 0
+        self.duplicates_injected = 0
+        self.duplicates_suppressed = 0
+        self.reordered = 0
+        self.acks_sent = 0
+        self.abandoned_messages = 0
 
     # -- membership -----------------------------------------------------------
 
@@ -201,10 +258,70 @@ class Network:
         """Logical messages currently waiting in outboxes."""
         return sum(len(q) for q in self._outboxes.values())
 
+    # -- partitions ------------------------------------------------------------
+
+    def partition(self, a: str, b: str) -> None:
+        """Cut the link between ``a`` and ``b`` (both directions)."""
+        self.node(a)
+        self.node(b)
+        self._partitioned.add(frozenset((a, b)))
+        self.kernel.trace.emit("partition", a, b, action="cut")
+
+    def heal(self, a: Optional[str] = None, b: Optional[str] = None) -> None:
+        """Heal one link (``heal(a, b)``) or every partition (``heal()``)."""
+        if a is None and b is None:
+            for link in self._partitioned:
+                pair = sorted(link)
+                self.kernel.trace.emit("partition", pair[0], pair[1], action="heal")
+            self._partitioned.clear()
+            return
+        if a is None or b is None:
+            raise ValueError("heal takes both endpoints or neither")
+        self._partitioned.discard(frozenset((a, b)))
+        self.kernel.trace.emit("partition", a, b, action="heal")
+
+    def partitioned(self, a: str, b: str) -> bool:
+        """Is the ``a``--``b`` link currently cut?"""
+        return frozenset((a, b)) in self._partitioned
+
+    # -- abandonment -----------------------------------------------------------
+
+    def abandon(self, msg_id: int) -> None:
+        """Stop (re)delivering the reliable transmission of ``msg_id``.
+
+        Called by a requester whose timeout fired: the protocols'
+        retry machinery re-sends a *fresh* request, so a late ghost
+        delivery of the stale one would make the receiver act on a
+        transaction the coordinator has already moved past (e.g. begin
+        a subtransaction for an attempt that was aborted meanwhile).
+        Abandoned messages are pruned from pending retransmissions and
+        filtered out at delivery time.  No-op on unreliable networks,
+        which cannot deliver late to begin with.
+        """
+        if self.reliable:
+            self._abandoned.add(msg_id)
+
     # -- transmission ----------------------------------------------------------
 
     def _transmit(self, sender: str, dest: str, messages: tuple[Message, ...]) -> None:
         """One physical transmission: one loss trial, one latency sample."""
+        if self.reliable:
+            xid = next(self._xmit_ids)
+            # [messages, attempts made, pending retransmit timer]
+            self._pending_xmits[xid] = [messages, 0, None]
+            self._attempt_xmit(xid)
+            return
+        if self._partitioned and frozenset((sender, dest)) in self._partitioned:
+            self.partition_blocked += 1
+            self.dropped += len(messages)
+            trace = self.kernel.trace
+            if trace.enabled:
+                for message in messages:
+                    trace.emit(
+                        "message_drop", message.sender, message.kind,
+                        dest=message.dest, cause="partition",
+                    )
+            return
         if self.loss_rate and self._rng.random() < self.loss_rate:
             self.dropped += len(messages)
             trace = self.kernel.trace
@@ -218,7 +335,145 @@ class Network:
         if len(messages) > 1:
             self.piggybacked += len(messages) - 1
         delay = self.latency.sample(self._rng)
+        if self.reorder_rate and self._rng.random() < self.reorder_rate:
+            delay += self._rng.uniform(0.0, self.reorder_spread)
+            self.reordered += 1
         self.kernel._schedule(delay, self._deliver_all, messages)
+        if self.dup_rate and self._rng.random() < self.dup_rate:
+            self.duplicates_injected += len(messages)
+            self.kernel._schedule(
+                self.latency.sample(self._rng), self._deliver_all, messages
+            )
+
+    # -- reliable delivery -----------------------------------------------------
+
+    def _attempt_xmit(self, xid: int) -> None:
+        """One send attempt of a reliable transmission; arms the retry timer."""
+        entry = self._pending_xmits.get(xid)
+        if entry is None:
+            return  # acked in the meantime
+        messages, attempts, _ = entry
+        sender, dest = messages[0].sender, messages[0].dest
+        src = self._nodes.get(sender)
+        if src is None or src.crashed:
+            # The sender died: its retransmission state is volatile.
+            del self._pending_xmits[xid]
+            self.dropped += len(messages)
+            trace = self.kernel.trace
+            if trace.enabled:
+                for message in messages:
+                    trace.emit(
+                        "message_drop", message.sender, message.kind,
+                        dest=message.dest, cause="sender down",
+                    )
+            return
+        blocked = (
+            bool(self._partitioned) and frozenset((sender, dest)) in self._partitioned
+        )
+        if blocked:
+            self.partition_blocked += 1
+            self.lost_transmissions += 1
+        elif self.loss_rate and self._rng.random() < self.loss_rate:
+            self.lost_transmissions += 1
+        else:
+            self.envelopes += 1
+            if len(messages) > 1 and attempts == 0:
+                self.piggybacked += len(messages) - 1
+            delay = self.latency.sample(self._rng)
+            if self.reorder_rate and self._rng.random() < self.reorder_rate:
+                delay += self._rng.uniform(0.0, self.reorder_spread)
+                self.reordered += 1
+            self.kernel._schedule(delay, self._deliver_reliable, xid, messages)
+            if self.dup_rate and self._rng.random() < self.dup_rate:
+                self.duplicates_injected += len(messages)
+                self.kernel._schedule(
+                    self.latency.sample(self._rng), self._deliver_reliable, xid, messages
+                )
+        # Arm the retransmit timer whether or not the attempt got out:
+        # the attempt, its delivery, or its ack may all be lost.  The
+        # timer future is cancelled (resolved) on ack so the kernel can
+        # skip it without advancing the clock.
+        entry[1] = attempts + 1
+        timeout = self.retransmit_timeout * (self.retransmit_backoff ** attempts)
+        timer = self.kernel.timer(timeout, label="retransmit")
+        entry[2] = timer
+        expected_attempts = attempts + 1
+        timer.add_callback(lambda _f: self._retransmit(xid, expected_attempts))
+
+    def _retransmit(self, xid: int, attempts: int) -> None:
+        entry = self._pending_xmits.get(xid)
+        if entry is None or entry[1] != attempts:
+            return  # acked, or a newer attempt owns the retry chain
+        if self._abandoned:
+            live = tuple(
+                m for m in entry[0] if m.msg_id not in self._abandoned
+            )
+            if not live:
+                del self._pending_xmits[xid]
+                return  # every rider gave up: stop retransmitting
+            entry[0] = live
+        if attempts > self.max_retransmits:
+            messages = entry[0]
+            del self._pending_xmits[xid]
+            self.retransmit_drops += 1
+            self.dropped += len(messages)
+            trace = self.kernel.trace
+            if trace.enabled:
+                for message in messages:
+                    trace.emit(
+                        "message_drop", message.sender, message.kind,
+                        dest=message.dest, cause="retry budget exhausted",
+                    )
+            return
+        self.retransmissions += 1
+        self._attempt_xmit(xid)
+
+    def _deliver_reliable(self, xid: int, messages: tuple[Message, ...]) -> None:
+        dest = messages[0].dest
+        dst = self._nodes.get(dest)
+        if dst is None or dst.crashed:
+            return  # no ack: the sender keeps retransmitting
+        # Ack duplicates too -- the original ack may have been the loss.
+        self._send_ack(dest, messages[0].sender, xid)
+        seen = self._seen_xmits.setdefault(dest, set())
+        if xid in seen:
+            self.duplicates_suppressed += len(messages)
+            return
+        seen.add(xid)
+        if self._abandoned:
+            live = [m for m in messages if m.msg_id not in self._abandoned]
+            stale = len(messages) - len(live)
+            if stale:
+                self.abandoned_messages += stale
+                self.dropped += stale
+                trace = self.kernel.trace
+                if trace.enabled:
+                    for message in messages:
+                        if message.msg_id in self._abandoned:
+                            trace.emit(
+                                "message_drop", message.sender, message.kind,
+                                dest=message.dest, cause="abandoned",
+                            )
+                messages = tuple(live)
+        for message in messages:
+            dst.deliver(message)
+        self.delivered += len(messages)
+
+    def _send_ack(self, sender: str, dest: str, xid: int) -> None:
+        """Physical ack frame: subject to partition, loss and latency."""
+        self.acks_sent += 1
+        if self._partitioned and frozenset((sender, dest)) in self._partitioned:
+            return
+        if self.loss_rate and self._rng.random() < self.loss_rate:
+            return
+        self.kernel._schedule(self.latency.sample(self._rng), self._on_ack, xid)
+
+    def _on_ack(self, xid: int) -> None:
+        entry = self._pending_xmits.pop(xid, None)
+        if entry is not None:
+            timer = entry[2]
+            if timer is not None and not timer._done:
+                timer.resolve(None)  # cancel the pending retransmit
 
     def _deliver_all(self, messages: tuple[Message, ...]) -> None:
         dst = self._nodes.get(messages[0].dest)
@@ -248,6 +503,21 @@ class Network:
             "logical": self.sent,
             "envelopes": self.envelopes,
             "piggybacked": self.piggybacked,
+        }
+
+    def reliability_counts(self) -> dict[str, int]:
+        """Fault/reliability accounting for the chaos experiments."""
+        return {
+            "retransmissions": self.retransmissions,
+            "retransmit_drops": self.retransmit_drops,
+            "lost_transmissions": self.lost_transmissions,
+            "partition_blocked": self.partition_blocked,
+            "duplicates_injected": self.duplicates_injected,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "reordered": self.reordered,
+            "acks_sent": self.acks_sent,
+            "abandoned_messages": self.abandoned_messages,
+            "unacked_in_flight": len(self._pending_xmits),
         }
 
     def make_batch(self, messages: tuple[Message, ...]) -> BatchMessage:

@@ -34,7 +34,10 @@ class Kernel:
         the same process structure produce identical traces.
     """
 
-    __slots__ = ("_queue", "_sequence", "_now", "_stopped", "rng", "trace", "failures")
+    __slots__ = (
+        "_queue", "_sequence", "_now", "_stopped", "rng", "trace",
+        "failures", "_fire_timer",
+    )
 
     def __init__(self, seed: int = 0):
         self._queue: list[tuple[float, int, Callable[..., None], tuple]] = []
@@ -44,6 +47,10 @@ class Kernel:
         self.rng = RandomStreams(seed)
         self.trace = TraceLog(self)
         self.failures: list[tuple[Process, BaseException]] = []
+        # Bound exactly once: the run loop recognises cancelled timers
+        # by identity (``fn is self._fire_timer``), and a fresh bound
+        # method per access would never compare identical.
+        self._fire_timer = self._resolve_timer
 
     # -- time ----------------------------------------------------------------
 
@@ -106,7 +113,7 @@ class Kernel:
         self._schedule(delay, self._fire_timer, future)
         return future
 
-    def _fire_timer(self, future: Future) -> None:
+    def _resolve_timer(self, future: Future) -> None:
         if not future._done:
             future.resolve(self._now)
 
@@ -121,9 +128,12 @@ class Kernel:
         """
         queue = self._queue
         pop = heapq.heappop
+        fire_timer = self._fire_timer
         if until is None:
             while queue:
                 time, _seq, fn, args = pop(queue)
+                if fn is fire_timer and args[0]._done:
+                    continue  # cancelled timer: skip without advancing the clock
                 self._now = time
                 fn(*args)
         else:
@@ -132,6 +142,8 @@ class Kernel:
                     self._now = until
                     break
                 time, _seq, fn, args = pop(queue)
+                if fn is fire_timer and args[0]._done:
+                    continue
                 self._now = time
                 fn(*args)
         if raise_failures:
@@ -173,6 +185,12 @@ class Kernel:
         timer = self.timer(timeout, label="timeout")
         index, value = yield AnyOf([future, timer])
         if index == 0:
+            # Cancel the now-stale timeout timer: resolving it here lets
+            # the run loop discard the queued firing without advancing
+            # the clock, so completed rounds leave no timer debris that
+            # could stretch the simulated end time.
+            if not timer._done:
+                timer.resolve(None)
             return True, value
         return False, None
 

@@ -1,0 +1,101 @@
+"""Deterministic chaos harness (EXP-R1).
+
+Every seeded schedule -- message loss, duplication, reordering, link
+partitions, crash/recover cycles -- must leave the federation with a
+clean atomicity audit, a serializable history, conserved balances and
+every global transaction terminal at every site within the post-fault
+horizon.  The quick matrix below runs in the tier-1 suite; the full
+20-seed sweep is a soak test (``-m soak``).
+
+On failure the kernel trace of the offending run is dumped under
+``chaos-artifacts/`` so a CI job can upload it for post-mortem.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.faults import CHAOS_PROTOCOLS, ChaosResult, ChaosSpec, run_chaos
+
+ARTIFACT_DIR = Path(__file__).resolve().parents[2] / "chaos-artifacts"
+
+
+def assert_chaos_ok(result: ChaosResult) -> None:
+    """Assert a clean run, dumping the kernel trace when it is not."""
+    if result.ok:
+        return
+    spec = result.spec
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    path = ARTIFACT_DIR / (
+        f"chaos_{spec.protocol}_{spec.granularity}_seed{spec.seed}.trace"
+    )
+    with path.open("w") as fh:
+        fh.write(f"# spec: {spec}\n")
+        fh.write(f"# stuck: {result.stuck}\n")
+        fh.write(f"# violations: {result.violations}\n")
+        fh.write(f"# counters: {result.counters}\n")
+        for record in result.federation.kernel.trace.records:
+            fh.write(f"{record}\n")
+    pytest.fail(
+        f"chaos run failed for {spec.protocol}/{spec.granularity} "
+        f"seed={spec.seed}: atomicity={result.atomicity_ok} "
+        f"serializable={result.serializable} converged={result.converged} "
+        f"conserved={result.conserved} stuck={result.stuck[:5]} "
+        f"(trace dumped to {path})"
+    )
+
+
+@pytest.mark.parametrize("protocol,granularity", CHAOS_PROTOCOLS)
+@pytest.mark.parametrize("seed", [7, 11])
+def test_chaos_quick_matrix(protocol, granularity, seed):
+    result = run_chaos(
+        ChaosSpec(protocol=protocol, granularity=granularity, seed=seed)
+    )
+    assert_chaos_ok(result)
+    assert result.committed + result.aborted == result.spec.n_txns
+
+
+@pytest.mark.parametrize("protocol,granularity", CHAOS_PROTOCOLS)
+def test_chaos_replays_deterministically(protocol, granularity):
+    first = run_chaos(ChaosSpec(protocol=protocol, granularity=granularity, seed=3))
+    second = run_chaos(ChaosSpec(protocol=protocol, granularity=granularity, seed=3))
+    assert first.committed == second.committed
+    assert first.aborted == second.aborted
+    assert first.end_time == second.end_time
+    assert first.counters == second.counters
+
+
+def test_chaos_counters_recorded():
+    result = run_chaos(ChaosSpec(protocol="2pc", seed=7))
+    for key in (
+        "retransmissions",
+        "duplicates_suppressed",
+        "abandoned_messages",
+        "injected_crashes",
+        "injected_partitions",
+        "duplicate_requests",
+        "recovery_passes",
+        "recovery_orphans_terminated",
+    ):
+        assert key in result.counters
+    # Faults did fire: the schedule is not vacuous.
+    assert result.counters["injected_crashes"] > 0
+    assert result.counters["retransmissions"] > 0
+
+
+def test_chaos_resolution_bounded():
+    """Everything terminal well inside the post-fault horizon."""
+    result = run_chaos(ChaosSpec(protocol="2pc-pa", seed=7))
+    assert_chaos_ok(result)
+    assert result.end_time < result.spec.resolution_horizon
+
+
+@pytest.mark.soak
+@pytest.mark.parametrize("protocol,granularity", CHAOS_PROTOCOLS)
+@pytest.mark.parametrize("seed", list(range(20)))
+def test_chaos_soak_matrix(protocol, granularity, seed):
+    """The full EXP-R1 sweep: 20 seeded schedules per protocol."""
+    result = run_chaos(
+        ChaosSpec(protocol=protocol, granularity=granularity, seed=seed)
+    )
+    assert_chaos_ok(result)

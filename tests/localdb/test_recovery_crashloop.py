@@ -1,0 +1,103 @@
+"""In-doubt reinstatement under repeated crashes (crash-loop recovery).
+
+A prepared subtransaction must come back READY -- with its locks and
+its identity -- after *any* number of crashes, including a crash that
+interrupts recovery itself.  Local recovery only reads the stable log,
+so every pass starts from the same truth no matter how many times it
+was cut short.
+"""
+
+from repro.localdb.txn import LocalTxnState
+from tests.conftest import run
+from tests.localdb.test_recovery import crash_restart, make_db, read_all
+
+
+def prepare_indoubt(kernel, db, gtxn_id: str, value: int) -> str:
+    def proc():
+        txn = db.begin(gtxn_id=gtxn_id)
+        yield from db.write(txn, "t", "a", value)
+        yield from db.prepare(txn)
+        return txn.txn_id
+
+    return run(kernel, proc())
+
+
+def test_indoubt_survives_repeated_crashes(kernel):
+    db = make_db(kernel)
+    txn_id = prepare_indoubt(kernel, db, "G1", 77)
+    for _ in range(3):
+        crash_restart(kernel, db)
+        recovered = db.find_by_gtxn("G1")
+        assert recovered is not None
+        assert recovered.state is LocalTxnState.READY
+        assert recovered.txn_id == txn_id
+    run(kernel, db.commit(db.find_by_gtxn("G1")))
+    assert read_all(kernel, db) == (77, 2)
+
+
+def test_indoubt_abort_after_crash_loop(kernel):
+    db = make_db(kernel)
+    prepare_indoubt(kernel, db, "G1", 77)
+    for _ in range(3):
+        crash_restart(kernel, db)
+    run(kernel, db.abort(db.find_by_gtxn("G1")))
+    assert read_all(kernel, db) == (1, 2)  # original value restored
+
+
+def test_crash_during_recovery_is_harmless(kernel):
+    """Cutting recovery short mid-pass loses nothing: the next pass
+    replays from the same stable log and reinstates the same txn."""
+    db = make_db(kernel)
+    txn_id = prepare_indoubt(kernel, db, "G1", 77)
+    db.crash()
+    restarting = kernel.spawn(db.restart(), name="restart")
+    # Crash again a hair into the restart, before recovery finishes.
+    kernel.call_at(kernel.now + 0.01, db.crash)
+    kernel.run()
+    assert restarting.done
+    crash_restart(kernel, db)
+    recovered = db.find_by_gtxn("G1")
+    assert recovered is not None
+    assert recovered.state is LocalTxnState.READY
+    assert recovered.txn_id == txn_id
+    run(kernel, db.commit(recovered))
+    assert read_all(kernel, db) == (77, 2)
+
+
+def test_loser_undone_indoubt_kept_across_crashes(kernel):
+    """A crash with both an unprepared loser and a prepared in-doubt
+    transaction: only the loser is rolled back, every time."""
+    db = make_db(kernel)
+    prepare_indoubt(kernel, db, "G1", 77)
+
+    def loser():
+        txn = db.begin()
+        yield from db.write(txn, "t", "b", 999)
+
+    run(kernel, loser())
+    for _ in range(2):
+        crash_restart(kernel, db)
+        recovered = db.find_by_gtxn("G1")
+        assert recovered is not None and recovered.state is LocalTxnState.READY
+        assert len(db.active_txns()) == 1  # the loser is gone
+    run(kernel, db.abort(db.find_by_gtxn("G1")))
+    assert read_all(kernel, db) == (1, 2)
+
+
+def test_two_indoubt_transactions_reinstated_independently(kernel):
+    db = make_db(kernel)
+    prepare_indoubt(kernel, db, "G1", 77)
+
+    def second():
+        txn = db.begin(gtxn_id="G2")
+        yield from db.write(txn, "t", "b", 88)
+        yield from db.prepare(txn)
+
+    run(kernel, second())
+    for _ in range(2):
+        crash_restart(kernel, db)
+        assert db.find_by_gtxn("G1").state is LocalTxnState.READY
+        assert db.find_by_gtxn("G2").state is LocalTxnState.READY
+    run(kernel, db.commit(db.find_by_gtxn("G1")))
+    run(kernel, db.abort(db.find_by_gtxn("G2")))
+    assert read_all(kernel, db) == (77, 2)

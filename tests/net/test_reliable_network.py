@@ -1,0 +1,167 @@
+"""Reliable delivery: acks, retransmission, dedup, partitions, abandon."""
+
+from repro.net.message import Message
+from repro.net.network import FixedLatency, Network
+from repro.net.node import Node
+from tests.conftest import run
+
+
+def make_net(kernel, **kwargs):
+    kwargs.setdefault("latency", FixedLatency(1.0))
+    kwargs.setdefault("reliable", True)
+    kwargs.setdefault("retransmit_timeout", 5.0)
+    kwargs.setdefault("retransmit_backoff", 2.0)
+    net = Network(kernel, **kwargs)
+    central = net.add_node(Node(kernel, "central", is_central=True))
+    a = net.add_node(Node(kernel, "a"))
+    return net, central, a
+
+
+def test_clean_link_delivers_once_and_acks(kernel):
+    net, _, a = make_net(kernel)
+    net.send(Message(kind="ping", sender="central", dest="a"))
+
+    def receiver():
+        message = yield from a.recv()
+        return message.kind
+
+    assert run(kernel, receiver()) == "ping"
+    assert net.delivered == 1
+    assert net.retransmissions == 0
+    assert net.acks_sent == 1
+    assert net.reliability_counts()["unacked_in_flight"] == 0
+
+
+def test_lossy_link_retransmits_until_delivered(kernel):
+    net, _, a = make_net(kernel, loss_rate=0.5)
+    for i in range(20):
+        net.send(Message(kind="ping", sender="central", dest="a", payload={"i": i}))
+    kernel.run()
+    # Every message eventually got through, exactly once each.
+    assert net.delivered == 20
+    assert net.retransmissions > 0
+    assert net.reliability_counts()["unacked_in_flight"] == 0
+
+
+def test_duplicate_transmissions_suppressed(kernel):
+    net, _, a = make_net(kernel, dup_rate=1.0)
+    net.send(Message(kind="ping", sender="central", dest="a"))
+    kernel.run()
+    assert net.delivered == 1
+    assert net.duplicates_suppressed >= 1
+    # The duplicate is re-acked: its ack may have been the lost one.
+    assert net.acks_sent >= 2
+
+
+def test_lost_ack_triggers_retransmit_but_not_redelivery(kernel):
+    # Drop every second frame: some acks will be lost, forcing the
+    # sender to retransmit transmissions the receiver already has.
+    net, _, a = make_net(kernel, loss_rate=0.4)
+    for _ in range(30):
+        net.send(Message(kind="ping", sender="central", dest="a"))
+    kernel.run()
+    assert net.delivered == 30
+    assert net.duplicates_suppressed > 0
+
+
+def test_partition_blocks_both_directions(kernel):
+    net, _, a = make_net(kernel, max_retransmits=2)
+    net.partition("central", "a")
+    assert net.partitioned("central", "a")
+    assert net.partitioned("a", "central")
+    net.send(Message(kind="ping", sender="central", dest="a"))
+    net.send(Message(kind="pong", sender="a", dest="central"))
+    kernel.run()
+    assert net.delivered == 0
+    assert net.partition_blocked > 0
+    assert net.retransmit_drops == 2
+
+
+def test_retransmission_bridges_a_healed_partition(kernel):
+    net, _, a = make_net(kernel)
+    net.partition("central", "a")
+    net.send(Message(kind="ping", sender="central", dest="a"))
+    kernel.call_at(12.0, net.heal, "central", "a")
+    kernel.run()
+    assert net.delivered == 1
+    assert net.retransmissions >= 1
+
+
+def test_heal_all_clears_every_partition(kernel):
+    net, _, a = make_net(kernel)
+    b = net.add_node(Node(kernel, "b"))
+    net.partition("central", "a")
+    net.partition("central", "b")
+    net.heal()
+    assert not net.partitioned("central", "a")
+    assert not net.partitioned("central", "b")
+
+
+def test_retry_budget_exhaustion_drops(kernel):
+    net, _, a = make_net(kernel, max_retransmits=3)
+    net.partition("central", "a")
+    net.send(Message(kind="ping", sender="central", dest="a"))
+    kernel.run()
+    assert net.retransmit_drops == 1
+    assert net.delivered == 0
+    assert net.reliability_counts()["unacked_in_flight"] == 0
+
+
+def test_retransmission_survives_receiver_outage(kernel):
+    net, _, a = make_net(kernel)
+    a.crash()
+    net.send(Message(kind="ping", sender="central", dest="a"))
+
+    def restarter():
+        yield 12.0
+        yield from a.restart()
+
+    kernel.spawn(restarter(), name="restarter")
+    kernel.run()
+    assert net.delivered == 1
+    assert net.retransmissions >= 1
+
+
+def test_sender_crash_drops_retransmission_state(kernel):
+    net, central, a = make_net(kernel)
+    net.partition("central", "a")
+    net.send(Message(kind="ping", sender="central", dest="a"))
+    kernel.call_at(6.0, central.crash)
+    kernel.run()
+    # The sender died: its volatile retransmission state went with it.
+    assert net.delivered == 0
+    assert net.reliability_counts()["unacked_in_flight"] == 0
+
+
+def test_abandon_stops_retransmission(kernel):
+    net, _, a = make_net(kernel)
+    net.partition("central", "a")
+    message = Message(kind="ping", sender="central", dest="a")
+    net.send(message)
+    net.abandon(message.msg_id)
+    kernel.call_at(2.0, net.heal, "central", "a")
+    kernel.run()
+    assert net.delivered == 0
+    assert net.reliability_counts()["unacked_in_flight"] == 0
+
+
+def test_abandon_blocks_inflight_delivery(kernel):
+    net, _, a = make_net(kernel, latency=FixedLatency(5.0))
+    message = Message(kind="ping", sender="central", dest="a")
+    net.send(message)  # delivery already scheduled for t=5
+    kernel.call_at(1.0, net.abandon, message.msg_id)
+    kernel.run()
+    assert net.delivered == 0
+    assert net.abandoned_messages == 1
+    # The frame itself is still acked so the sender stops retrying.
+    assert net.reliability_counts()["unacked_in_flight"] == 0
+
+
+def test_reorder_overtakes(kernel):
+    net, _, a = make_net(kernel, reliable=False, reorder_rate=1.0,
+                         reorder_spread=10.0)
+    net.send(Message(kind="first", sender="central", dest="a"))
+    net.send(Message(kind="second", sender="central", dest="a"))
+    kernel.run()
+    assert net.reordered == 2
+    assert net.delivered == 2

@@ -190,3 +190,41 @@ def test_call_at_absolute_time(kernel):
 
     run(kernel, proc())
     assert seen == [9.0]
+
+
+def test_cancelled_timer_does_not_advance_clock(kernel):
+    """A timer resolved early is skipped by the run loop without
+    advancing simulated time -- a sim must not end at the deadline of
+    a retransmit/timeout timer that was cancelled long before."""
+
+    def proc():
+        timer = kernel.timer(1000.0, label="cancelled")
+        yield 1.0
+        timer.resolve(None)  # cancel: the awaited event arrived
+        yield 2.0
+
+    run(kernel, proc())
+    assert kernel.now == 3.0
+
+
+def test_winning_wait_with_timeout_cancels_its_timer(kernel):
+    """When the awaited future wins the race, the timeout timer is
+    cancelled so the queue drains at the event's time, not the
+    timeout's."""
+    from repro.sim.events import Future
+
+    future = Future()
+
+    def resolver():
+        yield 2.0
+        future.resolve("value")
+
+    def waiter():
+        ok, value = yield from kernel.wait_with_timeout(future, 500.0)
+        return ok, value
+
+    kernel.spawn(resolver(), name="resolver")
+    process = kernel.spawn(waiter(), name="waiter")
+    end = kernel.run()
+    assert process.value == (True, "value")
+    assert end == 2.0
