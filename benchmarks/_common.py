@@ -23,8 +23,15 @@ def build_fed(
     log_placement: str = "indb",
     msg_timeout: float = 30.0,
     poll: float = 5.0,
+    metrics: bool = False,
+    spans: bool = False,
 ) -> Federation:
-    """Two-site federation with one funded table per site."""
+    """Two-site federation with one funded table per site.
+
+    ``metrics=True`` attaches the observability registry (pull-based:
+    the run itself is unaffected); ``spans=True`` additionally turns on
+    log-force tracing so ``fed.obs.span_forest()`` yields full spans.
+    """
     preparable = protocol in ("2pc", "2pc-pa", "3pc")
     specs = [
         SiteSpec(f"s{i}", tables={f"t{i}": {"x": 100, "y": 50}}, preparable=preparable)
@@ -35,6 +42,8 @@ def build_fed(
         FederationConfig(
             seed=seed,
             log_placement=log_placement,
+            metrics=metrics,
+            spans=spans,
             gtm=GTMConfig(
                 protocol=protocol,
                 granularity=granularity,

@@ -72,6 +72,10 @@ def run_benchmarks(only: str | None = None) -> list[dict]:
             # aborts/crashes, retransmissions, duplicates suppressed...)
             # refreshed by run_experiment().
             "fault_counters": dict(getattr(module, "FAULT_COUNTERS", None) or {}),
+            # Observability accounting: benchmarks that measure through
+            # the metrics registry publish a module-level METRICS dict
+            # refreshed by run_experiment().
+            "metrics": dict(getattr(module, "METRICS", None) or {}),
         }
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / f"{name}.json").write_text(json.dumps(report, indent=2) + "\n")
@@ -94,6 +98,7 @@ def headline_numbers() -> dict:
         SEED_EVENTS_PER_SEC,
         kernel_events_per_sec,
     )
+    from benchmarks.bench_o1_obs_overhead import obs_headline
     from benchmarks.bench_r1_chaos import headline as chaos_headline
 
     protocols = {}
@@ -142,6 +147,7 @@ def headline_numbers() -> dict:
             "speedup_vs_seed": round(events_per_sec / SEED_EVENTS_PER_SEC, 2),
         },
         "chaos": chaos_headline(),
+        "obs": obs_headline(),
     }
 
 

@@ -1,41 +1,70 @@
 """``python -m repro`` -- a 30-second demonstration.
 
-Runs one transfer under each commit protocol against a fresh two-bank
-federation, prints the outcome and the per-protocol cost, then shows
-the paper's headline effect: an intended abort is free under
-commit-after and needs inverse transactions under commit-before.
+With no arguments: runs one transfer under each commit protocol
+against a fresh two-bank federation, prints the outcome and the
+per-protocol cost, then shows the paper's headline effect: an intended
+abort is free under commit-after and needs inverse transactions under
+commit-before.
+
+With ``--protocol``: runs a transfer workload under that one protocol,
+with ``--sites``/``--txns``/``--seed`` shaping the federation and
+``--report``/``--trace-out`` exporting the observability views (the
+paper's §4 cost table and a Chrome ``trace_event`` JSON for
+``chrome://tracing`` / Perfetto).
 """
 
 from __future__ import annotations
+
+import argparse
+from typing import Optional
 
 from repro import Federation, FederationConfig, GTMConfig, SiteSpec, ops
 from repro.bench.report import format_table
 from repro.core.invariants import atomicity_report
 
+PROTOCOLS = ("before", "after", "2pc", "2pc-pa", "3pc", "saga", "altruistic")
 
-def build(protocol: str) -> Federation:
+
+def build(
+    protocol: str,
+    sites: int = 2,
+    seed: int = 1,
+    metrics: bool = False,
+    spans: bool = False,
+) -> Federation:
     preparable = protocol in ("2pc", "2pc-pa", "3pc")
     granularity = "per_action" if protocol in ("before", "saga", "altruistic") else "per_site"
+    specs = [
+        SiteSpec(
+            f"bank_{index}",
+            tables={f"acc_{index}": {"holder": 100}},
+            preparable=preparable,
+        )
+        for index in range(sites)
+    ]
     return Federation(
-        [
-            SiteSpec("bank_a", tables={"acc_a": {"alice": 100}}, preparable=preparable),
-            SiteSpec("bank_b", tables={"acc_b": {"bob": 50}}, preparable=preparable),
-        ],
-        FederationConfig(seed=1, gtm=GTMConfig(protocol=protocol, granularity=granularity)),
+        specs,
+        FederationConfig(
+            seed=seed,
+            metrics=metrics,
+            spans=spans,
+            gtm=GTMConfig(protocol=protocol, granularity=granularity),
+        ),
     )
 
 
-def main() -> None:
+def demo() -> None:
+    """The original all-protocols comparison (default behaviour)."""
     print(__doc__)
     rows = []
-    for protocol in ("before", "after", "2pc", "2pc-pa", "3pc", "saga", "altruistic"):
+    for protocol in PROTOCOLS:
         fed = build(protocol)
         commit = fed.submit(
-            [ops.increment("acc_a", "alice", -10), ops.increment("acc_b", "bob", 10)]
+            [ops.increment("acc_0", "holder", -10), ops.increment("acc_1", "holder", 10)]
         )
         fed.run()
         abort = fed.submit(
-            [ops.increment("acc_a", "alice", -5), ops.increment("acc_b", "bob", 5)],
+            [ops.increment("acc_0", "holder", -5), ops.increment("acc_1", "holder", 5)],
             intends_abort=True,
         )
         fed.run()
@@ -45,19 +74,102 @@ def main() -> None:
             round(commit.value.response_time, 1),
             fed.network.sent,
             abort.value.undo_executions,
-            fed.peek("bank_a", "acc_a", "alice"),
-            fed.peek("bank_b", "acc_b", "bob"),
+            fed.peek("bank_0", "acc_0", "holder"),
+            fed.peek("bank_1", "acc_1", "holder"),
             "OK" if atomicity_report(fed).ok else "VIOLATED",
         ])
     print(format_table(
         ["protocol", "commit ok", "resp time", "messages",
-         "undo txns on abort", "alice", "bob", "atomicity"],
+         "undo txns on abort", "bank_0", "bank_1", "atomicity"],
         rows,
         title="one committed transfer + one intended abort, per protocol",
     ))
-    print("\nAll balances 90/60: the committed transfer applied exactly once,")
+    print("\nAll balances 90/110: the committed transfer applied exactly once,")
     print("the aborted one left no trace -- by plain abort (2PC/after) or by")
     print("inverse transactions (before/saga/altruistic), per the 1991 paper.")
+
+
+def run_single(
+    protocol: str,
+    sites: int,
+    txns: int,
+    seed: int,
+    report: bool,
+    trace_out: Optional[str],
+) -> None:
+    """One-protocol run with optional observability exports."""
+    fed = build(
+        protocol, sites=sites, seed=seed,
+        metrics=report or trace_out is not None,
+        spans=trace_out is not None,
+    )
+    batches = []
+    for index in range(txns):
+        src = index % sites
+        dst = (index + 1) % sites
+        batches.append({
+            "operations": [
+                ops.increment(f"acc_{src}", "holder", -1),
+                ops.increment(f"acc_{dst}", "holder", 1),
+            ],
+            "name": f"transfer-{index}",
+            # Staggered submission: the default workload demonstrates
+            # protocol cost, not contention (all transfers touch the
+            # same accounts).
+            "delay": index * 25.0,
+        })
+    outcomes = fed.run_transactions(batches)
+    committed = sum(1 for outcome in outcomes if outcome.committed)
+    print(
+        f"{protocol}: {committed}/{txns} committed over {sites} sites "
+        f"(seed {seed}), atomicity "
+        f"{'OK' if atomicity_report(fed).ok else 'VIOLATED'}"
+    )
+    if report:
+        print()
+        print(fed.report().render())
+    if trace_out is not None:
+        from repro.obs import validate_chrome_trace, write_chrome_trace
+
+        doc = write_chrome_trace(fed.obs.span_forest(), trace_out)
+        problems = validate_chrome_trace(doc)
+        if problems:
+            raise SystemExit(f"invalid chrome trace: {problems}")
+        print(f"\nwrote {len(doc['traceEvents'])} trace events to {trace_out}")
+
+
+def main(argv: Optional[list[str]] = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Atomic commitment for integrated database systems (demo + reports).",
+    )
+    parser.add_argument(
+        "--protocol", choices=PROTOCOLS, default=None,
+        help="run one protocol instead of the all-protocols demo",
+    )
+    parser.add_argument("--sites", type=int, default=2, help="number of local sites")
+    parser.add_argument("--txns", type=int, default=4, help="number of transfers to run")
+    parser.add_argument("--seed", type=int, default=1, help="simulation seed")
+    parser.add_argument(
+        "--report", action="store_true",
+        help="print the paper's §4 cost table for the run",
+    )
+    parser.add_argument(
+        "--trace-out", metavar="PATH", default=None,
+        help="write a Chrome trace_event JSON of the run's spans",
+    )
+    args = parser.parse_args(argv)
+    if args.sites < 2:
+        parser.error("--sites must be at least 2")
+    if args.protocol is None:
+        if args.report or args.trace_out:
+            parser.error("--report/--trace-out require --protocol")
+        demo()
+        return
+    run_single(
+        args.protocol, args.sites, args.txns, args.seed,
+        report=args.report, trace_out=args.trace_out,
+    )
 
 
 if __name__ == "__main__":

@@ -76,6 +76,9 @@ class ChaosSpec:
     erroneous_abort_rate: float = 0.2
     msg_timeout: float = 25.0
     intended_abort_every: int = 4
+    #: Attach the observability registry to the run; the injector's
+    #: fault counters then share it with the rest of the federation.
+    metrics: bool = False
 
 
 @dataclass
@@ -98,6 +101,9 @@ class ChaosResult:
     #: (0 when everything already resolved during the fault phase).
     time_to_resolution: float = 0.0
     counters: dict[str, Any] = field(default_factory=dict)
+    #: The metrics registry the fault counters live on (the
+    #: federation's with ``spec.metrics``, the injector's own without).
+    registry: Any = field(default=None, repr=False)
     #: The live federation, kept for post-mortem trace dumps in tests.
     federation: Any = field(default=None, repr=False)
 
@@ -134,6 +140,7 @@ def build_chaos_federation(spec: ChaosSpec) -> Federation:
         reorder_rate=spec.reorder_rate,
         reliable=True,
         retransmit_timeout=6.0,
+        metrics=spec.metrics,
         gtm=GTMConfig(
             protocol=spec.protocol,
             granularity=spec.granularity,
@@ -269,6 +276,7 @@ def run_chaos(spec: ChaosSpec) -> ChaosResult:
         "recovery_redriven_undos": fed.gtm.recovery.redriven_undos,
         "recovery_orphans_terminated": fed.gtm.recovery.orphans_terminated,
     }
+    result.registry = injector.registry
     result.federation = fed
     return result
 

@@ -22,21 +22,46 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from repro.localdb.txn import LocalAbortReason
+from repro.obs.metrics import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.integration.federation import Federation
 
 
 class FaultInjector:
-    """Deterministic fault source bound to one federation."""
+    """Deterministic fault source bound to one federation.
+
+    Injected-fault counts live on a metrics registry -- the
+    federation's own when observability is enabled, a private one
+    otherwise -- so chaos runs and instrumented runs report through
+    the same machinery.  The ``injected_*`` attribute API is kept as
+    read-only properties.
+    """
 
     def __init__(self, federation: "Federation", stream: str = "faults"):
         self.federation = federation
         self.kernel = federation.kernel
         self._rng = self.kernel.rng.stream(stream)
-        self.injected_aborts = 0
-        self.injected_crashes = 0
-        self.injected_partitions = 0
+        obs = getattr(federation, "obs", None)
+        self.registry = obs.registry if obs is not None else MetricsRegistry()
+        protocol = federation.config.gtm.protocol
+        self._aborts = self.registry.counter("injected_aborts", protocol=protocol)
+        self._crashes = self.registry.counter("injected_crashes", protocol=protocol)
+        self._partitions = self.registry.counter(
+            "injected_partitions", protocol=protocol
+        )
+
+    @property
+    def injected_aborts(self) -> int:
+        return int(self._aborts.value)
+
+    @property
+    def injected_crashes(self) -> int:
+        return int(self._crashes.value)
+
+    @property
+    def injected_partitions(self) -> int:
+        return int(self._partitions.value)
 
     # ------------------------------------------------------------------
     # Erroneous aborts in the §3.2 window
@@ -67,7 +92,7 @@ class FaultInjector:
                     return
 
                 def fire() -> None:
-                    self.injected_aborts += 1
+                    self._aborts.inc()
                     self.kernel.trace.emit(
                         "fault", site, txn_id, kind="system_abort", gtxn=gtxn_id
                     )
@@ -89,7 +114,7 @@ class FaultInjector:
         engine = self.federation.engines[site]
 
         def fire() -> None:
-            self.injected_aborts += 1
+            self._aborts.inc()
             self.kernel.trace.emit("fault", site, txn_id, kind="system_abort")
             engine.force_abort(txn_id, LocalAbortReason.SYSTEM)
 
@@ -121,7 +146,7 @@ class FaultInjector:
                 self.federation.hold_down(site, self.kernel.now + recover_after)
             if node.crashed:
                 return  # already down: the outage was merely extended
-            self.injected_crashes += 1
+            self._crashes.inc()
             self.kernel.trace.emit("fault", site, site, kind="crash")
             node.crash()
 
@@ -135,7 +160,7 @@ class FaultInjector:
         """Cut the ``a``--``b`` link at ``at``; heal ``heal_after`` later."""
 
         def fire() -> None:
-            self.injected_partitions += 1
+            self._partitions.inc()
             self.kernel.trace.emit("fault", a, b, kind="partition")
             self.federation.network.partition(a, b)
 

@@ -64,6 +64,8 @@ class FederationConfig:
     retransmit_backoff: float = 2.0
     max_retransmits: int = 12
     log_placement: str = "indb"  # "indb" | "volatile"
+    metrics: bool = False
+    spans: bool = False
     gtm: GTMConfig = field(default_factory=GTMConfig)
 
     def __post_init__(self) -> None:
@@ -121,6 +123,15 @@ class Federation:
         for spec in site_specs:
             self._add_site(spec)
         self._load_initial_data(site_specs)
+
+        # Observability attaches after setup so baselines and the trace
+        # mark exclude the initial-load prefix.  With both knobs off
+        # (the default) nothing is created and no hook is installed.
+        self.obs = None
+        if self.config.metrics or self.config.spans:
+            from repro.obs.instrument import Observability
+
+            self.obs = Observability(self, spans=self.config.spans)
 
     # ------------------------------------------------------------------
     # Construction
@@ -307,6 +318,8 @@ class Federation:
             },
             "sites": {site: engine.metrics() for site, engine in self.engines.items()},
         }
+        if self.obs is not None:
+            report["obs"] = self.obs.registry.as_dict()
         report["totals"] = {
             "log_forces": sum(e.disk.log_forces for e in self.engines.values()),
             "lock_wait_time": sum(
@@ -324,6 +337,12 @@ class Federation:
             else {},
         }
         return report
+
+    def report(self):
+        """The §4 cost table for this run (requires ``metrics=True``)."""
+        from repro.obs.report import RunReport
+
+        return RunReport.from_federation(self)
 
     def __repr__(self) -> str:
         return f"<Federation sites={sorted(self.engines)} protocol={self.gtm.config.protocol}>"

@@ -72,10 +72,16 @@ class LockManager:
         # Metrics.
         self.grants = 0
         self.waits = 0
+        self.releases = 0
         self.total_wait_time = 0.0
         self.total_hold_time = 0.0
+        self.max_hold_time = 0.0
         self.deadlocks = 0
         self.timeouts = 0
+        # Observability hook: called as ``hold_observer(resource, hold)``
+        # on every release.  ``None`` (the default) keeps the release
+        # path at a single attribute test -- the TraceLog.enabled idiom.
+        self.hold_observer: Optional[Any] = None
 
     # -- queries -----------------------------------------------------------
 
@@ -190,7 +196,13 @@ class LockManager:
                     if request.grant_time is not None
                     else request.request_time
                 )
-                self.total_hold_time += self._kernel.now - grant_time
+                hold = self._kernel.now - grant_time
+                self.total_hold_time += hold
+                self.releases += 1
+                if hold > self.max_hold_time:
+                    self.max_hold_time = hold
+                if self.hold_observer is not None:
+                    self.hold_observer(resource, hold)
                 self._dispatch(resource)
         self._graph.clear_txn(txn_id)
 

@@ -1,0 +1,52 @@
+"""Observability: metrics, spans and protocol cost reports.
+
+The paper's §4 comparison is quantitative -- protocols are ranked by
+forced log writes, message rounds and how long L0 locks are held.  This
+package makes those quantities first-class:
+
+* :mod:`repro.obs.metrics` -- a registry of counters, gauges and
+  histograms keyed by ``(site, protocol, name)``;
+* :mod:`repro.obs.instrument` -- hooks that feed the registry from a
+  running :class:`~repro.integration.federation.Federation` (GTM,
+  protocols, network, lock managers, WAL forced writes);
+* :mod:`repro.obs.spans` -- causally-linked spans built from the
+  kernel :class:`~repro.sim.tracing.TraceLog` (global transaction ->
+  subtransaction -> message RPC -> log force);
+* :mod:`repro.obs.export` -- Chrome ``trace_event`` JSON and
+  Prometheus-style text exposition;
+* :mod:`repro.obs.report` -- :class:`RunReport`, the paper's §4 cost
+  table rendered from a live run.
+
+Everything here is *pull-based or hook-based*: with observability
+disabled (the default) no registry exists, every hook slot is ``None``
+and the instrumented hot paths pay only a single attribute test --
+the same fast-path idiom as ``TraceLog.enabled``.  All measurements
+use simulated time only; nothing reads the wall clock.
+"""
+
+from repro.obs.export import (
+    to_chrome_trace,
+    to_prometheus_text,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.instrument import Observability
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import ProtocolCost, RunReport
+from repro.obs.spans import Span, build_spans
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "ProtocolCost",
+    "RunReport",
+    "Span",
+    "build_spans",
+    "to_chrome_trace",
+    "to_prometheus_text",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,156 @@
+"""Exporters: Chrome ``trace_event`` JSON and Prometheus text.
+
+The Chrome exporter renders a :class:`~repro.obs.spans.SpanForest` in
+the Trace Event Format (the ``chrome://tracing`` / Perfetto JSON
+object form): complete events (``"ph": "X"``) with one process per
+site and one thread per span category.  Simulated time is mapped
+1 unit -> 1 microsecond, so the viewer's timeline reads directly in
+simulated units.
+
+The Prometheus exporter renders a
+:class:`~repro.obs.metrics.MetricsRegistry` in the text exposition
+format (``# TYPE`` headers, cumulative ``le`` buckets, ``_sum`` /
+``_count`` series) -- handy for diffing runs with standard tooling.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.spans import Span, SpanForest
+
+#: Stable lane ordering for the trace viewer: one thread per category.
+_CATEGORY_TIDS = {"gtxn": 1, "subtxn": 2, "rpc": 3, "log_force": 4}
+
+
+def _span_event(span: Span, pids: dict[str, int]) -> dict[str, Any]:
+    pid = pids.setdefault(span.site, len(pids) + 1)
+    args = {k: v for k, v in span.attrs.items() if v is not None}
+    if span.parent_id is not None:
+        args["parent_id"] = span.parent_id
+    return {
+        "name": span.name,
+        "cat": span.category,
+        "ph": "X",
+        "ts": span.start,
+        "dur": max(span.duration, 0.0),
+        "pid": pid,
+        "tid": _CATEGORY_TIDS.get(span.category, 0),
+        "args": args,
+    }
+
+
+def to_chrome_trace(forest: SpanForest) -> dict[str, Any]:
+    """Render spans as a Trace Event Format JSON object."""
+    pids: dict[str, int] = {}
+    events = [_span_event(span, pids) for span in forest]
+    # Metadata events name the per-site processes and per-category lanes.
+    for site, pid in sorted(pids.items(), key=lambda item: item[1]):
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": f"site:{site}"},
+        })
+        for category, tid in _CATEGORY_TIDS.items():
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": category},
+            })
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "simulated", "time_unit": "sim units as us"},
+    }
+
+
+def write_chrome_trace(forest: SpanForest, path: str) -> dict[str, Any]:
+    """Render and write the Chrome trace; returns the rendered object."""
+    doc = to_chrome_trace(forest)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+    return doc
+
+
+def validate_chrome_trace(doc: dict[str, Any]) -> list[str]:
+    """Schema-check a Chrome trace object; returns problems ([] = valid).
+
+    Checks the subset of the Trace Event Format we emit: a
+    ``traceEvents`` list whose members carry the required fields with
+    the right types, complete events with non-negative durations, and
+    metadata events naming every referenced pid.
+    """
+    problems: list[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    named_pids: set[int] = set()
+    used_pids: set[int] = set()
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for field, types in (("name", str), ("ph", str), ("pid", int), ("tid", int)):
+            if not isinstance(event.get(field), types):
+                problems.append(f"{where}: bad or missing {field!r}")
+        ph = event.get("ph")
+        if ph == "X":
+            ts, dur = event.get("ts"), event.get("dur")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"{where}: complete event needs ts >= 0")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: complete event needs dur >= 0")
+            if isinstance(event.get("pid"), int):
+                used_pids.add(event["pid"])
+        elif ph == "M":
+            if event.get("name") == "process_name" and isinstance(event.get("pid"), int):
+                named_pids.add(event["pid"])
+        else:
+            problems.append(f"{where}: unexpected phase {ph!r}")
+        args = event.get("args")
+        if args is not None and not isinstance(args, dict):
+            problems.append(f"{where}: args not an object")
+    for pid in sorted(used_pids - named_pids):
+        problems.append(f"pid {pid} has events but no process_name metadata")
+    return problems
+
+
+def _render_labels(labels: tuple[tuple[str, Any], ...], extra: str = "") -> str:
+    parts = [f'{key}="{value}"' for key, value in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _fmt(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def to_prometheus_text(registry: MetricsRegistry, prefix: str = "repro") -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    seen_types: set[str] = set()
+    for instrument in registry.collect():
+        name = f"{prefix}_{instrument.name}"
+        if name not in seen_types:
+            lines.append(f"# TYPE {name} {instrument.kind}")
+            seen_types.add(name)
+        if isinstance(instrument, Histogram):
+            for le, cumulative in instrument.cumulative_buckets():
+                labels = _render_labels(instrument.labels, f'le="{_fmt(le)}"')
+                lines.append(f"{name}_bucket{labels} {cumulative}")
+            labels = _render_labels(instrument.labels)
+            lines.append(f"{name}_sum{labels} {_fmt(round(instrument.sum, 9))}")
+            lines.append(f"{name}_count{labels} {instrument.count}")
+        else:
+            labels = _render_labels(instrument.labels)
+            lines.append(f"{name}{labels} {_fmt(instrument.value)}")
+    return "\n".join(lines) + "\n"

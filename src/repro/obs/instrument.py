@@ -1,0 +1,229 @@
+"""Federation instrumentation: feed the metrics registry from a run.
+
+:class:`Observability` attaches to a built
+:class:`~repro.integration.federation.Federation` and owns its
+:class:`~repro.obs.metrics.MetricsRegistry`.  Almost everything is
+*pull* -- a collector copies counters the system already maintains
+(network, GTM, per-site engine/disk/log/locks) into the registry at
+:meth:`collect` time, so the running simulation pays nothing.  Exactly
+two opt-in hooks touch the hot path, both following the
+``TraceLog.enabled`` single-attribute-test idiom:
+
+* ``LockManager.hold_observer`` feeds the per-site L0 lock-hold
+  histogram (re-attached after a site restart, which replaces the
+  lock manager);
+* ``StableDisk.trace_forces`` (span mode only) emits ``log_force``
+  trace records so :func:`repro.obs.spans.build_spans` can build
+  log-force spans.
+
+Counters bumped during federation setup (initial loads commit real
+transactions) are snapshotted at attach time and subtracted, so every
+reported number covers the run only -- matching the trace, whose
+setup prefix is skipped via :attr:`Observability.trace_mark`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanForest, build_spans
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.integration.federation import Federation
+
+#: GTM counters copied verbatim (labelled site="central").
+_GTM_COUNTERS = (
+    "global_committed", "global_aborted",
+    "redo_executions", "undo_executions",
+    "decision_forces", "decision_groups", "decisions_grouped",
+    "recovery_passes", "recovery_resolved_indoubt",
+    "recovery_redriven_redos", "recovery_redriven_undos",
+    "recovery_orphans_terminated",
+    "l1_waits", "l1_deadlocks",
+)
+
+_LOCAL_TERMINAL = ("committed", "aborted")
+
+
+def _site_snapshot(engine: Any) -> dict[str, float]:
+    return {
+        "local_commits": engine.commits,
+        "local_ops": engine.ops,
+        "log_forces": engine.disk.log_forces,
+        "log_records": engine.log.appended,
+        "log_force_writes": engine.log.forced,
+        "page_reads": engine.disk.page_reads,
+        "page_writes": engine.disk.page_writes,
+    }
+
+
+def _lock_snapshot(locks: Any) -> dict[str, float]:
+    return {
+        "lock_grants": locks.grants,
+        "lock_waits": locks.waits,
+        "lock_releases": locks.releases,
+        "lock_wait_time": locks.total_wait_time,
+        "lock_hold_time": locks.total_hold_time,
+        "deadlocks": locks.deadlocks,
+        "lock_timeouts": locks.timeouts,
+    }
+
+
+class Observability:
+    """Metrics + span instrumentation for one federation run."""
+
+    def __init__(self, federation: "Federation", spans: bool = False):
+        self.federation = federation
+        self.registry = MetricsRegistry()
+        self.protocol = federation.config.gtm.protocol
+        self.spans_enabled = spans
+        trace = federation.kernel.trace
+        #: Number of setup trace records to skip when building spans.
+        self.trace_mark = len(trace.records)
+        self._site_base = {
+            site: _site_snapshot(engine)
+            for site, engine in federation.engines.items()
+        }
+        self._lock_base = {
+            site: _lock_snapshot(engine.locks)
+            for site, engine in federation.engines.items()
+        }
+        # Idempotent-scan cursors (collect() may run many times).
+        self._outcome_scan = 0
+        self._trace_scan = self.trace_mark
+        self._ready_since: dict[tuple[str, str], float] = {}
+
+        if spans:
+            trace.enabled = True  # spans are built from the record stream
+            for engine in federation.engines.values():
+                engine.disk.trace_forces = True
+
+        for site in federation.engines:
+            self._attach_lock_observer(site)
+            # A restart replaces the site's LockManager (and zeroes its
+            # counters): re-attach the observer and re-baseline.
+            federation.nodes[site].on_restart.append(self._restart_hook(site))
+
+        self.registry.register_collector(self._collect)
+
+    # -- hooks ----------------------------------------------------------
+
+    def _attach_lock_observer(self, site: str) -> None:
+        histogram = self.registry.histogram(
+            "lock_hold", site=site, protocol=self.protocol
+        )
+        self.federation.engines[site].locks.hold_observer = (
+            lambda _resource, hold, _h=histogram: _h.observe(hold)
+        )
+
+    def _restart_hook(self, site: str):
+        def reattach() -> None:
+            self._lock_base[site] = dict.fromkeys(self._lock_base[site], 0.0)
+            self._attach_lock_observer(site)
+            if self.spans_enabled:
+                self.federation.engines[site].disk.trace_forces = True
+        return reattach
+
+    # -- collection -----------------------------------------------------
+
+    def collect(self) -> MetricsRegistry:
+        """Run the collectors; returns the (now current) registry."""
+        self.registry.collect()
+        return self.registry
+
+    def _collect(self) -> None:
+        registry = self.registry
+        protocol = self.protocol
+        federation = self.federation
+
+        network = federation.network
+        for name, value in (
+            ("messages_sent", network.sent),
+            ("messages_delivered", network.delivered),
+            ("messages_dropped", network.dropped),
+            ("envelopes", network.envelopes),
+            ("piggybacked", network.piggybacked),
+        ):
+            registry.counter(name, protocol=protocol).set_total(value)
+        for kind, count in network.message_counts().items():
+            registry.counter(
+                "messages_by_kind", protocol=protocol, kind=kind
+            ).set_total(count)
+        for name, value in network.reliability_counts().items():
+            if name == "unacked_in_flight":
+                registry.gauge(name, protocol=protocol).set(value)
+            else:
+                registry.counter(name, protocol=protocol).set_total(value)
+        registry.counter("duplicate_requests", protocol=protocol).set_total(
+            sum(comm.duplicate_requests for comm in federation.comms.values())
+        )
+
+        gtm_metrics = federation.gtm.metrics()
+        for name in _GTM_COUNTERS:
+            registry.counter(name, site="central", protocol=protocol).set_total(
+                gtm_metrics[name]
+            )
+        for name in ("l1_wait_time", "l1_hold_time", "mean_response_time"):
+            registry.gauge(name, site="central", protocol=protocol).set(
+                gtm_metrics[name]
+            )
+
+        for site, engine in federation.engines.items():
+            base = self._site_base[site]
+            for name, value in _site_snapshot(engine).items():
+                registry.counter(name, site=site, protocol=protocol).set_total(
+                    value - base[name]
+                )
+            lock_base = self._lock_base[site]
+            for name, value in _lock_snapshot(engine.locks).items():
+                registry.counter(name, site=site, protocol=protocol).set_total(
+                    value - lock_base[name]
+                )
+            registry.gauge("lock_max_hold_time", site=site, protocol=protocol).set(
+                engine.locks.max_hold_time
+            )
+            registry.counter("crashes", site=site, protocol=protocol).set_total(
+                engine.crashes
+            )
+            for reason, count in engine.aborts.items():
+                if count:
+                    registry.counter(
+                        "local_aborts", site=site, protocol=protocol,
+                        reason=reason.value,
+                    ).set_total(count)
+
+        # Response-time distribution over committed globals.
+        response = registry.histogram("gtxn_response_time", protocol=protocol)
+        outcomes = federation.gtm.outcomes
+        for outcome in outcomes[self._outcome_scan:]:
+            if outcome.committed:
+                response.observe(outcome.response_time)
+        self._outcome_scan = len(outcomes)
+
+        # In-doubt windows (§3): local ready -> terminal, from the trace.
+        indoubt = registry.histogram("indoubt_window", protocol=protocol)
+        records = federation.kernel.trace.records
+        for record in records[self._trace_scan:]:
+            if record.category != "txn_state":
+                continue
+            state = record.details.get("state")
+            key = (record.site, record.subject)
+            if state == "ready":
+                self._ready_since.setdefault(key, record.time)
+            elif state in _LOCAL_TERMINAL and key in self._ready_since:
+                indoubt.observe(record.time - self._ready_since.pop(key))
+        self._trace_scan = len(records)
+
+    # -- spans ----------------------------------------------------------
+
+    def span_forest(self) -> SpanForest:
+        """Build the span forest of the run so far (setup skipped)."""
+        return build_spans(self.federation.kernel.trace, skip_before=self.trace_mark)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Observability protocol={self.protocol} "
+            f"spans={'on' if self.spans_enabled else 'off'} "
+            f"instruments={len(self.registry)}>"
+        )

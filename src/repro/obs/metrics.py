@@ -1,0 +1,272 @@
+"""Metrics registry: counters, gauges and histograms.
+
+Instruments are keyed by ``(name, labels)`` where the conventional
+labels are ``site`` and ``protocol`` -- the paper's cost tables compare
+exactly along those two axes.  The registry supports two feeding
+styles:
+
+* **push** -- hot-path hooks call :meth:`Counter.inc` /
+  :meth:`Histogram.observe` directly.  Hook slots default to ``None``
+  so an uninstrumented run pays one attribute test per event, the
+  ``TraceLog.enabled`` idiom.
+* **pull** -- collectors registered with
+  :meth:`MetricsRegistry.register_collector` run at
+  :meth:`MetricsRegistry.collect` time and copy counters the system
+  already maintains (``network.sent``, ``disk.log_forces``, ...) into
+  the registry.  Pull instrumentation is exactly zero-cost during the
+  run.
+
+Histograms keep fixed bucket counts (Prometheus-style cumulative
+``le`` buckets) *and* the raw observations, so exact quantile
+summaries stay available -- runs are simulation-sized, the memory is
+bounded by the event count.
+
+Everything is deterministic: no wall-clock reads, no randomness.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Any, Callable, Iterable, Optional
+
+#: Default histogram bucket upper bounds, in simulated time units.
+#: Chosen to straddle the simulator's device timings (ops 0.1, I/O 1.0,
+#: message latency ~1.0) up through whole-transaction latencies.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0,
+)
+
+LabelItems = tuple[tuple[str, Any], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> LabelItems:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelItems):
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def set_total(self, value: float) -> None:
+        """Collector path: overwrite with an externally maintained total."""
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"<Counter {self.name}{dict(self.labels)} {self.value}>"
+
+
+class Gauge:
+    """Point-in-time value (may go up and down)."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelItems):
+        self.name = name
+        self.labels = labels
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+    def __repr__(self) -> str:
+        return f"<Gauge {self.name}{dict(self.labels)} {self.value}>"
+
+
+class Histogram:
+    """Fixed-bucket histogram with an exact quantile summary.
+
+    ``bucket_counts[i]`` counts observations ``<= bounds[i]``
+    (non-cumulative per bucket; the exporter renders the cumulative
+    Prometheus form).  The final implicit bucket is ``+Inf``.
+    """
+
+    __slots__ = (
+        "name", "labels", "bounds", "bucket_counts", "count", "sum",
+        "min", "max", "_samples", "_sorted",
+    )
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelItems,
+        buckets: Optional[Iterable[float]] = None,
+    ):
+        self.name = name
+        self.labels = labels
+        bounds = tuple(sorted(buckets)) if buckets is not None else DEFAULT_BUCKETS
+        if any(b <= a for a, b in zip(bounds, bounds[1:])):
+            raise ValueError(f"histogram {name}: bucket bounds must increase")
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # last = +Inf
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._samples: list[float] = []
+        self._sorted = True
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if self._samples and value < self._samples[-1]:
+            self._sorted = False
+        self._samples.append(value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Exact quantile over every observation (0 <= q <= 1)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if not self._samples:
+            return 0.0
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        index = min(len(self._samples) - 1, int(q * len(self._samples)))
+        return self._samples[index]
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(le, cumulative_count)`` pairs, ending with ``+Inf``."""
+        out = []
+        running = 0
+        for bound, count in zip(self.bounds, self.bucket_counts):
+            running += count
+            out.append((bound, running))
+        out.append((math.inf, self.count))
+        return out
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": round(self.sum, 6),
+            "mean": round(self.mean, 6),
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+    def __repr__(self) -> str:
+        return f"<Histogram {self.name}{dict(self.labels)} n={self.count}>"
+
+
+class MetricsRegistry:
+    """The per-run instrument store.
+
+    One registry per federation (or per chaos run); instruments are
+    created on first use and looked up by ``(name, labels)``.
+    """
+
+    def __init__(self):
+        self._instruments: dict[tuple[str, LabelItems], Any] = {}
+        self._collectors: list[Callable[[], None]] = []
+
+    # -- instrument factories -------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, buckets: Optional[Iterable[float]] = None, **labels: Any
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = Histogram(name, key[1], buckets=buckets)
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, Histogram):
+            raise TypeError(f"{name}{labels} already registered as {instrument.kind}")
+        return instrument
+
+    def _get(self, cls, name: str, labels: dict[str, Any]):
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, key[1])
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(f"{name}{labels} already registered as {instrument.kind}")
+        return instrument
+
+    # -- collection -----------------------------------------------------
+
+    def register_collector(self, collector: Callable[[], None]) -> None:
+        """Add a pull-style collector run at :meth:`collect` time."""
+        self._collectors.append(collector)
+
+    def collect(self) -> list[Any]:
+        """Run collectors, then return every instrument (stable order)."""
+        for collector in self._collectors:
+            collector()
+        return [self._instruments[key] for key in sorted(self._instruments, key=str)]
+
+    # -- queries --------------------------------------------------------
+
+    def get(self, name: str, **labels: Any) -> Optional[Any]:
+        """The instrument registered under ``(name, labels)``, if any."""
+        return self._instruments.get((name, _label_key(labels)))
+
+    def value(self, name: str, default: float = 0.0, **labels: Any) -> float:
+        """Counter/gauge value, or ``default`` when never registered."""
+        instrument = self.get(name, **labels)
+        return instrument.value if instrument is not None else default
+
+    def total(self, name: str) -> float:
+        """Sum of a counter/gauge family across all label sets."""
+        return sum(
+            instrument.value
+            for (key_name, _), instrument in self._instruments.items()
+            if key_name == name and not isinstance(instrument, Histogram)
+        )
+
+    def families(self) -> list[str]:
+        """Distinct instrument names, sorted."""
+        return sorted({name for name, _ in self._instruments})
+
+    def as_dict(self) -> dict[str, dict[str, Any]]:
+        """JSON-friendly snapshot: family -> rendered-labels -> value."""
+        out: dict[str, dict[str, Any]] = {}
+        for instrument in self.collect():
+            family = out.setdefault(instrument.name, {})
+            label_str = ",".join(f"{k}={v}" for k, v in instrument.labels) or "_"
+            if isinstance(instrument, Histogram):
+                family[label_str] = instrument.summary()
+            else:
+                family[label_str] = instrument.value
+        return out
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __repr__(self) -> str:
+        return f"<MetricsRegistry instruments={len(self._instruments)}>"

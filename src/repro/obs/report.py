@@ -1,0 +1,187 @@
+"""RunReport: the paper's §4 cost table from a live run.
+
+§4 ranks the commit protocols by what they *cost* an integrated
+database system: forced log writes beyond what local commits already
+pay, messages exchanged, and how long L0 locks stay held (the in-doubt
+window during which local resources are blocked on the global
+decision).  :class:`ProtocolCost` computes those quantities from a
+federation's metrics registry; :class:`RunReport` renders one row per
+protocol.
+
+The key derived quantity is **extra forced log writes**::
+
+    extra_forces = (site log forces - local commits) + decision forces
+
+Every local commit forces exactly one log write regardless of the
+commit protocol, so anything beyond that -- 2PC's prepare forces, the
+coordinator's hardened decisions -- is protocol overhead.  The paper's
+headline result (§4.3) is that commit-before/MLT pays *zero* extra
+forces while also releasing L0 locks earliest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.integration.federation import Federation
+
+
+@dataclass(frozen=True)
+class ProtocolCost:
+    """One protocol's §4 cost row, measured from a run."""
+
+    protocol: str
+    committed: int
+    aborted: int
+    messages: int
+    envelopes: int
+    log_forces: int
+    decision_forces: int
+    extra_forces: int
+    local_commits: int
+    mean_hold: float
+    max_hold: float
+    indoubt_count: int
+    indoubt_mean: float
+    indoubt_max: float
+    mean_response_time: float
+
+    @classmethod
+    def from_registry(
+        cls, registry: MetricsRegistry, protocol: str, sites: Iterable[str]
+    ) -> "ProtocolCost":
+        sites = list(sites)
+
+        def site_sum(name: str) -> float:
+            return sum(
+                registry.value(name, site=site, protocol=protocol) for site in sites
+            )
+
+        log_forces = site_sum("log_forces")
+        local_commits = site_sum("local_commits")
+        decision_forces = registry.value(
+            "decision_forces", site="central", protocol=protocol
+        )
+        hold_time = site_sum("lock_hold_time")
+        releases = site_sum("lock_releases")
+        max_hold = max(
+            (
+                registry.value("lock_max_hold_time", site=site, protocol=protocol)
+                for site in sites
+            ),
+            default=0.0,
+        )
+        indoubt = registry.get("indoubt_window", protocol=protocol)
+        return cls(
+            protocol=protocol,
+            committed=int(
+                registry.value("global_committed", site="central", protocol=protocol)
+            ),
+            aborted=int(
+                registry.value("global_aborted", site="central", protocol=protocol)
+            ),
+            messages=int(registry.value("messages_sent", protocol=protocol)),
+            envelopes=int(registry.value("envelopes", protocol=protocol)),
+            log_forces=int(log_forces),
+            decision_forces=int(decision_forces),
+            extra_forces=int(log_forces - local_commits + decision_forces),
+            local_commits=int(local_commits),
+            mean_hold=hold_time / releases if releases else 0.0,
+            max_hold=max_hold,
+            indoubt_count=indoubt.count if indoubt is not None else 0,
+            indoubt_mean=indoubt.mean if indoubt is not None else 0.0,
+            indoubt_max=(
+                indoubt.max if indoubt is not None and indoubt.count else 0.0
+            ),
+            mean_response_time=registry.value(
+                "mean_response_time", site="central", protocol=protocol
+            ),
+        )
+
+
+_COLUMNS: tuple[tuple[str, str], ...] = (
+    ("protocol", "protocol"),
+    ("committed", "commit"),
+    ("aborted", "abort"),
+    ("messages", "msgs"),
+    ("log_forces", "forces"),
+    ("extra_forces", "extra"),
+    ("mean_hold", "hold(mean)"),
+    ("max_hold", "hold(max)"),
+    ("indoubt_mean", "indoubt(mean)"),
+    ("indoubt_max", "indoubt(max)"),
+    ("mean_response_time", "resp(mean)"),
+)
+
+
+class RunReport:
+    """§4 cost table: one :class:`ProtocolCost` row per protocol."""
+
+    def __init__(self, costs: list[ProtocolCost]):
+        self.costs = costs
+
+    @classmethod
+    def from_federation(cls, federation: "Federation") -> "RunReport":
+        """One-row report from an observability-enabled federation."""
+        obs = getattr(federation, "obs", None)
+        if obs is None:
+            raise ValueError(
+                "federation has no observability attached "
+                "(build it with FederationConfig(metrics=True))"
+            )
+        registry = obs.collect()
+        cost = ProtocolCost.from_registry(
+            registry, obs.protocol, federation.engines
+        )
+        return cls([cost])
+
+    @classmethod
+    def from_federations(cls, federations: Iterable["Federation"]) -> "RunReport":
+        """Multi-protocol comparison: one row per federation."""
+        costs = []
+        for federation in federations:
+            costs.extend(cls.from_federation(federation).costs)
+        return cls(costs)
+
+    def cost_for(self, protocol: str) -> ProtocolCost:
+        for cost in self.costs:
+            if cost.protocol == protocol:
+                return cost
+        raise KeyError(f"no cost row for protocol {protocol!r}")
+
+    def as_dict(self) -> dict[str, dict[str, Any]]:
+        return {cost.protocol: asdict(cost) for cost in self.costs}
+
+    def render(self) -> str:
+        """Fixed-width text table (the paper's §4 comparison)."""
+        def fmt(value: Any) -> str:
+            if isinstance(value, float):
+                return f"{value:.2f}"
+            return str(value)
+
+        rows = [
+            [fmt(getattr(cost, attr)) for attr, _ in _COLUMNS]
+            for cost in self.costs
+        ]
+        headers = [header for _, header in _COLUMNS]
+        widths = [
+            max(len(headers[i]), *(len(row[i]) for row in rows)) if rows
+            else len(headers[i])
+            for i in range(len(headers))
+        ]
+        lines = [
+            "  ".join(header.ljust(width) for header, width in zip(headers, widths)),
+            "  ".join("-" * width for width in widths),
+        ]
+        for row in rows:
+            lines.append(
+                "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"<RunReport protocols={[c.protocol for c in self.costs]}>"

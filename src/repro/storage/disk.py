@@ -58,6 +58,10 @@ class StableDisk:
         self.page_reads = 0
         self.page_writes = 0
         self.log_forces = 0
+        # Opt-in detailed tracing: emit a "log_force" trace record per
+        # force so the span layer can build log-force spans.  Off by
+        # default -- metrics-only runs keep traces byte-identical.
+        self.trace_forces = False
         # Incremented by the owning engine at crash time: an I/O that was
         # in flight when the crash happened does not take effect.
         self.crash_epoch = 0
@@ -109,6 +113,7 @@ class StableDisk:
         other -- which is what makes group commit worthwhile.
         """
         epoch = self._guard()
+        start = self._kernel.now if self.trace_forces else 0.0
         yield from self._log_device.acquire()
         try:
             self._check(epoch)
@@ -116,6 +121,12 @@ class StableDisk:
             self._check(epoch)
             self.log_forces += 1
             self._log.extend(records)
+            if self.trace_forces and self._kernel.trace.enabled:
+                self._kernel.trace.emit(
+                    "log_force", self.site, f"force-{self.log_forces}",
+                    txn=getattr(records[-1], "txn_id", None),
+                    records=len(records), start=start,
+                )
         finally:
             self._release_log_device()
 

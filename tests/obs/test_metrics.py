@@ -1,0 +1,181 @@
+"""Unit tests for the metrics registry."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("commits", site="s0")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+
+    def test_rejects_negative_increment(self):
+        counter = MetricsRegistry().counter("commits")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_set_total_overwrites(self):
+        counter = MetricsRegistry().counter("forces")
+        counter.set_total(17)
+        assert counter.value == 17
+
+    def test_same_labels_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("commits", site="s0", protocol="2pc")
+        b = registry.counter("commits", protocol="2pc", site="s0")
+        assert a is b
+
+    def test_different_labels_different_instruments(self):
+        registry = MetricsRegistry()
+        a = registry.counter("commits", site="s0")
+        b = registry.counter("commits", site="s1")
+        a.inc()
+        assert b.value == 0
+        assert len(registry) == 2
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = MetricsRegistry().gauge("in_flight")
+        gauge.set(5)
+        gauge.add(-2)
+        assert gauge.value == 3
+
+
+class TestKindCollision:
+    def test_counter_vs_gauge_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x", site="a")
+        with pytest.raises(TypeError):
+            registry.gauge("x", site="a")
+
+    def test_counter_vs_histogram_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x")
+
+
+class TestHistogram:
+    def test_bucket_assignment(self):
+        histogram = Histogram("h", (), buckets=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 10.0, 11.0):
+            histogram.observe(value)
+        # <=1.0: 0.5 and 1.0; <=10.0: 5.0 and 10.0; +Inf: 11.0.
+        assert histogram.bucket_counts == [2, 2, 1]
+        assert histogram.cumulative_buckets() == [
+            (1.0, 2), (10.0, 4), (math.inf, 5),
+        ]
+
+    def test_stats(self):
+        histogram = Histogram("h", ())
+        for value in (4.0, 2.0, 6.0, 8.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == 20.0
+        assert histogram.mean == 5.0
+        assert histogram.min == 2.0
+        assert histogram.max == 8.0
+
+    def test_exact_quantiles_unsorted_input(self):
+        histogram = Histogram("h", ())
+        for value in (9.0, 1.0, 5.0, 3.0, 7.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.0) == 1.0
+        assert histogram.quantile(0.5) == 5.0
+        assert histogram.quantile(1.0) == 9.0
+
+    def test_quantile_then_more_observations(self):
+        histogram = Histogram("h", ())
+        histogram.observe(5.0)
+        histogram.observe(1.0)
+        assert histogram.quantile(1.0) == 5.0
+        histogram.observe(0.5)  # arrives below the sorted tail
+        assert histogram.quantile(0.0) == 0.5
+
+    def test_empty_summary(self):
+        summary = Histogram("h", ()).summary()
+        assert summary["count"] == 0
+        assert summary["mean"] == 0.0
+        assert summary["min"] == 0.0
+
+    def test_increasing_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            Histogram("h", (), buckets=(5.0, 5.0))
+
+    def test_quantile_range_checked(self):
+        with pytest.raises(ValueError):
+            Histogram("h", ()).quantile(1.5)
+
+
+class TestRegistryQueries:
+    def test_value_and_total(self):
+        registry = MetricsRegistry()
+        registry.counter("forces", site="s0").inc(3)
+        registry.counter("forces", site="s1").inc(4)
+        assert registry.value("forces", site="s0") == 3
+        assert registry.value("forces", site="missing", default=-1) == -1
+        assert registry.total("forces") == 7
+
+    def test_total_skips_histograms(self):
+        registry = MetricsRegistry()
+        registry.counter("x", kind="c").inc(2)
+        registry.histogram("x", site="h").observe(100.0)
+        assert registry.total("x") == 2
+
+    def test_families_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta")
+        registry.counter("alpha")
+        assert registry.families() == ["alpha", "zeta"]
+
+    def test_collector_runs_on_collect(self):
+        registry = MetricsRegistry()
+        source = {"events": 0}
+        registry.register_collector(
+            lambda: registry.counter("events").set_total(source["events"])
+        )
+        source["events"] = 11
+        registry.collect()
+        assert registry.value("events") == 11
+        source["events"] = 13
+        assert registry.as_dict()["events"]["_"] == 13  # as_dict collects too
+
+    def test_as_dict_renders_histogram_summary(self):
+        registry = MetricsRegistry()
+        registry.histogram("hold", site="s0").observe(2.0)
+        snapshot = registry.as_dict()
+        assert snapshot["hold"]["site=s0"]["count"] == 1
+        assert snapshot["hold"]["site=s0"]["mean"] == 2.0
+
+    def test_collect_order_is_stable(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.counter("a", site="s1")
+        registry.counter("a", site="s0")
+        names = [(i.name, i.labels) for i in registry.collect()]
+        assert names == sorted(names, key=str)
+
+    def test_get_returns_none_when_absent(self):
+        assert MetricsRegistry().get("nope") is None
+
+    def test_instruments_expose_kind(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c").kind == "counter"
+        assert registry.gauge("g").kind == "gauge"
+        assert registry.histogram("h").kind == "histogram"
+
+    def test_repr_smoke(self):
+        registry = MetricsRegistry()
+        registry.counter("c", site="x").inc()
+        registry.gauge("g").set(1)
+        registry.histogram("h").observe(1.0)
+        for instrument in registry.collect():
+            assert instrument.name in repr(instrument)

@@ -1,0 +1,136 @@
+"""§4 conformance: the RunReport reproduces the paper's cost ranking.
+
+The paper's quantitative argument (§4.3): commit-before with MLT pays
+*zero* forced log writes beyond what local commits already pay, and
+releases L0 locks earliest, while commit-after and especially 2PC pay
+extra forces (decision hardening, prepare records) and hold L0 locks
+across the global protocol.
+"""
+
+import pytest
+
+from repro.core.gtm import GTMConfig
+from repro.integration.federation import Federation, FederationConfig, SiteSpec
+from repro.mlt.actions import increment
+from repro.obs.report import ProtocolCost, RunReport
+
+WORKLOAD = [
+    {"operations": [increment("t0", "x", -10), increment("t1", "x", 10)],
+     "name": "T0"},
+    {"operations": [increment("t0", "y", -5), increment("t1", "y", 5)],
+     "name": "T1", "delay": 30.0},
+    {"operations": [increment("t1", "x", -2), increment("t0", "y", 2)],
+     "name": "T2", "delay": 60.0},
+]
+
+
+def run_protocol(protocol: str, granularity: str) -> Federation:
+    preparable = protocol in ("2pc", "2pc-pa", "3pc")
+    fed = Federation(
+        [
+            SiteSpec("s0", tables={"t0": {"x": 100, "y": 100}},
+                     preparable=preparable),
+            SiteSpec("s1", tables={"t1": {"x": 100, "y": 100}},
+                     preparable=preparable),
+        ],
+        FederationConfig(
+            seed=5, metrics=True,
+            gtm=GTMConfig(protocol=protocol, granularity=granularity),
+        ),
+    )
+    outcomes = fed.run_transactions(WORKLOAD)
+    assert all(o.committed for o in outcomes), f"{protocol}: workload must commit"
+    return fed
+
+
+@pytest.fixture(scope="module")
+def costs() -> dict[str, ProtocolCost]:
+    feds = {
+        "before": run_protocol("before", "per_action"),
+        "after": run_protocol("after", "per_site"),
+        "2pc": run_protocol("2pc", "per_site"),
+    }
+    report = RunReport.from_federations(feds.values())
+    return {name: report.cost_for(fed.config.gtm.protocol)
+            for name, fed in feds.items()}
+
+
+class TestSection4Conformance:
+    def test_commit_before_mlt_zero_extra_forces(self, costs):
+        assert costs["before"].extra_forces == 0
+        assert costs["before"].decision_forces == 0
+
+    def test_commit_after_and_2pc_pay_extra_forces(self, costs):
+        assert costs["after"].extra_forces > 0
+        assert costs["2pc"].extra_forces > 0
+        # 2PC additionally forces a prepare record per subtransaction.
+        assert costs["2pc"].extra_forces > costs["after"].extra_forces
+
+    def test_commit_before_releases_l0_locks_earliest(self, costs):
+        assert costs["before"].mean_hold < costs["after"].mean_hold
+        assert costs["before"].mean_hold < costs["2pc"].mean_hold
+        assert costs["before"].max_hold < costs["2pc"].max_hold
+
+    def test_only_2pc_has_indoubt_window(self, costs):
+        # Unmodified local TMs (before/after) never enter the ready
+        # state, so only the prepared 2PC locals are ever in doubt.
+        assert costs["2pc"].indoubt_count > 0
+        assert costs["2pc"].indoubt_mean > 0
+        assert costs["before"].indoubt_count == 0
+        assert costs["after"].indoubt_count == 0
+
+    def test_every_protocol_committed_the_workload(self, costs):
+        for cost in costs.values():
+            assert cost.committed == len(WORKLOAD)
+            assert cost.aborted == 0
+
+    def test_setup_excluded_from_costs(self, costs):
+        # Setup commits one loader transaction per site; run-only
+        # accounting must not include them.
+        assert costs["after"].local_commits == 2 * len(WORKLOAD)
+
+    def test_extra_forces_identity(self, costs):
+        for cost in costs.values():
+            assert cost.extra_forces == (
+                cost.log_forces - cost.local_commits + cost.decision_forces
+            )
+
+
+class TestRunReportApi:
+    def test_render_contains_all_protocols(self, costs):
+        report = RunReport(list(costs.values()))
+        text = report.render()
+        for name in ("before", "after", "2pc"):
+            assert name in text
+        assert "extra" in text and "hold(mean)" in text
+
+    def test_as_dict_round_trip(self, costs):
+        report = RunReport(list(costs.values()))
+        snapshot = report.as_dict()
+        assert snapshot["before"]["extra_forces"] == 0
+        assert set(snapshot) == {"before", "after", "2pc"}
+
+    def test_cost_for_unknown_protocol_raises(self, costs):
+        with pytest.raises(KeyError):
+            RunReport(list(costs.values())).cost_for("paxos")
+
+    def test_from_federation_requires_metrics(self):
+        fed = Federation(
+            [SiteSpec("s0", tables={"t0": {"x": 1}}),
+             SiteSpec("s1", tables={"t1": {"x": 1}})],
+            FederationConfig(seed=1),
+        )
+        with pytest.raises(ValueError):
+            RunReport.from_federation(fed)
+
+    def test_federation_report_shortcut(self):
+        fed = run_protocol("before", "per_action")
+        assert fed.report().costs[0].protocol == "before"
+
+    def test_metrics_dict_gains_obs_section(self):
+        fed = run_protocol("after", "per_site")
+        metrics = fed.metrics()
+        assert "obs" in metrics
+        assert metrics["obs"]["global_committed"][
+            "protocol=after,site=central"
+        ] == len(WORKLOAD)

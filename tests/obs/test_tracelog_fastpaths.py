@@ -1,0 +1,127 @@
+"""TraceLog fast paths and the metrics no-interference guarantee.
+
+Three locked-down behaviours:
+
+* ``trace.enabled = False`` turns ``emit`` into an early return --
+  nothing is recorded, nothing is formatted;
+* sinks see formatted lines only while attached;
+* enabling metrics leaves the kernel trace byte-identical to an
+  uninstrumented run (metrics are pull-based and consume no
+  randomness), which is what keeps every golden test in the repo
+  valid under instrumentation.  Span mode is the explicit exception:
+  it adds ``log_force`` records, and only those.
+"""
+
+from repro.core.gtm import GTMConfig
+from repro.integration.federation import Federation, FederationConfig, SiteSpec
+from repro.mlt.actions import increment
+from repro.net.message import reset_message_ids
+from repro.sim.kernel import Kernel
+from repro.sim.tracing import TraceLog
+
+
+class TestDisabledFastPath:
+    def test_disabled_emit_records_nothing(self):
+        trace = TraceLog(Kernel(seed=0))
+        trace.enabled = False
+        trace.emit("txn_state", "s0", "t1", state="ready")
+        assert trace.records == []
+        assert len(trace) == 0
+
+    def test_disabled_emit_skips_sink(self):
+        trace = TraceLog(Kernel(seed=0))
+        seen = []
+        trace.attach_sink(seen.append)
+        trace.enabled = False
+        trace.emit("txn_state", "s0", "t1", state="ready")
+        assert seen == []
+
+    def test_disabled_emit_never_formats(self):
+        trace = TraceLog(Kernel(seed=0))
+
+        class Exploding:
+            def __str__(self):
+                raise AssertionError("formatted a record on the disabled path")
+
+        trace.enabled = False
+        trace.emit("txn_state", "s0", "t1", payload=Exploding())
+        trace.enabled = True
+        trace.emit("txn_state", "s0", "t1", payload=Exploding())  # no sink: lazy
+        assert len(trace) == 1
+
+    def test_reenabling_resumes_recording(self):
+        trace = TraceLog(Kernel(seed=0))
+        trace.enabled = False
+        trace.emit("site", "s0", "up")
+        trace.enabled = True
+        trace.emit("site", "s0", "up")
+        assert len(trace) == 1
+
+
+class TestSinkAttachDetach:
+    def test_sink_sees_lines_only_while_attached(self):
+        trace = TraceLog(Kernel(seed=0))
+        seen = []
+        trace.emit("site", "s0", "before-attach")
+        trace.attach_sink(seen.append)
+        trace.emit("site", "s0", "while-attached")
+        trace.detach_sink()
+        trace.emit("site", "s0", "after-detach")
+        assert len(seen) == 1
+        assert "while-attached" in seen[0]
+        assert len(trace) == 3  # records accrue regardless of the sink
+
+    def test_sink_lines_are_formatted_records(self):
+        trace = TraceLog(Kernel(seed=0))
+        seen = []
+        trace.attach_sink(seen.append)
+        trace.emit("txn_state", "s0", "t1", state="ready")
+        assert seen == [str(trace.records[0])]
+
+
+def run_traced(metrics: bool, spans: bool = False):
+    reset_message_ids()
+    fed = Federation(
+        [
+            SiteSpec("s0", tables={"t0": {"x": 100}}, preparable=True),
+            SiteSpec("s1", tables={"t1": {"x": 100}}, preparable=True),
+        ],
+        FederationConfig(
+            seed=23, metrics=metrics, spans=spans,
+            gtm=GTMConfig(protocol="2pc", granularity="per_site"),
+        ),
+    )
+    fed.run_transactions([
+        {"operations": [increment("t0", "x", -10), increment("t1", "x", 10)],
+         "name": "T0"},
+        {"operations": [increment("t0", "x", -1), increment("t1", "x", 1)],
+         "name": "T1", "delay": 25.0, "intends_abort": True},
+    ])
+    return fed
+
+
+class TestMetricsGolden:
+    def test_metrics_leave_trace_byte_identical(self):
+        baseline = run_traced(metrics=False)
+        instrumented = run_traced(metrics=True)
+        # Force a full collection first: collecting must not perturb
+        # the trace either.
+        instrumented.obs.collect()
+        assert instrumented.kernel.trace.records == baseline.kernel.trace.records
+        assert instrumented.kernel.now == baseline.kernel.now
+        assert instrumented.network.sent == baseline.network.sent
+
+    def test_span_mode_adds_only_log_force_records(self):
+        baseline = run_traced(metrics=False)
+        spanned = run_traced(metrics=True, spans=True)
+        extra = [
+            r for r in spanned.kernel.trace.records
+            if r.category == "log_force"
+        ]
+        assert extra, "span mode must emit log_force records"
+        remaining = [
+            r for r in spanned.kernel.trace.records
+            if r.category != "log_force"
+        ]
+        assert remaining == baseline.kernel.trace.records
+        assert spanned.kernel.now == baseline.kernel.now
