@@ -1,0 +1,247 @@
+"""EXP-S1 -- sharded commit coordination: throughput and failover.
+
+Two claims, one per section:
+
+**Scaling.**  Under an open-loop Poisson load with a bounded
+per-coordinator admission window, committed-transaction throughput
+rises monotonically with the number of coordinator shards (1 -> 8) and
+the p99 arrival-to-commit response falls: the single central GTM of
+the paper's Fig. 1 is the scalability wall, and sharding the
+coordinator role removes it without touching the protocols.
+
+**Failover.**  For every commit protocol, a run with ``coordinators=4``
+that loses one coordinator mid-traffic ends with zero unresolved
+in-doubt transactions and the invariants intact: the failover peer
+resolves the crashed shard's in-flight transactions from the shared
+decision/redo/undo logs (hardened-commit redrive, presumed abort, §3.2
+redo, commit-before undo redrive).
+"""
+
+import time
+
+from repro.bench import format_table
+from repro.core.global_txn import GlobalOutcome
+from repro.core.gtm import GTMConfig
+from repro.core.invariants import atomicity_report, serializability_ok
+from repro.integration.federation import Federation, FederationConfig, SiteSpec
+from repro.mlt.actions import Operation
+from repro.workloads.open_loop import OpenLoopDriver, OpenLoopSpec
+
+from benchmarks._common import run_once, save_result
+
+COORDINATOR_SWEEP = [1, 2, 4, 8]
+N_SITES = 4
+#: One key per transaction (and 64 hash buckets per table): the sweep
+#: measures coordination capacity, not page-lock contention.
+N_KEYS = 160
+N_BUCKETS = 64
+N_TXNS = 160
+ARRIVAL_RATE = 1.5          # arrivals per time unit: saturates a 1-shard window
+WINDOW_PER_COORDINATOR = 6
+
+CRASH_PROTOCOLS = [
+    ("2pc", "per_site"),
+    ("2pc-pa", "per_site"),
+    ("3pc", "per_site"),
+    ("after", "per_site"),
+    ("before", "per_action"),
+]
+
+#: Headline numbers of the last ``run_experiment`` call, recorded by
+#: ``run_all.py`` in the per-bench JSON report.
+METRICS: dict = {}
+
+
+def build_sharded(
+    protocol: str, granularity: str, coordinators: int, seed: int = 7
+) -> Federation:
+    preparable = protocol in ("2pc", "2pc-pa", "3pc")
+    specs = [
+        SiteSpec(
+            f"s{i}",
+            tables={f"t{i}": {f"k{k}": 100 for k in range(N_KEYS)}},
+            preparable=preparable,
+            buckets=N_BUCKETS,
+        )
+        for i in range(N_SITES)
+    ]
+    return Federation(
+        specs,
+        FederationConfig(
+            seed=seed,
+            coordinators=coordinators,
+            gtm=GTMConfig(protocol=protocol, granularity=granularity),
+        ),
+    )
+
+
+def traffic(n_txns: int) -> list[dict]:
+    """Low-contention transfer mix: each txn touches two sites."""
+    batches = []
+    for n in range(n_txns):
+        src = n % N_SITES
+        dst = (n + 1) % N_SITES
+        key = f"k{n % N_KEYS}"
+        batches.append({
+            "operations": [
+                Operation("increment", f"t{src}", key, -1),
+                Operation("increment", f"t{dst}", key, 1),
+            ],
+        })
+    return batches
+
+
+def measure_scaling(coordinators: int) -> dict:
+    """One open-loop run at a given pool width."""
+    fed = build_sharded("2pc", "per_site", coordinators)
+    driver = OpenLoopDriver(
+        fed,
+        OpenLoopSpec(
+            arrival_rate=ARRIVAL_RATE,
+            n_txns=N_TXNS,
+            window_per_coordinator=WINDOW_PER_COORDINATOR,
+        ),
+    )
+    start = time.perf_counter()
+    result = driver.run(traffic(N_TXNS))
+    elapsed = time.perf_counter() - start
+    message_events = fed.network.sent + fed.network.delivered
+    assert result.committed + result.aborted == N_TXNS
+    assert atomicity_report(fed).ok
+    return {
+        "coordinators": coordinators,
+        "committed": result.committed,
+        "throughput": result.throughput,
+        "p50": result.p50,
+        "p99": result.p99,
+        "max_queue": result.max_queue_depth,
+        "queue_wait": result.total_queue_wait,
+        "makespan": result.makespan,
+        "events_per_sec": message_events / max(elapsed, 1e-9),
+    }
+
+
+def measure_failover(protocol: str, granularity: str) -> dict:
+    """Coordinator crash mid-traffic: everything must resolve."""
+    fed = build_sharded(protocol, granularity, coordinators=4)
+    driver = OpenLoopDriver(
+        fed,
+        OpenLoopSpec(
+            arrival_rate=0.5,
+            n_txns=60,
+            window_per_coordinator=WINDOW_PER_COORDINATOR,
+        ),
+    )
+    fed.crash_coordinator(1, at=40.0)
+    fed.crash_coordinator(2, at=55.0)
+    fed.restart_coordinator(1, at=320.0)
+    fed.restart_coordinator(2, at=340.0)
+    result = driver.run(traffic(60))
+    fed.run()  # drain failover + recovery stragglers
+    unresolved = fed.pool.unresolved_orphans()
+    return {
+        "protocol": f"{protocol}/{granularity}",
+        "committed": result.committed,
+        "aborted": result.aborted,
+        "interrupted": result.interrupted,
+        "failovers": fed.pool.failovers_started,
+        "rerouted": fed.pool.metrics()["submissions_rerouted"],
+        "unresolved_indoubt": len(unresolved),
+        "atomicity_ok": atomicity_report(fed).ok,
+        "serializable": serializability_ok(fed),
+    }
+
+
+def headline() -> dict:
+    """Compact summary for BENCH_perf.json."""
+    scaling = {}
+    for n in COORDINATOR_SWEEP:
+        row = measure_scaling(n)
+        scaling[str(n)] = {
+            "committed": row["committed"],
+            "throughput": round(row["throughput"], 4),
+            "p99_response": round(row["p99"], 1),
+            "events_per_sec": round(row["events_per_sec"]),
+        }
+    crash = {}
+    for protocol, granularity in CRASH_PROTOCOLS:
+        row = measure_failover(protocol, granularity)
+        crash[row["protocol"]] = {
+            "unresolved_indoubt": row["unresolved_indoubt"],
+            "failovers": row["failovers"],
+            "invariants_ok": row["atomicity_ok"] and row["serializable"],
+        }
+    throughputs = [scaling[str(n)]["throughput"] for n in COORDINATOR_SWEEP]
+    return {
+        "scenario": (
+            f"open-loop Poisson {ARRIVAL_RATE}/u, {N_TXNS} txns over "
+            f"{N_SITES} sites, window {WINDOW_PER_COORDINATOR}/coordinator"
+        ),
+        "scaling": scaling,
+        "throughput_monotonic_1_to_4": (
+            throughputs[0] < throughputs[1] < throughputs[2]
+        ),
+        "coordinator_crash": crash,
+        "zero_unresolved_after_failover": all(
+            entry["unresolved_indoubt"] == 0 for entry in crash.values()
+        ),
+    }
+
+
+def run_experiment() -> str:
+    METRICS.clear()
+    scaling_rows = []
+    sweep = []
+    for n in COORDINATOR_SWEEP:
+        row = measure_scaling(n)
+        sweep.append(row)
+        scaling_rows.append([
+            n, row["committed"], round(row["throughput"], 4),
+            round(row["p50"], 1), round(row["p99"], 1),
+            row["max_queue"], round(row["makespan"], 0),
+            round(row["events_per_sec"] / 1000.0, 1),
+        ])
+    table = format_table(
+        ["coordinators", "committed", "txn/u (sim)", "p50 resp",
+         "p99 resp", "max queue", "makespan", "k msg-events/s (wall)"],
+        scaling_rows,
+        title="EXP-S1a: open-loop throughput vs coordinator shards",
+    )
+
+    crash_rows = []
+    for protocol, granularity in CRASH_PROTOCOLS:
+        row = measure_failover(protocol, granularity)
+        crash_rows.append([
+            row["protocol"], row["committed"], row["aborted"],
+            row["interrupted"], row["failovers"], row["rerouted"],
+            row["unresolved_indoubt"],
+            "OK" if row["atomicity_ok"] and row["serializable"] else "VIOLATED",
+        ])
+    table += "\n\n" + format_table(
+        ["protocol", "committed", "aborted", "interrupted", "failovers",
+         "rerouted", "unresolved", "invariants"],
+        crash_rows,
+        title="EXP-S1b: coordinator crash + failover, 4-shard pool",
+    )
+
+    # The tentpole claims, enforced.
+    throughputs = [row["throughput"] for row in sweep]
+    assert throughputs[0] < throughputs[1] < throughputs[2], (
+        "throughput must rise monotonically from 1 to 4 coordinators: "
+        f"{throughputs}"
+    )
+    p99s = [row["p99"] for row in sweep]
+    assert p99s[2] < p99s[0], "p99 must improve with 4 shards over 1"
+    assert all(row[-2] == 0 for row in crash_rows), "unresolved in-doubt txns"
+    assert all(row[-1] == "OK" for row in crash_rows)
+
+    METRICS.update(
+        scaling={str(row["coordinators"]): round(row["throughput"], 4) for row in sweep},
+        p99={str(row["coordinators"]): round(row["p99"], 1) for row in sweep},
+        crash_unresolved={row[0]: row[-2] for row in crash_rows},
+    )
+    return table
+
+
+def test_s1_sharded_gtm(benchmark):
+    save_result("s1_sharded_gtm", run_once(benchmark, run_experiment))

@@ -100,6 +100,7 @@ def headline_numbers() -> dict:
     )
     from benchmarks.bench_o1_obs_overhead import obs_headline
     from benchmarks.bench_r1_chaos import headline as chaos_headline
+    from benchmarks.bench_s1_sharded_gtm import headline as sharded_headline
 
     protocols = {}
     for protocol, granularity, piggyback in [
@@ -148,6 +149,7 @@ def headline_numbers() -> dict:
         },
         "chaos": chaos_headline(),
         "obs": obs_headline(),
+        "sharded": sharded_headline(),
     }
 
 

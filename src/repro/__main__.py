@@ -31,6 +31,7 @@ def build(
     seed: int = 1,
     metrics: bool = False,
     spans: bool = False,
+    coordinators: int = 1,
 ) -> Federation:
     preparable = protocol in ("2pc", "2pc-pa", "3pc")
     granularity = "per_action" if protocol in ("before", "saga", "altruistic") else "per_site"
@@ -48,6 +49,7 @@ def build(
             seed=seed,
             metrics=metrics,
             spans=spans,
+            coordinators=coordinators,
             gtm=GTMConfig(protocol=protocol, granularity=granularity),
         ),
     )
@@ -96,12 +98,14 @@ def run_single(
     seed: int,
     report: bool,
     trace_out: Optional[str],
+    coordinators: int = 1,
 ) -> None:
     """One-protocol run with optional observability exports."""
     fed = build(
         protocol, sites=sites, seed=seed,
         metrics=report or trace_out is not None,
         spans=trace_out is not None,
+        coordinators=coordinators,
     )
     batches = []
     for index in range(txns):
@@ -120,9 +124,12 @@ def run_single(
         })
     outcomes = fed.run_transactions(batches)
     committed = sum(1 for outcome in outcomes if outcome.committed)
+    shards = (
+        f", {coordinators} coordinators" if coordinators > 1 else ""
+    )
     print(
-        f"{protocol}: {committed}/{txns} committed over {sites} sites "
-        f"(seed {seed}), atomicity "
+        f"{protocol}: {committed}/{txns} committed over {sites} sites"
+        f"{shards} (seed {seed}), atomicity "
         f"{'OK' if atomicity_report(fed).ok else 'VIOLATED'}"
     )
     if report:
@@ -148,6 +155,10 @@ def main(argv: Optional[list[str]] = None) -> None:
         help="run one protocol instead of the all-protocols demo",
     )
     parser.add_argument("--sites", type=int, default=2, help="number of local sites")
+    parser.add_argument(
+        "--coordinators", type=int, default=1,
+        help="number of commit coordinators (sharded GTM pool; default 1)",
+    )
     parser.add_argument("--txns", type=int, default=4, help="number of transfers to run")
     parser.add_argument("--seed", type=int, default=1, help="simulation seed")
     parser.add_argument(
@@ -161,14 +172,19 @@ def main(argv: Optional[list[str]] = None) -> None:
     args = parser.parse_args(argv)
     if args.sites < 2:
         parser.error("--sites must be at least 2")
+    if args.coordinators < 1:
+        parser.error("--coordinators must be at least 1")
     if args.protocol is None:
         if args.report or args.trace_out:
             parser.error("--report/--trace-out require --protocol")
+        if args.coordinators != 1:
+            parser.error("--coordinators requires --protocol")
         demo()
         return
     run_single(
         args.protocol, args.sites, args.txns, args.seed,
         report=args.report, trace_out=args.trace_out,
+        coordinators=args.coordinators,
     )
 
 

@@ -59,10 +59,17 @@ class GlobalOutcome:
 class GlobalTransaction:
     """One global transaction under GTM control."""
 
-    def __init__(self, kernel: "Kernel", gtxn_id: str, operations: list[Operation]):
+    def __init__(
+        self,
+        kernel: "Kernel",
+        gtxn_id: str,
+        operations: list[Operation],
+        origin: str = "central",
+    ):
         self._kernel = kernel
         self.gtxn_id = gtxn_id
         self.operations = list(operations)
+        self.origin = origin  # coordinating node (a pool shard, usually "central")
         self.state = GlobalTxnState.RUNNING
         self.submit_time = kernel.now
         self.decision: Optional[str] = None  # "commit" | "abort"
@@ -77,12 +84,12 @@ class GlobalTransaction:
         """Record the global commit/abort decision at decision time."""
         self.decision = decision
         self._kernel.trace.emit(
-            "gtxn_decision", "central", self.gtxn_id, decision=decision, **details
+            "gtxn_decision", self.origin, self.gtxn_id, decision=decision, **details
         )
 
     def _trace(self, **details: Any) -> None:
         self._kernel.trace.emit(
-            "gtxn_state", "central", self.gtxn_id, state=self.state.value, **details
+            "gtxn_state", self.origin, self.gtxn_id, state=self.state.value, **details
         )
 
     def sites(self) -> list[str]:

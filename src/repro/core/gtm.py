@@ -173,6 +173,7 @@ class DecisionPipeline:
         self._queues: dict[str, list[tuple[str, str, Optional[str], Future]]] = {}
         self.groups_sent = 0
         self.decisions_grouped = 0
+        self.dropped_on_crash = 0
 
     def decide(
         self, site: str, gtxn_id: str, decision: str, marker_key: Optional[str]
@@ -190,14 +191,36 @@ class DecisionPipeline:
         outcome = yield future
         return outcome
 
+    def crash(self) -> None:
+        """The coordinator died: its buffered decisions die with it.
+
+        Queued decisions were never hardened, so presumed abort is the
+        correct (and only safe) resolution -- the failover peer settles
+        every member through the recovery machinery.  What must *not*
+        happen is the scheduled ``_flush`` firing later and hardening a
+        commit on behalf of a dead coordinator: a peer may already have
+        presumed those very transactions aborted.
+        """
+        for entries in self._queues.values():
+            self.dropped_on_crash += len(entries)
+        self._queues.clear()
+
     def _flush(self, site: str) -> None:
+        if self.gtm.crashed or self.gtm.comm.node.crashed:
+            # The flush timer outlives the node; the buffer does not.
+            entries = self._queues.pop(site, None)
+            if entries:
+                self.dropped_on_crash += len(entries)
+            return
         entries = self._queues.pop(site, None)
         if not entries:
             return
         self.groups_sent += 1
         self.decisions_grouped += len(entries)
-        self.gtm.kernel.spawn(
-            self._send_group(site, entries), name=f"decide-group:{site}"
+        self.gtm.track_service(
+            self.gtm.kernel.spawn(
+                self._send_group(site, entries), name=f"decide-group:{site}"
+            )
         )
 
     def _send_group(
@@ -236,29 +259,41 @@ class GlobalTransactionManager:
         schema: "GlobalSchema",
         comm: "CentralCommunicationManager",
         config: Optional[GTMConfig] = None,
+        share_from: Optional["GlobalTransactionManager"] = None,
     ):
         self.kernel = kernel
         self.network = network
         self.schema = schema
         self.comm = comm
         self.config = config or GTMConfig()
+        self.name = comm.node.name
         self.protocol = make_protocol(self.config.protocol)
-        table = self.config.resolved_l1_table()
-        if table is None:
-            self.l1 = None
-        elif self.config.protocol == "altruistic":
-            from repro.baselines.altruistic import AltruisticLockManager
-
-            self.l1 = AltruisticLockManager(
-                kernel, table, default_timeout=self.config.l1_timeout
-            )
+        if share_from is not None:
+            # A pool shard: the L1 lock service and the decision /
+            # redo / undo logs model shared, durable central storage --
+            # every coordinator reads and writes the same instances, so
+            # failover peers see each other's hardened state.
+            self.l1 = share_from.l1
+            self.redo_log = share_from.redo_log
+            self.undo_log = share_from.undo_log
+            self.decision_log = share_from.decision_log
         else:
-            self.l1 = SemanticLockManager(
-                kernel, table, default_timeout=self.config.l1_timeout, name="L1"
-            )
-        self.redo_log = RedoLog()
-        self.undo_log = UndoLog()
-        self.decision_log = DecisionLog()
+            table = self.config.resolved_l1_table()
+            if table is None:
+                self.l1 = None
+            elif self.config.protocol == "altruistic":
+                from repro.baselines.altruistic import AltruisticLockManager
+
+                self.l1 = AltruisticLockManager(
+                    kernel, table, default_timeout=self.config.l1_timeout
+                )
+            else:
+                self.l1 = SemanticLockManager(
+                    kernel, table, default_timeout=self.config.l1_timeout, name="L1"
+                )
+            self.redo_log = RedoLog()
+            self.undo_log = UndoLog()
+            self.decision_log = DecisionLog()
         self.pipeline: Optional[DecisionPipeline] = (
             DecisionPipeline(self, self.config.pipeline_window)
             if self.config.pipeline_window > 0
@@ -272,6 +307,16 @@ class GlobalTransactionManager:
         # manager consults this so a restart never aborts an in-doubt
         # subtransaction whose coordinator is still deciding.
         self.active: dict[str, GlobalTransaction] = {}
+        # Coordinator-crash support.  ``crashed`` mirrors the node's
+        # state at the GTM layer; ``pool`` is the backref a
+        # CoordinatorPool installs; ``_inflight`` maps gtxn id to its
+        # coordinator process and ``_service`` holds auxiliary
+        # processes (recovery sweeps, orphan terminations, failovers)
+        # -- all of them die with the coordinator.
+        self.crashed = False
+        self.pool: Optional[Any] = None
+        self._inflight: dict[str, "Process"] = {}
+        self._service: list["Process"] = []
         from repro.core.recovery import GlobalRecoveryManager
 
         self.recovery = GlobalRecoveryManager(self)
@@ -293,10 +338,47 @@ class GlobalTransactionManager:
         :class:`~repro.core.global_txn.GlobalOutcome`.
         """
         gtxn_id = name or f"G{next(self._ids)}"
-        return self.kernel.spawn(
-            self.run_transaction(operations, gtxn_id, intends_abort),
+        process = self.kernel.spawn(
+            self._tracked_run(operations, gtxn_id, intends_abort),
             name=f"gtxn:{gtxn_id}",
         )
+        self._inflight[gtxn_id] = process
+        return process
+
+    def _tracked_run(
+        self,
+        operations: list["Operation"],
+        gtxn_id: str,
+        intends_abort: bool,
+    ) -> Generator[Any, Any, GlobalOutcome]:
+        try:
+            outcome = yield from self.run_transaction(
+                operations, gtxn_id, intends_abort
+            )
+            return outcome
+        finally:
+            self._inflight.pop(gtxn_id, None)
+
+    # ------------------------------------------------------------------
+    # Pool support
+    # ------------------------------------------------------------------
+
+    def is_active(self, gtxn_id: str) -> bool:
+        """Is any (live) coordinator still driving ``gtxn_id``?
+
+        With a pool the check spans every shard: a peer's recovery pass
+        must not presume-abort a transaction another coordinator is
+        about to decide.
+        """
+        if self.pool is not None:
+            return self.pool.is_active(gtxn_id)
+        return gtxn_id in self.active
+
+    def track_service(self, process: "Process") -> None:
+        """Register an auxiliary process that dies with this coordinator."""
+        if len(self._service) > 32:
+            self._service = [p for p in self._service if not p.done]
+        self._service.append(process)
 
     def run_transaction(
         self,
@@ -314,7 +396,9 @@ class GlobalTransactionManager:
             attempt += 1
             attempt_id = gtxn_id if attempt == 1 else f"{gtxn_id}~r{attempt - 1}"
             decomposition = decompose(self.schema, operations)
-            gtxn = GlobalTransaction(self.kernel, attempt_id, decomposition.ordered)
+            gtxn = GlobalTransaction(
+                self.kernel, attempt_id, decomposition.ordered, origin=self.name
+            )
             outcome = GlobalOutcome(
                 gtxn_id=attempt_id,
                 committed=False,

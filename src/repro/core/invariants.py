@@ -86,7 +86,7 @@ def atomicity_report(federation: "Federation") -> AtomicityReport:
         federation.gtm.config.granularity == "per_action"
         and protocol in ("before", "saga", "altruistic")
     )
-    for outcome in federation.gtm.outcomes:
+    for outcome in _all_outcomes(federation):
         report.checked += 1
         base = _base_id(outcome.gtxn_id)
         for site in outcome.sites:
@@ -125,6 +125,12 @@ def atomicity_report(federation: "Federation") -> AtomicityReport:
                         )
                     )
     return report
+
+
+def _all_outcomes(federation: "Federation"):
+    """Outcomes across every coordinator shard (one shard in the seed)."""
+    for gtm in getattr(federation, "coordinators", [federation.gtm]):
+        yield from gtm.outcomes
 
 
 def _write_ops_at_site(federation: "Federation", outcome, site: str) -> int:
@@ -169,7 +175,7 @@ def serializability_ok(federation: "Federation", strict: bool = False) -> bool:
     else:
         committed = {
             outcome.gtxn_id
-            for outcome in federation.gtm.outcomes
+            for outcome in _all_outcomes(federation)
             if outcome.committed
         }
         histories = {

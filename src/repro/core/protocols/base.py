@@ -11,7 +11,7 @@ from __future__ import annotations
 import abc
 from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
 
-from repro.errors import MessageTimeout
+from repro.errors import MessageTimeout, ProcessInterrupted
 from repro.mlt.actions import Operation
 from repro.mlt.conflicts import L1Mode
 from repro.net.message import Message
@@ -161,10 +161,21 @@ class ProtocolContext:
             key: self.kernel.spawn(job, name=f"{self.gtxn.gtxn_id}:{key}")
             for key, job in jobs.items()
         }
+        for process in processes.values():
+            # Per-site helpers die with their coordinator: a crashed
+            # coordinator's pool interrupts every tracked process, so
+            # none of them keeps driving the protocol from beyond the
+            # grave.
+            self.gtm.track_service(process)
         results: dict[str, Any] = {}
         for key, process in processes.items():
             try:
                 results[key] = yield process
+            except ProcessInterrupted:
+                # The *coordinator* was interrupted (crash): propagate --
+                # swallowing it here would keep the dead coordinator's
+                # protocol running.
+                raise
             except Exception as exc:  # noqa: BLE001 - collected for the caller
                 results[key] = exc
         return results

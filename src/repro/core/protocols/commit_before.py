@@ -199,6 +199,8 @@ class CommitBefore(CommitProtocol):
                 ),
                 name=f"{gtxn.gtxn_id}:finish:{site}",
             )
+            # Dies with the coordinator (pool crash interrupts it).
+            ctx.gtm.track_service(finishers[site])
 
         failure: Optional[str] = None
         known: dict[str, str] = {}

@@ -31,7 +31,7 @@ still-live coordinator can never double-apply.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Generator
+from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.errors import MessageTimeout
 
@@ -49,6 +49,9 @@ class GlobalRecoveryManager:
         self.redriven_redos = 0
         self.redriven_undos = 0
         self.orphans_terminated = 0
+        # Coordinator-failover accounting (sharded pools only).
+        self.failovers = 0
+        self.failover_resolved = 0
         # Per-site recovery epoch: a fresh restart supersedes any sweep
         # loop still running from the previous one.
         self._epochs: dict[str, int] = {}
@@ -71,9 +74,11 @@ class GlobalRecoveryManager:
         self.passes += 1
         epoch = self._epochs.get(site, 0) + 1
         self._epochs[site] = epoch
-        self.gtm.kernel.trace.emit("recovery_pass", "central", site)
+        self.gtm.kernel.trace.emit("recovery_pass", self.gtm.name, site)
         config = self.gtm.config
         while True:
+            if self.gtm.crashed:
+                return  # this coordinator died; a peer's pass takes over
             unresolved = yield from self._resolve_in_doubt(site)
             if config.protocol == "after":
                 yield from self._redrive_redos(site)
@@ -112,7 +117,7 @@ class GlobalRecoveryManager:
         through durable markers by the coordinator itself.
         """
         gtxn_id = message.gtxn_id
-        if not gtxn_id or gtxn_id in self.gtm.active:
+        if not gtxn_id or self.gtm.is_active(gtxn_id) or self.gtm.crashed:
             return
         if not self.gtm.network.reliable:
             # Without retransmission a straggler can only be a reply
@@ -128,9 +133,11 @@ class GlobalRecoveryManager:
         if key in self._terminating:
             return
         self._terminating.add(key)
-        self.gtm.kernel.spawn(
-            self._terminate_orphan(gtxn_id, message.sender),
-            name=f"orphan-decide:{gtxn_id}@{message.sender}",
+        self.gtm.track_service(
+            self.gtm.kernel.spawn(
+                self._terminate_orphan(gtxn_id, message.sender),
+                name=f"orphan-decide:{gtxn_id}@{message.sender}",
+            )
         )
 
     def _terminate_orphan(
@@ -139,11 +146,13 @@ class GlobalRecoveryManager:
         config = self.gtm.config
         decision = self.gtm.decision_log.decision_for(gtxn_id) or "abort"
         self.gtm.kernel.trace.emit(
-            "recovery_decide", "central", gtxn_id,
+            "recovery_decide", self.gtm.name, gtxn_id,
             at=site, decision=decision, cause="orphan reply",
         )
         try:
             while True:
+                if self.gtm.crashed:
+                    return  # a peer's failover owns the cleanup now
                 try:
                     yield from self.gtm.comm.request(
                         site, "decide", gtxn_id=gtxn_id,
@@ -181,8 +190,8 @@ class GlobalRecoveryManager:
             return 1
         unresolved = 0
         for gtxn_id in reply.payload.get("in_doubt", ()):
-            if gtxn_id in self.gtm.active:
-                # The coordinator is still driving this transaction --
+            if self.gtm.is_active(gtxn_id):
+                # A coordinator is still driving this transaction --
                 # deciding here could contradict the decision it is
                 # about to make.  Leave it for a later sweep.
                 unresolved += 1
@@ -191,7 +200,7 @@ class GlobalRecoveryManager:
             # record is authoritative, its absence means presumed abort.
             decision = self.gtm.decision_log.decision_for(gtxn_id) or "abort"
             self.gtm.kernel.trace.emit(
-                "recovery_decide", "central", gtxn_id, at=site, decision=decision
+                "recovery_decide", self.gtm.name, gtxn_id, at=site, decision=decision
             )
             try:
                 yield from self.gtm.comm.request(
@@ -211,12 +220,12 @@ class GlobalRecoveryManager:
         for entry in self.gtm.redo_log.pending():
             if entry.site != site:
                 continue
-            if entry.gtxn_id in self.gtm.active:
+            if self.gtm.is_active(entry.gtxn_id):
                 continue  # the coordinator's redo loop is still alive
             if self.gtm.decision_log.decision_for(entry.gtxn_id) != "commit":
                 continue  # no hardened commit: nothing to redo
             self.gtm.kernel.trace.emit(
-                "recovery_redo", "central", entry.gtxn_id, at=site
+                "recovery_redo", self.gtm.name, entry.gtxn_id, at=site
             )
             try:
                 reply = yield from self.gtm.comm.request(
@@ -240,7 +249,7 @@ class GlobalRecoveryManager:
             if record.site == site and record.gtxn_id not in gtxn_ids:
                 gtxn_ids.append(record.gtxn_id)
         for gtxn_id in gtxn_ids:
-            if gtxn_id in self.gtm.active:
+            if self.gtm.is_active(gtxn_id):
                 continue  # the coordinator's undo loop is still alive
             inverse_ops = [
                 record.inverse
@@ -260,7 +269,7 @@ class GlobalRecoveryManager:
             if status.payload.get("outcome") != "committed":
                 continue
             self.gtm.kernel.trace.emit(
-                "recovery_undo", "central", gtxn_id, at=site
+                "recovery_undo", self.gtm.name, gtxn_id, at=site
             )
             try:
                 reply = yield from self.gtm.comm.request(
@@ -273,3 +282,217 @@ class GlobalRecoveryManager:
                 continue
             if reply.payload.get("outcome") == "undone":
                 self.redriven_undos += 1
+
+    # ------------------------------------------------------------------
+    # Coordinator failover: adopt a crashed peer's in-flight globals
+    # ------------------------------------------------------------------
+
+    def adopt_orphans(self, orphans: dict[str, Any]) -> Generator[Any, Any, None]:
+        """Resolve the in-flight transactions of a crashed coordinator.
+
+        ``orphans`` maps attempt ids to their
+        :class:`~repro.core.global_txn.GlobalTransaction` objects,
+        captured by the pool at crash time.  Resolution follows the
+        same per-protocol rules as a site restart, read from the
+        *shared* central logs:
+
+        * 2PC / presumed abort / 3PC -- a hardened commit record is
+          re-driven to every participant; without one, presumed abort.
+        * commit-after -- the decision (or presumed abort) is
+          re-driven, then the §3.2 redo obligations for hardened
+          commits are re-driven from the shared redo-log.
+        * commit-before -- presumed abort: unfinished locals abort,
+          durably committed effects are compensated by inverse
+          transactions.  Per-action inverses are reconstructed from
+          the durable commit markers' before-images, so even an
+          action whose reply died with the coordinator is undone.
+
+        The mapping is mutated in place: resolved (or handed-off)
+        entries are popped, so the pool can re-adopt the remainder if
+        this adopter crashes mid-failover.
+        """
+        if not orphans:
+            return
+        self.failovers += 1
+        config = self.gtm.config
+        self.gtm.kernel.trace.emit(
+            "failover", self.gtm.name, self.gtm.name, orphans=len(orphans)
+        )
+        for gtxn_id in sorted(orphans):
+            if self.gtm.crashed:
+                return  # the pool re-adopts whatever is left
+            gtxn = orphans[gtxn_id]
+            if config.protocol == "before":
+                if config.granularity == "per_action":
+                    resolved = yield from self._failover_undo_actions(gtxn)
+                else:
+                    resolved = yield from self._failover_before_site(gtxn)
+            else:
+                resolved = yield from self._failover_decide(gtxn)
+            # Even a partially-settled orphan is popped: every leftover
+            # local is in-doubt at a *crashed* site, and that site's
+            # restart recovery resolves it from the same shared logs.
+            orphans.pop(gtxn_id, None)
+            if resolved:
+                self.failover_resolved += 1
+
+    def _failover_decide(self, gtxn: Any) -> Generator[Any, Any, bool]:
+        """Redrive the hardened decision (or presumed abort) everywhere."""
+        config = self.gtm.config
+        decision = self.gtm.decision_log.decision_for(gtxn.gtxn_id) or "abort"
+        redo = config.protocol == "after" and decision == "commit"
+        settled_all = True
+        for site in gtxn.sites():
+            self.gtm.kernel.trace.emit(
+                "recovery_decide", self.gtm.name, gtxn.gtxn_id,
+                at=site, decision=decision, cause="coordinator failover",
+            )
+            marker = gtxn.gtxn_id if redo else None
+            settled = yield from self._decide_until_settled(
+                site, gtxn.gtxn_id, decision, marker
+            )
+            if not settled:
+                settled_all = False
+        if redo:
+            # An erroneously aborted local shows up as a pending redo
+            # entry with a hardened commit: the §3.2 obligation.
+            for site in gtxn.sites():
+                yield from self._redrive_redos(site)
+        if settled_all and config.protocol == "after":
+            self.gtm.redo_log.forget(gtxn.gtxn_id)
+        return settled_all
+
+    def _failover_before_site(self, gtxn: Any) -> Generator[Any, Any, bool]:
+        """Presumed abort for commit-before/per_site orphans."""
+        settled_all = True
+        for site in gtxn.sites():
+            self.gtm.kernel.trace.emit(
+                "recovery_decide", self.gtm.name, gtxn.gtxn_id,
+                at=site, decision="abort", cause="coordinator failover",
+            )
+            # Settles unfinished locals (cheap abort of a running
+            # subtransaction); an already-committed local reports back
+            # and is compensated below.
+            settled = yield from self._decide_until_settled(
+                site, gtxn.gtxn_id, "abort", None
+            )
+            if not settled:
+                settled_all = False
+        for site in gtxn.sites():
+            yield from self._redrive_undos(site)
+        if settled_all:
+            self.gtm.undo_log.forget(gtxn.gtxn_id)
+        return settled_all
+
+    def _failover_undo_actions(self, gtxn: Any) -> Generator[Any, Any, bool]:
+        """Presumed abort for commit-before/per_action orphans.
+
+        Walks the orphan's routed operations in reverse: any action
+        whose durable commit marker confirms it took effect is undone
+        by an inverse reconstructed from the marker's before-image --
+        the central undo-log alone can miss the final action when the
+        crash ate its reply.
+        """
+        from repro.mlt.actions import inverse_of
+
+        config = self.gtm.config
+        if not config.durable_status:
+            # Volatile placement cannot confirm forward commits; the
+            # honest answer is to leave the effects (EXP-A2 territory).
+            return True
+        settled_all = True
+        for index in range(len(gtxn.operations) - 1, -1, -1):
+            operation = gtxn.operations[index]
+            if operation.site is None or operation.kind == "read":
+                continue
+            marker_key = f"{gtxn.gtxn_id}:{index}"
+            status = yield from self._marker_status(operation.site, marker_key)
+            if status is None:
+                settled_all = False
+                continue
+            if status.payload.get("outcome") != "committed":
+                continue  # the action never took durable effect
+            inverse = inverse_of(operation, status.payload.get("before"))
+            if inverse is None:
+                continue
+            self.gtm.kernel.trace.emit(
+                "recovery_undo", self.gtm.name, gtxn.gtxn_id,
+                at=operation.site, op=str(inverse),
+            )
+            undone = yield from self._execute_inverse_action(
+                gtxn.gtxn_id, operation.site, inverse, f"undo:{marker_key}"
+            )
+            if not undone:
+                settled_all = False
+        if settled_all:
+            self.gtm.undo_log.forget(gtxn.gtxn_id)
+        return settled_all
+
+    def _decide_until_settled(
+        self, site: str, gtxn_id: str, decision: str, marker_key: Optional[str]
+    ) -> Generator[Any, Any, bool]:
+        """Deliver a decision, waiting out transient unreachability.
+
+        Returns ``False`` when the site is down (its restart recovery
+        finishes the job from the shared logs) or this adopter died.
+        """
+        config = self.gtm.config
+        while True:
+            if self.gtm.crashed:
+                return False
+            try:
+                yield from self.gtm.comm.request(
+                    site, "decide", gtxn_id=gtxn_id,
+                    timeout=config.msg_timeout * 4,
+                    decision=decision, marker_key=marker_key,
+                )
+                return True
+            except MessageTimeout:
+                if self.gtm.network.node(site).crashed:
+                    return False
+                yield config.status_poll_interval
+
+    def _marker_status(
+        self, site: str, marker_key: str
+    ) -> Generator[Any, Any, Optional[Any]]:
+        """Durable-marker status, waiting for the site to come up (§3.3)."""
+        config = self.gtm.config
+        while True:
+            if self.gtm.crashed:
+                return None
+            try:
+                reply = yield from self.gtm.comm.request(
+                    site, "status_query", timeout=config.msg_timeout,
+                    marker_key=marker_key, durable=True,
+                )
+                return reply
+            except MessageTimeout:
+                yield config.status_poll_interval
+
+    def _execute_inverse_action(
+        self, gtxn_id: str, site: str, inverse: Any, marker_key: str
+    ) -> Generator[Any, Any, bool]:
+        """One reconstructed inverse action as a marker-guarded L0 txn."""
+        config = self.gtm.config
+        while True:
+            if self.gtm.crashed:
+                return False
+            try:
+                reply = yield from self.gtm.comm.request(
+                    site, "execute_l0", gtxn_id=gtxn_id,
+                    timeout=config.msg_timeout,
+                    op=inverse, marker_key=marker_key, undo=True,
+                )
+            except MessageTimeout:
+                status = yield from self._marker_status(site, marker_key)
+                if status is None:
+                    return False
+                if status.payload.get("outcome") == "committed":
+                    break  # the inverse did commit; the reply was lost
+                continue
+            if reply.kind == "l0_done":
+                break
+            yield config.status_poll_interval
+        self.gtm.undo_log.note_undo()
+        self.redriven_undos += 1
+        return True

@@ -79,6 +79,14 @@ class ChaosSpec:
     #: Attach the observability registry to the run; the injector's
     #: fault counters then share it with the rest of the federation.
     metrics: bool = False
+    #: Coordinator pool width; 1 is the classic single central GTM.
+    coordinators: int = 1
+    #: With ``coordinators`` > 1: crash this shard at this time (0 =
+    #: no coordinator crash) and restart it after this outage (0 = the
+    #: shard stays down; its peers carry the rest of the run).
+    coordinator_crash_index: int = 1
+    coordinator_crash_at: float = 0.0
+    coordinator_outage: float = 0.0
 
 
 @dataclass
@@ -141,6 +149,7 @@ def build_chaos_federation(spec: ChaosSpec) -> Federation:
         reliable=True,
         retransmit_timeout=6.0,
         metrics=spec.metrics,
+        coordinators=spec.coordinators,
         gtm=GTMConfig(
             protocol=spec.protocol,
             granularity=spec.granularity,
@@ -187,6 +196,17 @@ def run_chaos(spec: ChaosSpec) -> ChaosResult:
 
     kernel.call_at(spec.fault_horizon, clear_faults)
 
+    # -- scheduled coordinator crash (sharded pools) -------------------
+    if spec.coordinators > 1 and spec.coordinator_crash_at > 0:
+        fed.crash_coordinator(
+            spec.coordinator_crash_index, at=spec.coordinator_crash_at
+        )
+        if spec.coordinator_outage > 0:
+            fed.restart_coordinator(
+                spec.coordinator_crash_index,
+                at=spec.coordinator_crash_at + spec.coordinator_outage,
+            )
+
     # -- conservation workload: balanced cross-site transfers ----------
     def transfer_ops(txn_rng) -> list:
         src = int(txn_rng.uniform(0, spec.n_sites)) % spec.n_sites
@@ -206,7 +226,7 @@ def run_chaos(spec: ChaosSpec) -> ChaosResult:
             spec.intended_abort_every > 0
             and index % spec.intended_abort_every == spec.intended_abort_every - 1
         )
-        outcome = yield fed.gtm.submit(
+        outcome = yield fed.submit(
             transfer_ops(rng), name=f"C{index}", intends_abort=intends_abort
         )
         return outcome
@@ -222,8 +242,8 @@ def run_chaos(spec: ChaosSpec) -> ChaosResult:
 
     # -- audit ----------------------------------------------------------
     result = ChaosResult(spec=spec, end_time=end_time)
-    result.committed = fed.gtm.committed
-    result.aborted = fed.gtm.aborted
+    result.committed = sum(gtm.committed for gtm in fed.coordinators)
+    result.aborted = sum(gtm.aborted for gtm in fed.coordinators)
     report = atomicity_report(fed)
     result.atomicity_ok = report.ok
     result.violations = list(report.violations)
@@ -233,10 +253,19 @@ def run_chaos(spec: ChaosSpec) -> ChaosResult:
         if not process.done:
             result.converged = False
             result.stuck.append(f"submitter {process.name} unfinished")
-    if fed.gtm.active:
+    for gtm in fed.coordinators:
+        if gtm.active:
+            result.converged = False
+            result.stuck.extend(
+                f"gtxn {gtxn_id} still active at {gtm.name}"
+                for gtxn_id in sorted(gtm.active)
+            )
+    orphans = fed.pool.unresolved_orphans()
+    if orphans:
         result.converged = False
         result.stuck.extend(
-            f"gtxn {gtxn_id} still active" for gtxn_id in sorted(fed.gtm.active)
+            f"gtxn {gtxn_id} orphaned in-doubt (no failover resolved it)"
+            for gtxn_id in orphans
         )
     for site, engine in fed.engines.items():
         for txn in engine.active_txns():
@@ -258,7 +287,8 @@ def run_chaos(spec: ChaosSpec) -> ChaosResult:
 
     finish_times = [
         outcome.finish_time
-        for outcome in fed.gtm.outcomes
+        for gtm in fed.coordinators
+        for outcome in gtm.outcomes
         if outcome.finish_time is not None
     ]
     last_finish = max(finish_times) if finish_times else 0.0
@@ -270,11 +300,24 @@ def run_chaos(spec: ChaosSpec) -> ChaosResult:
         "duplicate_requests": sum(
             comm.duplicate_requests for comm in fed.comms.values()
         ),
-        "recovery_passes": fed.gtm.recovery.passes,
-        "recovery_resolved_indoubt": fed.gtm.recovery.resolved_indoubt,
-        "recovery_redriven_redos": fed.gtm.recovery.redriven_redos,
-        "recovery_redriven_undos": fed.gtm.recovery.redriven_undos,
-        "recovery_orphans_terminated": fed.gtm.recovery.orphans_terminated,
+        "recovery_passes": sum(g.recovery.passes for g in fed.coordinators),
+        "recovery_resolved_indoubt": sum(
+            g.recovery.resolved_indoubt for g in fed.coordinators
+        ),
+        "recovery_redriven_redos": sum(
+            g.recovery.redriven_redos for g in fed.coordinators
+        ),
+        "recovery_redriven_undos": sum(
+            g.recovery.redriven_undos for g in fed.coordinators
+        ),
+        "recovery_orphans_terminated": sum(
+            g.recovery.orphans_terminated for g in fed.coordinators
+        ),
+        "coordinator_crashes": fed.pool.crashes,
+        "failovers": sum(g.recovery.failovers for g in fed.coordinators),
+        "failover_resolved": sum(
+            g.recovery.failover_resolved for g in fed.coordinators
+        ),
     }
     result.registry = injector.registry
     result.federation = fed

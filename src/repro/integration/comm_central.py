@@ -54,6 +54,20 @@ class CentralCommunicationManager:
                 for hook in self.on_unmatched:
                     hook(message)
 
+    def respawn(self) -> None:
+        """Restart the serve loop after the node came back.
+
+        The crash failed every pending future and drove :meth:`_serve`
+        to its ``NodeUnreachable`` exit; a restarted coordinator needs
+        a fresh loop (and a clean pending table -- replies to the old
+        incarnation's requests are strangers now and flow to the
+        ``on_unmatched`` hooks).
+        """
+        if not self._serve_process.done:
+            return
+        self._pending.clear()
+        self._serve_process = self.kernel.spawn(self._serve(), name="central-comm")
+
     # -- API used by the GTM and the protocols --------------------------------
 
     def send(self, site: str, kind: str, gtxn_id: Optional[str] = None, **payload: Any) -> None:

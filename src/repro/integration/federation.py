@@ -63,9 +63,18 @@ class FederationConfig:
     retransmit_timeout: float = 15.0
     retransmit_backoff: float = 2.0
     max_retransmits: int = 12
+    #: Upper bound on one retransmission delay: the exponential backoff
+    #: is capped here so retry schedules stay sane under long
+    #: partitions (15 · 2¹¹ ≈ 30k time units otherwise).
+    max_retransmit_delay: float = 300.0
     log_placement: str = "indb"  # "indb" | "volatile"
     metrics: bool = False
     spans: bool = False
+    #: Number of commit coordinators (the sharded GTM pool); 1 is the
+    #: paper's single central GTM.
+    coordinators: int = 1
+    #: ``"hash"`` (gtxn id) or ``"affinity"`` (first routed site).
+    coordinator_routing: str = "hash"
     gtm: GTMConfig = field(default_factory=GTMConfig)
 
     def __post_init__(self) -> None:
@@ -102,6 +111,7 @@ class Federation:
             retransmit_timeout=self.config.retransmit_timeout,
             retransmit_backoff=self.config.retransmit_backoff,
             max_retransmits=self.config.max_retransmits,
+            max_retransmit_delay=self.config.max_retransmit_delay,
         )
         self.schema = GlobalSchema()
         self.engines: dict[str, LocalDatabase] = {}
@@ -115,10 +125,38 @@ class Federation:
         self.gtm = GlobalTransactionManager(
             self.kernel, self.network, self.schema, self.central_comm, self.config.gtm
         )
+        # The coordinator pool.  Shard 0 is the classic "central" GTM
+        # above; extra shards (only built when ``coordinators`` > 1, so
+        # the default wiring and its event schedule stay the seed's)
+        # are peer central nodes sharing shard 0's L1 lock service and
+        # central logs -- the shared durable storage that makes
+        # failover sound.
+        from repro.core.pool import CoordinatorPool
+
+        self.coordinators: list[GlobalTransactionManager] = [self.gtm]
+        for index in range(1, max(1, self.config.coordinators)):
+            peer_node = self.network.add_node(
+                Node(self.kernel, f"central{index}", is_central=True)
+            )
+            self.nodes[peer_node.name] = peer_node
+            peer_comm = CentralCommunicationManager(self.kernel, self.network, peer_node)
+            self.coordinators.append(
+                GlobalTransactionManager(
+                    self.kernel, self.network, self.schema, peer_comm,
+                    self.config.gtm, share_from=self.gtm,
+                )
+            )
+        self.pool = CoordinatorPool(
+            self.kernel, self.coordinators, routing=self.config.coordinator_routing
+        )
 
         # Per-site end-of-outage time; overlapping crash schedules
         # extend it so stale restarts cannot resurrect a site early.
         self._outage_until: dict[str, float] = {}
+        # Sites with a restart-and-recover already in flight: a second
+        # restart landing at the same instant must no-op instead of
+        # running a second, concurrent recovery pass.
+        self._restarting: set[str] = set()
 
         for spec in site_specs:
             self._add_site(spec)
@@ -189,8 +227,13 @@ class Federation:
     # ------------------------------------------------------------------
 
     def submit(self, operations, name: Optional[str] = None, intends_abort: bool = False):
-        """Submit a global transaction; returns its process."""
-        return self.gtm.submit(operations, name=name, intends_abort=intends_abort)
+        """Submit a global transaction; returns its process.
+
+        With ``coordinators`` > 1 the pool routes it to its home shard
+        (hash or affinity); with one coordinator this is the seed's
+        direct submission.
+        """
+        return self.pool.submit(operations, name=name, intends_abort=intends_abort)
 
     def run(self, until: Optional[float] = None) -> float:
         """Advance the simulation."""
@@ -208,7 +251,7 @@ class Federation:
         def submitter(batch: dict) -> Generator[Any, Any, Any]:
             if batch.get("delay"):
                 yield batch["delay"]
-            outcome = yield self.gtm.submit(
+            outcome = yield self.pool.submit(
                 batch["operations"],
                 name=batch.get("name"),
                 intends_abort=batch.get("intends_abort", False),
@@ -224,8 +267,23 @@ class Federation:
     # Fault control
     # ------------------------------------------------------------------
 
+    def _coordinator_index(self, name: str) -> Optional[int]:
+        for index, gtm in enumerate(self.coordinators):
+            if gtm.name == name:
+                return index
+        return None
+
     def crash_site(self, name: str, at: Optional[float] = None) -> None:
-        """Crash ``name`` now or at simulated time ``at``."""
+        """Crash ``name`` now or at simulated time ``at``.
+
+        With a sharded pool, crashing a coordinator node by name routes
+        through :meth:`crash_coordinator` so failover actually runs.
+        """
+        if len(self.coordinators) > 1:
+            index = self._coordinator_index(name)
+            if index is not None:
+                self.crash_coordinator(index, at=at)
+                return
         node = self.nodes[name]
         if at is None:
             node.crash()
@@ -250,13 +308,19 @@ class Federation:
         :meth:`hold_down`) is ignored -- the outage that extended the
         downtime carries its own, later restart.
         """
+        if len(self.coordinators) > 1:
+            index = self._coordinator_index(name)
+            if index is not None:
+                self.restart_coordinator(index, at=at)
+                return
         node = self.nodes[name]
 
         def do_restart() -> None:
-            if not node.crashed:
-                return  # already up: nothing to do
+            if not node.crashed or name in self._restarting:
+                return  # already up / already coming up: nothing to do
             if self.kernel.now < self._outage_until.get(name, 0.0):
                 return  # a longer overlapping outage owns the restart
+            self._restarting.add(name)
             self.kernel.spawn(
                 self._restart_and_recover(name), name=f"restart:{name}"
             )
@@ -269,9 +333,55 @@ class Federation:
     def _restart_and_recover(self, name: str) -> Generator[Any, Any, None]:
         """Bring the node back, then re-resolve its in-doubt globals."""
         node = self.nodes[name]
-        yield from node.restart()
-        if name != self.CENTRAL:
-            yield from self.gtm.recovery.recover_site(name)
+        try:
+            yield from node.restart()
+        finally:
+            self._restarting.discard(name)
+        if node.crashed:
+            return  # the restart was pre-empted (crashed again mid-recovery)
+        if name in self.engines:
+            # Recovery duty falls to a live coordinator: shard 0 when
+            # it is up (the seed's exact path), else any live peer.
+            if not self.gtm.crashed or len(self.coordinators) == 1:
+                yield from self.gtm.recovery.recover_site(name)
+            else:
+                from repro.core.pool import AllCoordinatorsDown
+
+                try:
+                    owner = self.pool.live_coordinator()
+                except AllCoordinatorsDown:
+                    return  # the next coordinator restart re-sweeps
+                yield from owner.recovery.recover_site(name)
+
+    # ------------------------------------------------------------------
+    # Coordinator fault control (sharded pools)
+    # ------------------------------------------------------------------
+
+    def crash_coordinator(self, index: int, at: Optional[float] = None) -> None:
+        """Crash pool shard ``index`` now or at simulated time ``at``.
+
+        A live peer immediately adopts the crashed shard's in-flight
+        transactions and resolves them per protocol from the shared
+        central logs.
+        """
+        if at is None:
+            self.pool.crash(index)
+        else:
+            self.kernel.call_at(at, self.pool.crash, index)
+
+    def restart_coordinator(self, index: int, at: Optional[float] = None) -> None:
+        """Restart pool shard ``index`` now or at simulated time ``at``."""
+
+        def do_restart() -> None:
+            gtm = self.coordinators[index]
+            self.kernel.spawn(
+                self.pool.restart(index), name=f"restart:{gtm.name}"
+            )
+
+        if at is None:
+            do_restart()
+        else:
+            self.kernel.call_at(at, do_restart)
 
     # ------------------------------------------------------------------
     # Inspection
@@ -303,7 +413,7 @@ class Federation:
     def metrics(self) -> dict[str, Any]:
         """Combined metrics of GTM, network and all sites."""
         report = {
-            "gtm": self.gtm.metrics(),
+            "gtm": self.pool.metrics(),
             "network": {
                 "sent": self.network.sent,
                 "delivered": self.network.delivered,
@@ -318,6 +428,10 @@ class Federation:
             },
             "sites": {site: engine.metrics() for site, engine in self.engines.items()},
         }
+        if len(self.coordinators) > 1:
+            report["coordinators"] = {
+                gtm.name: gtm.metrics() for gtm in self.coordinators
+            }
         if self.obs is not None:
             report["obs"] = self.obs.registry.as_dict()
         report["totals"] = {

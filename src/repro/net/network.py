@@ -84,6 +84,7 @@ class Network:
         retransmit_timeout: float = 15.0,
         retransmit_backoff: float = 2.0,
         max_retransmits: int = 12,
+        max_retransmit_delay: float = 300.0,
     ):
         if batch_window < 0:
             raise ValueError(f"negative batch window {batch_window}")
@@ -102,6 +103,7 @@ class Network:
         self.retransmit_timeout = retransmit_timeout
         self.retransmit_backoff = retransmit_backoff
         self.max_retransmits = max_retransmits
+        self.max_retransmit_delay = max_retransmit_delay
         self._nodes: dict[str, Node] = {}
         self._rng = kernel.rng.stream("network")
         # Per-link outboxes for the batching path: (sender, dest) ->
@@ -394,7 +396,13 @@ class Network:
         # timer future is cancelled (resolved) on ack so the kernel can
         # skip it without advancing the clock.
         entry[1] = attempts + 1
+        # Exponential backoff, capped: uncapped it reaches
+        # retransmit_timeout * backoff**(max_retransmits - 1) -- with
+        # the defaults some 30k time units for one attempt, which turns
+        # a long partition into an effectively permanent message loss.
         timeout = self.retransmit_timeout * (self.retransmit_backoff ** attempts)
+        if self.max_retransmit_delay > 0:
+            timeout = min(timeout, self.max_retransmit_delay)
         timer = self.kernel.timer(timeout, label="retransmit")
         entry[2] = timer
         expected_attempts = attempts + 1

@@ -26,6 +26,10 @@ class Node:
         self.is_central = is_central
         self.mailbox = Mailbox(name=f"{name}:mail")
         self.crashed = False
+        # True while :meth:`restart` runs its recovery callbacks: the
+        # node is not usable yet, and a second concurrent restart must
+        # not re-enter recovery.
+        self.restarting = False
         self.on_crash: list[Callable[[], None]] = []
         self.on_restart: list[Callable[[], None]] = []
 
@@ -54,15 +58,26 @@ class Node:
             callback()
 
     def restart(self) -> Generator[Any, Any, None]:
-        """Bring the node back up (components recover first)."""
-        if not self.crashed:
+        """Bring the node back up (components recover first).
+
+        Restarting a running node is a no-op, and so is a restart that
+        lands while another restart is mid-recovery: both generators
+        would otherwise pass the ``crashed`` check (the flag only
+        clears after the recovery callbacks) and run ARIES recovery
+        twice, concurrently, over the same logs.
+        """
+        if not self.crashed or self.restarting:
             return
-        self.mailbox = Mailbox(name=f"{self.name}:mail")
-        for callback in self.on_restart:
-            result = callback()
-            if result is not None and hasattr(result, "__next__"):
-                yield from result
-        self.crashed = False
+        self.restarting = True
+        try:
+            self.mailbox = Mailbox(name=f"{self.name}:mail")
+            for callback in self.on_restart:
+                result = callback()
+                if result is not None and hasattr(result, "__next__"):
+                    yield from result
+            self.crashed = False
+        finally:
+            self.restarting = False
 
     def __repr__(self) -> str:
         role = "central" if self.is_central else "local"

@@ -90,7 +90,9 @@ class Observability:
             for site, engine in federation.engines.items()
         }
         # Idempotent-scan cursors (collect() may run many times).
-        self._outcome_scan = 0
+        # Outcome cursors are per coordinator shard: each shard appends
+        # to its own outcome list.
+        self._outcome_scan: dict[str, int] = {}
         self._trace_scan = self.trace_mark
         self._ready_since: dict[tuple[str, str], float] = {}
 
@@ -159,15 +161,19 @@ class Observability:
             sum(comm.duplicate_requests for comm in federation.comms.values())
         )
 
-        gtm_metrics = federation.gtm.metrics()
-        for name in _GTM_COUNTERS:
-            registry.counter(name, site="central", protocol=protocol).set_total(
-                gtm_metrics[name]
-            )
-        for name in ("l1_wait_time", "l1_hold_time", "mean_response_time"):
-            registry.gauge(name, site="central", protocol=protocol).set(
-                gtm_metrics[name]
-            )
+        # One instrument set per coordinator shard; shard 0 keeps the
+        # historical site="central" labels, so single-coordinator runs
+        # are unchanged.
+        for gtm in federation.coordinators:
+            gtm_metrics = gtm.metrics()
+            for name in _GTM_COUNTERS:
+                registry.counter(name, site=gtm.name, protocol=protocol).set_total(
+                    gtm_metrics[name]
+                )
+            for name in ("l1_wait_time", "l1_hold_time", "mean_response_time"):
+                registry.gauge(name, site=gtm.name, protocol=protocol).set(
+                    gtm_metrics[name]
+                )
 
         for site, engine in federation.engines.items():
             base = self._site_base[site]
@@ -193,13 +199,15 @@ class Observability:
                         reason=reason.value,
                     ).set_total(count)
 
-        # Response-time distribution over committed globals.
+        # Response-time distribution over committed globals (all shards
+        # feed the one histogram).
         response = registry.histogram("gtxn_response_time", protocol=protocol)
-        outcomes = federation.gtm.outcomes
-        for outcome in outcomes[self._outcome_scan:]:
-            if outcome.committed:
-                response.observe(outcome.response_time)
-        self._outcome_scan = len(outcomes)
+        for gtm in federation.coordinators:
+            outcomes = gtm.outcomes
+            for outcome in outcomes[self._outcome_scan.get(gtm.name, 0):]:
+                if outcome.committed:
+                    response.observe(outcome.response_time)
+            self._outcome_scan[gtm.name] = len(outcomes)
 
         # In-doubt windows (§3): local ready -> terminal, from the trace.
         indoubt = registry.histogram("indoubt_window", protocol=protocol)

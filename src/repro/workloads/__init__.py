@@ -8,8 +8,12 @@ from repro.workloads.banking import (
 )
 from repro.workloads.counters import build_counter_site, counter_transactions
 from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+from repro.workloads.open_loop import OpenLoopDriver, OpenLoopResult, OpenLoopSpec
 
 __all__ = [
+    "OpenLoopDriver",
+    "OpenLoopResult",
+    "OpenLoopSpec",
     "WorkloadGenerator",
     "WorkloadSpec",
     "balance_audit",

@@ -1,0 +1,243 @@
+"""Open-loop traffic driver: Poisson arrivals with admission control.
+
+The closed-loop drivers elsewhere in this package submit a fixed batch
+and wait -- throughput then measures the *work*, not the system's
+capacity.  An open-loop driver models outside traffic: transactions
+arrive on a Poisson process whether or not the system keeps up, and an
+**admission controller** decides what happens to each arrival:
+
+* admitted -- submitted immediately, occupying one slot of the bounded
+  in-flight window (``window_per_coordinator`` x live coordinators:
+  each coordinator shard contributes bounded concurrency, which is
+  exactly why a sharded pool carries more load);
+* queued -- the window is full; the arrival waits (FIFO) until a slot
+  frees, up to ``queue_limit`` waiters;
+* shed -- queue full too: the arrival is dropped and counted, the
+  backpressure signal an upstream load balancer would see.
+
+Response times are measured from *arrival*, so queueing delay under
+overload shows up in the p99 -- the scaling story of
+``bench_s1_sharded_gtm``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.core.global_txn import GlobalOutcome
+from repro.errors import ProcessInterrupted
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.integration.federation import Federation
+    from repro.mlt.actions import Operation
+
+
+@dataclass
+class OpenLoopSpec:
+    """Arrival process + admission-control knobs."""
+
+    #: Mean arrivals per simulated time unit (Poisson).
+    arrival_rate: float = 0.1
+    #: Total number of arrivals to generate.
+    n_txns: int = 100
+    #: In-flight window contributed by each live coordinator.
+    window_per_coordinator: int = 8
+    #: Waiting-room bound; 0 = unbounded queue (nothing is shed).
+    queue_limit: int = 0
+    #: Name of the kernel RNG stream for interarrival draws.
+    rng_stream: str = "open-loop"
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate <= 0:
+            raise ValueError("arrival_rate must be positive")
+        if self.window_per_coordinator < 1:
+            raise ValueError("window_per_coordinator must be at least 1")
+
+
+@dataclass
+class OpenLoopResult:
+    """What happened to the generated traffic."""
+
+    submitted: int = 0
+    admitted: int = 0
+    queued: int = 0
+    shed: int = 0
+    completed: int = 0
+    committed: int = 0
+    aborted: int = 0
+    #: In-flight transactions killed by a coordinator crash (their
+    #: fate is settled by failover, not by the driver).
+    interrupted: int = 0
+    max_queue_depth: int = 0
+    max_in_flight: int = 0
+    total_queue_wait: float = 0.0
+    #: Last completion time minus first arrival time.
+    makespan: float = 0.0
+    #: Arrival-to-completion times of committed transactions.
+    response_times: list[float] = field(default_factory=list)
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile of committed response times (0 if none)."""
+        if not self.response_times:
+            return 0.0
+        ordered = sorted(self.response_times)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    @property
+    def throughput(self) -> float:
+        """Committed global transactions per simulated time unit."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.committed / self.makespan
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "queued": self.queued,
+            "shed": self.shed,
+            "completed": self.completed,
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "interrupted": self.interrupted,
+            "max_queue_depth": self.max_queue_depth,
+            "max_in_flight": self.max_in_flight,
+            "total_queue_wait": round(self.total_queue_wait, 3),
+            "makespan": round(self.makespan, 3),
+            "throughput": round(self.throughput, 6),
+            "p50_response": round(self.p50, 3),
+            "p99_response": round(self.p99, 3),
+        }
+
+
+class OpenLoopDriver:
+    """Runs an open-loop workload against a federation."""
+
+    def __init__(self, federation: "Federation", spec: Optional[OpenLoopSpec] = None):
+        self.federation = federation
+        self.spec = spec or OpenLoopSpec()
+        self.result = OpenLoopResult()
+        self._rng = federation.kernel.rng.stream(self.spec.rng_stream)
+        # FIFO of (arrival_time, operations, name, intends_abort).
+        self._queue: list[tuple[float, list["Operation"], Optional[str], bool]] = []
+        self._in_flight = 0
+        self._first_arrival: Optional[float] = None
+        self._last_completion = 0.0
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        transactions: list[dict],
+        until: Optional[float] = None,
+    ) -> OpenLoopResult:
+        """Drive ``transactions`` through Poisson arrivals to completion.
+
+        Each entry holds ``operations`` plus optional ``name`` and
+        ``intends_abort`` -- the same batch shape as
+        :meth:`Federation.run_transactions`; arrival times come from
+        the driver, not the batch.
+        """
+        kernel = self.federation.kernel
+        kernel.spawn(self._arrivals(transactions), name="open-loop-arrivals")
+        kernel.run(until=until)
+        self.result.makespan = max(
+            0.0, self._last_completion - (self._first_arrival or 0.0)
+        )
+        return self.result
+
+    # ------------------------------------------------------------------
+
+    def _window(self) -> int:
+        """Current admission window: per-coordinator share x live shards."""
+        live = sum(
+            1 for gtm in self.federation.coordinators if not gtm.crashed
+        )
+        return self.spec.window_per_coordinator * max(1, live)
+
+    def _arrivals(self, transactions: list[dict]) -> Generator[Any, Any, None]:
+        rate = self.spec.arrival_rate
+        for index, batch in enumerate(transactions[: self.spec.n_txns]):
+            # Inverse-transform exponential interarrival draw.
+            yield -math.log(1.0 - self._rng.random()) / rate
+            arrival = self.federation.kernel.now
+            if self._first_arrival is None:
+                self._first_arrival = arrival
+            self._admit(
+                arrival,
+                batch["operations"],
+                batch.get("name") or f"OL{index + 1}",
+                batch.get("intends_abort", False),
+            )
+
+    def _admit(
+        self,
+        arrival: float,
+        operations: list["Operation"],
+        name: Optional[str],
+        intends_abort: bool,
+    ) -> None:
+        result = self.result
+        if self._in_flight >= self._window():
+            if self.spec.queue_limit and len(self._queue) >= self.spec.queue_limit:
+                result.shed += 1
+                return
+            self._queue.append((arrival, operations, name, intends_abort))
+            result.queued += 1
+            result.max_queue_depth = max(result.max_queue_depth, len(self._queue))
+            return
+        self._submit(arrival, operations, name, intends_abort)
+
+    def _submit(
+        self,
+        arrival: float,
+        operations: list["Operation"],
+        name: Optional[str],
+        intends_abort: bool,
+    ) -> None:
+        result = self.result
+        kernel = self.federation.kernel
+        self._in_flight += 1
+        result.submitted += 1
+        result.admitted += 1
+        result.max_in_flight = max(result.max_in_flight, self._in_flight)
+        process = self.federation.submit(
+            operations, name=name, intends_abort=intends_abort
+        )
+        kernel.spawn(
+            self._watch(process, arrival), name=f"open-loop-watch:{name}"
+        )
+
+    def _watch(self, process: Any, arrival: float) -> Generator[Any, Any, None]:
+        result = self.result
+        value = yield process
+        self._in_flight -= 1
+        now = self.federation.kernel.now
+        self._last_completion = max(self._last_completion, now)
+        result.completed += 1
+        if isinstance(value, GlobalOutcome):
+            if value.committed:
+                result.committed += 1
+                # Response measured from *arrival*: queueing delay under
+                # overload is part of the user-visible latency.
+                result.response_times.append(now - arrival)
+            else:
+                result.aborted += 1
+        elif isinstance(value, ProcessInterrupted):
+            result.interrupted += 1
+        # A freed slot re-admits the longest-waiting arrival.
+        if self._queue and self._in_flight < self._window():
+            queued_at, operations, name, intends_abort = self._queue.pop(0)
+            result.total_queue_wait += now - queued_at
+            self._submit(queued_at, operations, name, intends_abort)
