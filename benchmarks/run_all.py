@@ -94,6 +94,7 @@ def run_benchmarks(only: str | None = None) -> list[dict]:
 def headline_numbers() -> dict:
     """The distilled perf summary for BENCH_perf.json."""
     from benchmarks.bench_a5_batching import measure
+    from benchmarks.bench_c1_check_throughput import headline as check_headline
     from benchmarks.bench_kernel_wallclock import (
         SEED_EVENTS_PER_SEC,
         kernel_events_per_sec,
@@ -150,6 +151,7 @@ def headline_numbers() -> dict:
         "chaos": chaos_headline(),
         "obs": obs_headline(),
         "sharded": sharded_headline(),
+        "check": check_headline(),
     }
 
 

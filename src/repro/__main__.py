@@ -146,6 +146,16 @@ def run_single(
 
 
 def main(argv: Optional[list[str]] = None) -> None:
+    import sys
+
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "check":
+        # The checker has its own argument set and exit-code contract
+        # (1 = counterexample found); see repro.check.cli.
+        from repro.check.cli import main as check_main
+
+        raise SystemExit(check_main(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Atomic commitment for integrated database systems (demo + reports).",

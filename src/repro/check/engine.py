@@ -1,0 +1,243 @@
+"""Execution engine of the systematic checker.
+
+Stateless model checking: the simulation is a deterministic function of
+``(CheckSpec, schedule choices, crash points)``, so the explorer simply
+re-executes the whole scenario once per schedule instead of snapshotting
+generator state.  One :func:`run_execution` builds a fresh federation,
+installs a scheduling strategy on the kernel, optionally injects site
+crashes, runs to quiescence and evaluates the full invariant battery of
+:func:`repro.core.invariants.check_invariants`.
+
+:func:`explore` drives bounded-exhaustive DFS over schedule choices
+(with the commutativity pruning the strategies implement),
+:func:`explore_crash_points` enumerates one execution per durable
+log-force boundary discovered from a traced baseline run, and
+:func:`run_pct` gives the seeded randomized schedule used by the sweep
+tests and the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.check.scenarios import CheckSpec, build_scenario
+from repro.check.scheduler import DfsStrategy, PctStrategy, ReplayStrategy, Strategy
+from repro.core.invariants import check_invariants
+
+
+@dataclass
+class CrashPoint:
+    """One site crash at a durable-force boundary, with its restart."""
+
+    site: str
+    at: float
+    restart_after: float = 60.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"site": self.site, "at": self.at, "restart_after": self.restart_after}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CrashPoint":
+        return cls(**data)
+
+
+@dataclass
+class ExecutionResult:
+    """Audit of one controlled execution."""
+
+    choices: list[int] = field(default_factory=list)
+    arities: list[int] = field(default_factory=list)
+    pruned: int = 0
+    steps: int = 0
+    end_time: float = 0.0
+    committed: int = 0
+    aborted: int = 0
+    violations: list[str] = field(default_factory=list)
+    crashes: list[CrashPoint] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def run_execution(
+    spec: CheckSpec,
+    strategy: Optional[Strategy] = None,
+    crashes: tuple[CrashPoint, ...] = (),
+) -> ExecutionResult:
+    """One execution under ``strategy`` (``None`` = the default loop)."""
+    scenario = build_scenario(spec)
+    federation = scenario.federation
+    federation.kernel.scheduler = strategy
+    for crash in crashes:
+        federation.crash_site(crash.site, at=crash.at)
+        federation.restart_site(crash.site, at=crash.at + crash.restart_after)
+    end_time = federation.run(until=spec.horizon)
+    result = ExecutionResult(end_time=end_time, crashes=list(crashes))
+    if strategy is not None:
+        result.choices = strategy.choices
+        result.arities = [arity for _choice, arity in strategy.trail]
+        result.pruned = strategy.pruned
+        result.steps = strategy.steps
+    result.committed = sum(gtm.committed for gtm in federation.coordinators)
+    result.aborted = sum(gtm.aborted for gtm in federation.coordinators)
+    result.violations = [
+        str(violation)
+        for violation in check_invariants(federation, processes=scenario.processes)
+    ]
+    return result
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one exploration (schedule DFS or crash enumeration)."""
+
+    spec: CheckSpec
+    executions: int = 0
+    choice_points: int = 0
+    pruned: int = 0
+    #: Whether the bounded schedule space was fully enumerated within
+    #: the execution budget.
+    exhausted: bool = False
+    violation_count: int = 0
+    counterexample: Optional[ExecutionResult] = None
+    crash_points: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.violation_count == 0
+
+    def summary(self) -> dict[str, Any]:
+        return {
+            "protocol": self.spec.protocol,
+            "workload": self.spec.workload,
+            "coordinators": self.spec.coordinators,
+            "executions": self.executions,
+            "choice_points": self.choice_points,
+            "pruned": self.pruned,
+            "exhausted": self.exhausted,
+            "violations": self.violation_count,
+            "crash_points": self.crash_points,
+        }
+
+
+def _next_prefix(trail: list[tuple[int, int]]) -> Optional[list[int]]:
+    """DFS successor: rightmost choice point with an unexplored sibling."""
+    for position in range(len(trail) - 1, -1, -1):
+        choice, arity = trail[position]
+        if choice + 1 < arity:
+            return [c for c, _a in trail[:position]] + [choice + 1]
+    return None
+
+
+def explore(
+    spec: CheckSpec,
+    depth: int = 6,
+    budget: int = 200,
+    stop_on_violation: bool = True,
+) -> CheckReport:
+    """Bounded-exhaustive DFS over schedule choices.
+
+    ``depth`` bounds how many choice points backtrack (later ones take
+    the default branch), ``budget`` caps total executions.  The report
+    says whether the bounded space was exhausted, and carries the first
+    violating execution (the raw counterexample) if any.
+    """
+    report = CheckReport(spec=spec)
+    prefix: Optional[list[int]] = []
+    while prefix is not None and report.executions < budget:
+        strategy = DfsStrategy(prefix, depth)
+        result = run_execution(spec, strategy)
+        report.executions += 1
+        report.choice_points += len(result.choices)
+        report.pruned += result.pruned
+        if result.violations:
+            report.violation_count += 1
+            if report.counterexample is None:
+                report.counterexample = result
+            if stop_on_violation:
+                return report
+        prefix = _next_prefix(strategy.bounded_trail())
+    report.exhausted = prefix is None
+    return report
+
+
+def run_pct(
+    spec: CheckSpec,
+    seed: int,
+    change_points: int = 3,
+    crashes: tuple[CrashPoint, ...] = (),
+) -> ExecutionResult:
+    """One seeded PCT-style randomized schedule."""
+    return run_execution(
+        spec, PctStrategy(seed, change_points=change_points), crashes=crashes
+    )
+
+
+def replay_execution(
+    spec: CheckSpec,
+    schedule: list[int],
+    crashes: tuple[CrashPoint, ...] = (),
+) -> ExecutionResult:
+    """Deterministically re-execute a recorded schedule."""
+    return run_execution(spec, ReplayStrategy(schedule), crashes=crashes)
+
+
+def enumerate_crash_points(
+    spec: CheckSpec, restart_after: float = 60.0
+) -> list[CrashPoint]:
+    """Durable-force boundaries of the baseline execution.
+
+    Runs the scenario once on the default loop with per-force tracing
+    enabled and turns every completed log force at a data site into one
+    crash point immediately after the force -- the instants where the
+    paper's recovery obligations actually change (a decision, prepare
+    or commit record just became durable).
+    """
+    scenario = build_scenario(spec)
+    federation = scenario.federation
+    for engine in federation.engines.values():
+        engine.disk.trace_forces = True
+    federation.run(until=spec.horizon)
+    points: list[CrashPoint] = []
+    seen: set[tuple[str, float]] = set()
+    for record in federation.kernel.trace.select(category="log_force"):
+        if record.site not in federation.engines:
+            continue
+        key = (record.site, record.time)
+        if key in seen:
+            continue
+        seen.add(key)
+        points.append(CrashPoint(record.site, record.time, restart_after))
+    return points
+
+
+def explore_crash_points(
+    spec: CheckSpec,
+    restart_after: float = 60.0,
+    max_points: Optional[int] = None,
+    stop_on_violation: bool = True,
+) -> CheckReport:
+    """One execution per enumerated crash point, invariants audited.
+
+    Crash executions run on the default loop (no schedule control): the
+    dimension being explored is *where the crash lands*, and the
+    default schedule keeps each execution directly comparable to the
+    traced baseline the boundaries came from.
+    """
+    points = enumerate_crash_points(spec, restart_after=restart_after)
+    if max_points is not None:
+        points = points[:max_points]
+    report = CheckReport(spec=spec, crash_points=len(points))
+    for point in points:
+        result = run_execution(spec, crashes=(point,))
+        report.executions += 1
+        if result.violations:
+            report.violation_count += 1
+            if report.counterexample is None:
+                report.counterexample = result
+            if stop_on_violation:
+                break
+    report.exhausted = max_points is None or len(points) <= max_points
+    return report

@@ -1,0 +1,215 @@
+"""Checkable scenarios: small federations with known-good invariants.
+
+A :class:`CheckSpec` fully determines one system-under-test -- protocol,
+workload, coordinator count, optional mutant -- and
+:func:`build_scenario` turns it into a fresh federation plus the
+submitter processes, ready for one controlled execution.  The spec
+round-trips through a plain dict so a ``.repro.json`` counterexample
+can rebuild the identical scenario in another process.
+
+Workloads
+---------
+``transfers``
+    Balanced cross-site increments (the chaos harness's conservation
+    workload in miniature): commutative at L1 under the semantic table,
+    so every protocol keeps all invariants under every interleaving.
+``rw_cross``
+    Two transactions writing the same two keys on two sites in opposite
+    orders, submitted simultaneously.  The classic global-serializability
+    counterexample of §3.3: only the L1 layer (or a prepared protocol's
+    site locks held to the decision) forces a serial order.
+
+Mutants
+-------
+``no_l1_guard``
+    Disables the L1 acquisition/release guard of the §3.3 protocols by
+    removing the coordinators' L1 table -- the paper's counterexample of
+    what goes wrong when local systems commit *before* the global
+    decision without a global concurrency-control layer.  Under
+    ``rw_cross`` this yields a committed non-serializable history on
+    the very first schedule, which the checker must find, shrink and
+    replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any
+
+from repro.core.gtm import GTMConfig
+from repro.integration.federation import Federation, FederationConfig, SiteSpec
+from repro.mlt.actions import increment, write
+from repro.net.message import reset_message_ids
+
+#: The protocol matrix the regression suite sweeps (mirrors the chaos
+#: harness: every commit protocol with its natural granularity).
+CHECK_PROTOCOLS: list[tuple[str, str]] = [
+    ("2pc", "per_site"),
+    ("2pc-pa", "per_site"),
+    ("3pc", "per_site"),
+    ("after", "per_site"),
+    ("before", "per_action"),
+]
+
+MUTANTS = ("no_l1_guard",)
+
+
+@dataclass
+class CheckSpec:
+    """One fully-determined scenario for the exploration engine."""
+
+    protocol: str = "before"
+    granularity: str = "per_action"
+    workload: str = "transfers"
+    seed: int = 0
+    n_sites: int = 2
+    n_txns: int = 2
+    coordinators: int = 1
+    mutant: str = ""
+    #: Simulated-time ceiling of one execution; generous, because an
+    #: exploration must never mistake a slow schedule for a hang.
+    horizon: float = 20000.0
+
+    def __post_init__(self) -> None:
+        if self.mutant and self.mutant not in MUTANTS:
+            raise ValueError(f"unknown mutant {self.mutant!r}")
+        if self.workload not in ("transfers", "rw_cross"):
+            raise ValueError(f"unknown workload {self.workload!r}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "CheckSpec":
+        return cls(**data)
+
+
+@dataclass
+class Scenario:
+    """A built system-under-test, ready to run once."""
+
+    spec: CheckSpec
+    federation: Federation
+    processes: list = field(default_factory=list)
+
+
+def _transfer_keys(spec: CheckSpec) -> list[str]:
+    """One private key per transfer transaction, on distinct pages.
+
+    Locking is page-granular at L0 (``buckets`` hash buckets per
+    table), so two "disjoint" keys sharing a bucket still conflict --
+    enough to distributed-deadlock simultaneously submitted transfers
+    on every schedule.  Keys are picked so their buckets are pairwise
+    distinct (until the table runs out of buckets, at which point
+    collisions are unavoidable and accepted).
+    """
+    from repro.storage.heap import _stable_hash
+
+    keys: list[str] = []
+    used: set[int] = set()
+    candidate = 0
+    while len(keys) < spec.n_txns:
+        key = f"g{candidate}"
+        candidate += 1
+        bucket = _stable_hash(key) % 8  # SiteSpec's default bucket count
+        if bucket in used and len(used) < 8:
+            continue
+        used.add(bucket)
+        keys.append(key)
+    return keys
+
+
+def _site_specs(spec: CheckSpec) -> list[SiteSpec]:
+    preparable = spec.protocol in ("2pc", "2pc-pa", "3pc")
+    # "x"/"y" feed the rw_cross workload; the "g<n>" keys are the
+    # transfer transactions' private, page-disjoint keys.
+    rows = {"x": 100, "y": 100}
+    for key in _transfer_keys(spec):
+        rows[key] = 100
+    return [
+        SiteSpec(
+            f"s{index}",
+            tables={f"t{index}": dict(rows)},
+            preparable=preparable,
+        )
+        for index in range(spec.n_sites)
+    ]
+
+
+def _transfer_batches(spec: CheckSpec) -> list[dict]:
+    """Deterministic balanced transfers, all submitted at t=0.
+
+    Simultaneous submission maximizes the same-instant frontier the
+    scheduler gets to reorder; the amounts differ per transaction so a
+    lost or doubled effect is visible in the balances, not just in the
+    histories.
+    """
+    keys = _transfer_keys(spec)
+    batches = []
+    for index in range(spec.n_txns):
+        src = index % spec.n_sites
+        dst = (index + 1) % spec.n_sites
+        amount = index + 1
+        batches.append({
+            "name": f"T{index}",
+            "operations": [
+                increment(f"t{src}", keys[index], -amount),
+                increment(f"t{dst}", keys[index], amount),
+            ],
+        })
+    return batches
+
+
+def _rw_cross_batches(spec: CheckSpec) -> list[dict]:
+    """The §3.3 write-write cross: opposite site orders, same instant."""
+    return [
+        {
+            "name": "T0",
+            "operations": [write("t0", "x", 1), write("t1", "y", 1)],
+        },
+        {
+            "name": "T1",
+            "operations": [write("t1", "y", 2), write("t0", "x", 2)],
+        },
+    ]
+
+
+def build_scenario(spec: CheckSpec) -> Scenario:
+    """Build the federation and spawn the workload (nothing runs yet).
+
+    The global message-id counter is reset first so two builds of the
+    same spec -- in one process or across processes -- produce
+    byte-identical traces and ``.repro.json`` files.
+    """
+    reset_message_ids()
+    config = FederationConfig(
+        seed=spec.seed,
+        latency=1.0,
+        coordinators=spec.coordinators,
+        gtm=GTMConfig(
+            protocol=spec.protocol,
+            granularity=spec.granularity,
+            msg_timeout=50.0,
+        ),
+    )
+    federation = Federation(_site_specs(spec), config)
+    if spec.mutant == "no_l1_guard":
+        for gtm in federation.coordinators:
+            gtm.l1 = None
+
+    if spec.workload == "rw_cross":
+        batches = _rw_cross_batches(spec)
+    else:
+        batches = _transfer_batches(spec)
+
+    def submitter(batch: dict):
+        outcome = yield federation.submit(
+            batch["operations"], name=batch["name"]
+        )
+        return outcome
+
+    processes = [
+        federation.kernel.spawn(submitter(batch), name=f"check:{batch['name']}")
+        for batch in batches
+    ]
+    return Scenario(spec=spec, federation=federation, processes=processes)

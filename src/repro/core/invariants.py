@@ -146,6 +146,259 @@ def _write_ops_at_site(federation: "Federation", outcome, site: str) -> int:
     return count
 
 
+@dataclass
+class InvariantViolation:
+    """One violated correctness obligation, with a human-readable cause."""
+
+    invariant: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.invariant}: {self.detail}"
+
+
+def convergence_violations(
+    federation: "Federation", processes: list | None = None
+) -> list[InvariantViolation]:
+    """No-unresolved-in-doubt: every global transaction is terminal.
+
+    After a run (and its recovery passes) there must be no unfinished
+    submitter, no coordinator still driving a transaction, no orphaned
+    in-doubt transaction no failover resolved, and no local
+    subtransaction of a global transaction left non-terminal at a site.
+    """
+    violations = []
+    for process in processes or []:
+        if not process.done:
+            violations.append(
+                InvariantViolation("convergence", f"process {process.name} unfinished")
+            )
+    for gtm in getattr(federation, "coordinators", [federation.gtm]):
+        for gtxn_id in sorted(gtm.active):
+            violations.append(
+                InvariantViolation(
+                    "convergence", f"gtxn {gtxn_id} still active at {gtm.name}"
+                )
+            )
+    pool = getattr(federation, "pool", None)
+    if pool is not None:
+        for gtxn_id in pool.unresolved_orphans():
+            violations.append(
+                InvariantViolation(
+                    "convergence", f"gtxn {gtxn_id} orphaned in-doubt"
+                )
+            )
+    for site, engine in federation.engines.items():
+        for txn in engine.active_txns():
+            if txn.gtxn_id:
+                violations.append(
+                    InvariantViolation(
+                        "convergence",
+                        f"{site}: local {txn.txn_id} of {txn.gtxn_id} non-terminal",
+                    )
+                )
+    return violations
+
+
+def lock_release_violations(federation: "Federation") -> list[InvariantViolation]:
+    """Lock-release discipline: a quiescent system holds no locks.
+
+    Checks every site's L0 lock table and the shared L1 table: any
+    lock still held once no transaction is active means a protocol
+    path (abort, undo, recovery) forgot its release.
+    """
+    violations = []
+    for site, engine in federation.engines.items():
+        for resource, state in engine.locks._resources.items():
+            for holder in state.holders:
+                violations.append(
+                    InvariantViolation(
+                        "lock_release", f"{site}: L0 {resource} held by {holder}"
+                    )
+                )
+    l1 = federation.gtm.l1
+    if l1 is not None:
+        for resource, state in l1._resources.items():
+            for holder in state.holders:
+                violations.append(
+                    InvariantViolation(
+                        "lock_release", f"L1 {resource} held by {holder}"
+                    )
+                )
+    return violations
+
+
+def redo_drain_violations(federation: "Federation") -> list[InvariantViolation]:
+    """§3.2 redo requirement, drained: no pending redo entry survives.
+
+    Commit-after keeps a subtransaction's actions in the central
+    redo-log until the site confirms durable commitment.  Once every
+    global transaction is terminal, a pending entry means an erroneous
+    local abort was never masked by redo -- exactly the protocol's one
+    job.  Shards share the central log, so one check covers the pool.
+    """
+    violations = []
+    for entry in federation.gtm.redo_log.pending():
+        if federation.gtm.is_active(entry.gtxn_id):
+            continue  # still being driven: not a drain violation yet
+        violations.append(
+            InvariantViolation(
+                "redo_drain",
+                f"redo entry {entry.gtxn_id}@{entry.site} never confirmed "
+                f"({entry.redo_count} redos)",
+            )
+        )
+    return violations
+
+
+def undo_drain_violations(federation: "Federation") -> list[InvariantViolation]:
+    """§3.3 undo requirement, drained: the central undo-log is empty.
+
+    Every finished global transaction forgets its undo records (after
+    running them, for aborts).  A surviving record of an inactive
+    transaction is an inverse transaction that was owed and never ran.
+    """
+    violations = []
+    for record in federation.gtm.undo_log.records:
+        if federation.gtm.is_active(record.gtxn_id):
+            continue
+        violations.append(
+            InvariantViolation(
+                "undo_drain",
+                f"undo record for {record.gtxn_id}@{record.site} "
+                f"({record.operation}) never executed/forgotten",
+            )
+        )
+    return violations
+
+
+def inverse_order_violations(federation: "Federation") -> list[InvariantViolation]:
+    """§3.3 inverse-transaction ordering: undo runs in reverse.
+
+    For every globally aborted transaction whose committed forward
+    effects at a site were neutralized by inverse transactions, the
+    committed inverse operations must touch the undone keys in exactly
+    the reverse of the forward execution order (reverse order is always
+    safe; any other order is only sound for fully commuting actions,
+    which this audit does not assume).
+
+    Retried attempts re-execute forward operations, so the check is
+    restricted to transactions with a single attempt, and skipped when
+    the undo optimizer (which legally collapses inverses) is on.
+    """
+    if federation.gtm.config.optimize_undo:
+        return []
+    violations = []
+    forward: dict[tuple[str, str], list] = {}
+    inverse: dict[tuple[str, str], list] = {}
+    attempts: dict[str, set[str]] = {}
+    for site, engine in federation.engines.items():
+        for record in engine.op_history:
+            if record.txn_id not in engine.committed_txn_ids or not record.gtxn_id:
+                continue
+            if record.table.startswith("_"):
+                # System tables (commit markers, ...): bookkeeping rows
+                # keyed per direction, not forward effects being undone.
+                continue
+            if record.gtxn_id.endswith("!undo"):
+                attempt = record.gtxn_id[: -len("!undo")]
+                key = (_base_id(attempt), site)
+                inverse.setdefault(key, []).append((record.table, record.key))
+            elif record.kind != "read":
+                key = (_base_id(record.gtxn_id), site)
+                forward.setdefault(key, []).append((record.table, record.key))
+                attempts.setdefault(_base_id(record.gtxn_id), set()).add(
+                    record.gtxn_id
+                )
+    for key, undone in inverse.items():
+        base, site = key
+        if len(attempts.get(base, set())) != 1:
+            continue  # retries interleave attempts; ordering is per attempt
+        executed = forward.get(key, [])
+        # The undone suffix of the forward sequence, reversed, is the
+        # only order reverse-undo can produce.  A failure mid-forward
+        # leaves a *prefix* executed, so compare against the reversed
+        # prefix of matching length.
+        expected = list(reversed(executed[: len(undone)]))
+        if undone != expected:
+            violations.append(
+                InvariantViolation(
+                    "inverse_order",
+                    f"{base}@{site}: inverses ran {undone}, expected {expected} "
+                    f"(reverse of forward order {executed})",
+                )
+            )
+    return violations
+
+
+def check_invariants(
+    federation: "Federation",
+    processes: list | None = None,
+    strict_serializability: bool = False,
+) -> list[InvariantViolation]:
+    """Evaluate every correctness obligation on a finished execution.
+
+    The shared predicate battery behind both the property tests and the
+    ``repro.check`` exploration engine -- one implementation, so the
+    two can never drift apart.  Returns the (possibly empty) list of
+    violations, most fundamental first.
+    """
+    violations: list[InvariantViolation] = []
+    report = atomicity_report(federation)
+    for violation in report.violations:
+        violations.append(
+            InvariantViolation(
+                "atomicity",
+                f"{violation.kind}: {violation.gtxn_id}@{violation.site} "
+                f"({violation.detail})",
+            )
+        )
+    if not serializability_ok(federation):
+        violations.append(
+            InvariantViolation(
+                "serializability", "committed global history has a conflict cycle"
+            )
+        )
+    if strict_serializability and not serializability_ok(federation, strict=True):
+        violations.append(
+            InvariantViolation(
+                "serializability_strict",
+                "history with compensated pairs has a conflict cycle",
+            )
+        )
+    violations.extend(convergence_violations(federation, processes))
+    violations.extend(lock_release_violations(federation))
+    violations.extend(redo_drain_violations(federation))
+    violations.extend(undo_drain_violations(federation))
+    violations.extend(inverse_order_violations(federation))
+    return violations
+
+
+def engine_quiescent_violations(engine) -> list[InvariantViolation]:
+    """Site-local quiescence: no active transactions, no held locks.
+
+    The engine-level slice of the federation predicates, usable by
+    tests that drive a bare :class:`~repro.localdb.engine.LocalDatabase`
+    (e.g. after crash recovery) without a federation around it.
+    """
+    violations = []
+    for txn in engine.active_txns():
+        violations.append(
+            InvariantViolation(
+                "engine_quiescent", f"{engine.site}: {txn.txn_id} still active"
+            )
+        )
+    for resource, state in engine.locks._resources.items():
+        for holder in state.holders:
+            violations.append(
+                InvariantViolation(
+                    "engine_quiescent",
+                    f"{engine.site}: lock {resource} held by {holder}",
+                )
+            )
+    return violations
+
+
 def serializability_ok(federation: "Federation", strict: bool = False) -> bool:
     """Is the committed global history serializable?
 

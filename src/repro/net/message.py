@@ -46,6 +46,30 @@ class Message:
     reply_to: Optional[int] = None
     msg_id: int = field(default_factory=lambda: next(_msg_counter))
 
+    @property
+    def link(self) -> tuple[str, str]:
+        """The directed link this message travels, ``(sender, dest)``.
+
+        Links are FIFO in the default network (fixed latency, no
+        reordering), so two deliveries on the same link are *ordered*,
+        not concurrent -- the ``repro.check`` scheduler never offers
+        their swap as a schedule choice.
+        """
+        return (self.sender, self.dest)
+
+    def commutes_with(self, other: "Message | BatchMessage") -> bool:
+        """Do the two deliveries commute (order cannot matter)?
+
+        Deliveries to different destination nodes touch disjoint node
+        state and exchange no information within one simulated instant,
+        so either order yields the same continuation -- the
+        partial-order reduction of the checker prunes one of them.
+        Deliveries to the same destination share the receiver's state
+        (lock queues, GTM bookkeeping, dedup tables) and must both be
+        explored.
+        """
+        return self.dest != other.dest
+
     def reply(self, kind: str, **payload: Any) -> "Message":
         """Build a response correlated with this message."""
         return Message(
@@ -89,6 +113,15 @@ class BatchMessage:
 
     def __len__(self) -> int:
         return len(self.messages)
+
+    @property
+    def link(self) -> tuple[str, str]:
+        """The directed link of the envelope (see :attr:`Message.link`)."""
+        return (self.sender, self.dest)
+
+    def commutes_with(self, other: "Message | BatchMessage") -> bool:
+        """Envelope-level commutativity (see :meth:`Message.commutes_with`)."""
+        return self.dest != other.dest
 
     def __str__(self) -> str:
         kinds = "+".join(m.kind for m in self.messages)

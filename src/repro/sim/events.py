@@ -12,18 +12,33 @@ A process yields one of the following to the kernel:
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Callable, Iterable, Optional
+
+#: Monotonic creation-order ids shared by every effect that can end up
+#: inside an ordered container (the kernel's heap, candidate lists of
+#: the ``repro.check`` controlled scheduler).  The ids make comparisons
+#: between two effects *total*: without them, two entries tying on
+#: ``(time, priority)`` would fall through to Python's default identity
+#: comparison, which raises for futures and -- worse for the checker --
+#: is not stable across runs, so schedule enumeration could never
+#: revisit the same execution twice.
+_effect_uids = itertools.count(1)
 
 
 class Delay:
     """Effect: suspend the yielding process for ``duration`` time units."""
 
-    __slots__ = ("duration",)
+    __slots__ = ("duration", "_uid")
 
     def __init__(self, duration: float):
         if duration < 0:
             raise ValueError(f"negative delay: {duration}")
         self.duration = duration
+        self._uid = next(_effect_uids)
+
+    def __lt__(self, other: "Delay | Future") -> bool:
+        return self._uid < other._uid
 
     def __repr__(self) -> str:
         return f"Delay({self.duration})"
@@ -39,7 +54,7 @@ class Future:
     simulated instant).
     """
 
-    __slots__ = ("_done", "_value", "_exception", "_callbacks", "label")
+    __slots__ = ("_done", "_value", "_exception", "_callbacks", "label", "_uid")
 
     def __init__(self, label: str = ""):
         self._done = False
@@ -47,6 +62,11 @@ class Future:
         self._exception: Optional[BaseException] = None
         self._callbacks: list[Callable[[Future], None]] = []
         self.label = label
+        self._uid = next(_effect_uids)
+
+    def __lt__(self, other: "Future | Delay") -> bool:
+        """Total creation-order tie-break (see :data:`_effect_uids`)."""
+        return self._uid < other._uid
 
     @property
     def done(self) -> bool:

@@ -36,7 +36,7 @@ class Kernel:
 
     __slots__ = (
         "_queue", "_sequence", "_now", "_stopped", "rng", "trace",
-        "failures", "_fire_timer",
+        "failures", "_fire_timer", "scheduler",
     )
 
     def __init__(self, seed: int = 0):
@@ -51,6 +51,14 @@ class Kernel:
         # by identity (``fn is self._fire_timer``), and a fresh bound
         # method per access would never compare identical.
         self._fire_timer = self._resolve_timer
+        # Optional controlled-scheduling hook (the ``repro.check``
+        # exploration layer).  ``None`` -- the default, and the only
+        # value production code ever sees -- takes the historic fast
+        # run loop below, untouched event for event.  A scheduler
+        # object with a ``pick(kernel, batch)`` method instead routes
+        # every step through :meth:`_run_controlled`, which offers the
+        # scheduler the whole frontier of same-time events to order.
+        self.scheduler = None
 
     # -- time ----------------------------------------------------------------
 
@@ -126,6 +134,8 @@ class Kernel:
         true, the first exception that escaped a process nobody joined
         is re-raised after the run, so bugs never pass silently.
         """
+        if self.scheduler is not None:
+            return self._run_controlled(until, raise_failures)
         queue = self._queue
         pop = heapq.heappop
         fire_timer = self._fire_timer
@@ -146,6 +156,54 @@ class Kernel:
                     continue
                 self._now = time
                 fn(*args)
+        if raise_failures:
+            for process, exc in self.failures:
+                if not process._observed:
+                    raise exc
+        return self._now
+
+    def _run_controlled(self, until: Optional[float], raise_failures: bool) -> float:
+        """Run loop with an external scheduling strategy in charge.
+
+        At every step the *frontier* -- all queued events sharing the
+        earliest timestamp, in scheduling (sequence) order, cancelled
+        timers dropped -- is handed to ``scheduler.pick(kernel, batch)``,
+        which returns the entry to fire next.  The rest of the frontier
+        goes back on the heap, so an event the scheduler defers stays
+        eligible until actually fired.  Firing an event may grow the
+        same-time frontier (zero-delay follow-ups); they join the next
+        step's batch, which keeps causality: an event can never run
+        before the event that scheduled it.
+
+        Events at *different* timestamps are never reordered -- the
+        checker explores interleavings, not timings -- so every
+        controlled execution is also a legal execution of the default
+        loop under some tie-break.
+        """
+        queue = self._queue
+        pop = heapq.heappop
+        push = heapq.heappush
+        fire_timer = self._fire_timer
+        scheduler = self.scheduler
+        while queue:
+            time = queue[0][0]
+            if until is not None and time > until:
+                self._now = until
+                break
+            batch = []
+            while queue and queue[0][0] == time:
+                entry = pop(queue)
+                if entry[2] is fire_timer and entry[3][0]._done:
+                    continue  # cancelled timer: never offered as a choice
+                batch.append(entry)
+            if not batch:
+                continue
+            chosen = scheduler.pick(self, batch) if len(batch) > 1 else batch[0]
+            for entry in batch:
+                if entry is not chosen:
+                    push(queue, entry)
+            self._now = time
+            chosen[2](*chosen[3])
         if raise_failures:
             for process, exc in self.failures:
                 if not process._observed:

@@ -5,6 +5,16 @@ jitter, fault injection, ...) draws from its own named stream so that
 changing one consumer never perturbs another.  Stream seeds derive from
 the master seed and the stream name via SHA-256, so they are stable
 across Python versions and processes (unlike ``hash``).
+
+Forked streams (:meth:`RandomStreams.fork`) give execution-exploring
+consumers -- the ``repro.check`` model checker forks one child per
+explored execution -- independent stream families.  The fork *path*
+participates in the seed derivation with an unambiguous length-prefixed
+encoding, so ``fork("a").stream("b:c")`` and ``fork("a:b").stream("c")``
+and ``fork("a").fork("b").stream("c")`` all draw from provably distinct
+streams: deriving from the concatenated text alone (the obvious
+``":".join(...)`` scheme) would let different fork paths collide on the
+same digest input.
 """
 
 from __future__ import annotations
@@ -16,16 +26,46 @@ import random
 class RandomStreams:
     """Factory of independent :class:`random.Random` streams."""
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0, _path: tuple[str, ...] = ()):
         self.seed = seed
+        self.path = tuple(_path)
         self._streams: dict[str, random.Random] = {}
+
+    def _material(self, name: str) -> str:
+        """Digest input for ``name`` under this fork path.
+
+        The root derivation (empty path) is byte-for-byte the historic
+        ``"{seed}:{name}"`` scheme so every existing golden trace keeps
+        its randomness.  Forked derivations length-prefix each path
+        segment and include the segment count, which makes the encoding
+        prefix-free: no (path, name) pair can produce another pair's
+        material, whatever separators appear inside the labels.
+        """
+        if not self.path:
+            return f"{self.seed}:{name}"
+        prefix = "".join(f"{len(part)}:{part}" for part in self.path)
+        return f"{self.seed}|{len(self.path)}|{prefix}|{name}"
 
     def stream(self, name: str) -> random.Random:
         """Return the stream for ``name``, creating it on first use."""
         if name not in self._streams:
-            digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+            digest = hashlib.sha256(self._material(name).encode()).digest()
             self._streams[name] = random.Random(int.from_bytes(digest[:8], "big"))
         return self._streams[name]
 
+    def fork(self, label: str) -> "RandomStreams":
+        """An independent child family for one forked execution.
+
+        Children share the master ``seed`` (so a fork is reproducible
+        from ``(seed, path)`` alone) but never collide with the parent's
+        streams or with any sibling fork's, per :meth:`_material`.
+        """
+        return RandomStreams(self.seed, (*self.path, str(label)))
+
     def __repr__(self) -> str:
-        return f"<RandomStreams seed={self.seed} streams={sorted(self._streams)}>"
+        path = "/".join(self.path)
+        return (
+            f"<RandomStreams seed={self.seed}"
+            + (f" path={path}" if path else "")
+            + f" streams={sorted(self._streams)}>"
+        )

@@ -1,0 +1,68 @@
+"""The ``python -m repro check`` command-line contract."""
+
+import json
+
+import pytest
+
+from repro.check.cli import main as check_main
+
+
+def test_clean_exploration_exits_zero(capsys):
+    status = check_main(["--protocol", "2pc", "--depth", "4", "--budget", "50"])
+    assert status == 0
+    out = capsys.readouterr().out
+    assert "kept every invariant" in out
+    assert "pruned by POR" in out
+
+
+def test_mutant_writes_shrunk_counterexample(tmp_path, capsys):
+    out_path = tmp_path / "ce.repro.json"
+    status = check_main([
+        "--protocol", "before", "--workload", "rw_cross",
+        "--mutant", "no_l1_guard", "--out", str(out_path),
+    ])
+    assert status == 1
+    assert out_path.exists()
+    document = json.loads(out_path.read_text())
+    assert document["spec"]["mutant"] == "no_l1_guard"
+    assert len(document["schedule"]) <= 12
+    assert document["violations"]
+    assert "violation found" in capsys.readouterr().out
+
+
+def test_replay_reproduces_violation(tmp_path, capsys):
+    out_path = tmp_path / "ce.repro.json"
+    check_main([
+        "--protocol", "before", "--workload", "rw_cross",
+        "--mutant", "no_l1_guard", "--out", str(out_path),
+    ])
+    capsys.readouterr()
+    status = check_main(["--replay", str(out_path)])
+    assert status == 1
+    assert "VIOLATES" in capsys.readouterr().out
+
+
+def test_crash_points_flag_runs_crash_enumeration(capsys):
+    status = check_main([
+        "--protocol", "2pc", "--depth", "2", "--budget", "20", "--crash-points",
+    ])
+    assert status == 0
+    out = capsys.readouterr().out
+    assert "crash points:" in out
+    assert "boundaries" in out
+
+
+def test_pct_strategy_sweeps_seeds(capsys):
+    status = check_main([
+        "--protocol", "2pc", "--strategy", "pct", "--budget", "5", "--seed", "3",
+    ])
+    assert status == 0
+    assert "5 executions" in capsys.readouterr().out
+
+
+def test_module_entry_point_dispatches_check():
+    from repro.__main__ import main as repro_main
+
+    with pytest.raises(SystemExit) as excinfo:
+        repro_main(["check", "--protocol", "2pc", "--depth", "2", "--budget", "5"])
+    assert excinfo.value.code == 0

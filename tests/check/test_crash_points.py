@@ -1,0 +1,68 @@
+"""Crash-point enumeration at durable log-force boundaries.
+
+The crash dimension of the checker: one execution per completed log
+force of the traced baseline, each crashing the forcing site right
+after the boundary and restarting it later.  Recovery (§3 machinery)
+must restore every invariant in every one of them.
+"""
+
+import pytest
+
+from repro.check import (
+    CheckSpec,
+    CrashPoint,
+    ReproTrace,
+    enumerate_crash_points,
+    explore_crash_points,
+    run_execution,
+)
+
+
+def test_boundaries_discovered_from_traced_baseline():
+    points = enumerate_crash_points(CheckSpec(protocol="2pc", granularity="per_site"))
+    assert points, "a committing 2PC run must force site logs"
+    sites = {point.site for point in points}
+    assert sites <= {"s0", "s1"}
+    assert all(point.at > 0 for point in points)
+
+
+@pytest.mark.parametrize("protocol,granularity", [
+    ("2pc", "per_site"),
+    ("after", "per_site"),
+    ("before", "per_action"),
+])
+def test_crash_at_every_boundary_keeps_invariants(protocol, granularity):
+    spec = CheckSpec(protocol=protocol, granularity=granularity)
+    report = explore_crash_points(spec)
+    assert report.crash_points > 0
+    assert report.executions == report.crash_points
+    assert report.violation_count == 0, report.counterexample.violations
+
+
+def test_crash_execution_is_deterministic():
+    spec = CheckSpec(protocol="2pc", granularity="per_site")
+    point = enumerate_crash_points(spec)[0]
+    first = run_execution(spec, crashes=(point,))
+    second = run_execution(spec, crashes=(point,))
+    assert first.violations == second.violations
+    assert first.end_time == second.end_time
+    assert first.committed == second.committed
+
+
+def test_crash_points_round_trip_through_trace(tmp_path):
+    spec = CheckSpec(protocol="2pc", granularity="per_site")
+    point = enumerate_crash_points(spec)[0]
+    result = run_execution(spec, crashes=(point,))
+    trace = ReproTrace.from_result(spec, result)
+    path = tmp_path / "crash.repro.json"
+    trace.write(str(path))
+    loaded = ReproTrace.read(str(path))
+    assert loaded.crashes == [point]
+    assert loaded.to_json_bytes() == trace.to_json_bytes()
+    replayed = loaded.replay()
+    assert replayed.violations == result.violations
+
+
+def test_crash_point_serialization():
+    point = CrashPoint(site="s1", at=8.2, restart_after=60.0)
+    assert CrashPoint.from_dict(point.to_dict()) == point

@@ -1,0 +1,54 @@
+"""Exploration is deterministic: same seed, same everything.
+
+The whole checker rests on executions being pure functions of
+``(spec, strategy, choices)`` -- shrinking and ``.repro.json`` replay
+are meaningless otherwise.  The sweep here runs the same PCT strategy
+twice for 20 seeds and demands identical schedules, identical explored
+state counts and byte-identical trace serializations.
+"""
+
+from repro.check import CheckSpec, DfsStrategy, ReproTrace, explore, run_execution, run_pct
+
+SPEC = CheckSpec(protocol="2pc", granularity="per_site")
+SEEDS = list(range(20))
+
+
+def test_pct_seed_sweep_is_deterministic():
+    for seed in SEEDS:
+        first = run_pct(SPEC, seed)
+        second = run_pct(SPEC, seed)
+        assert first.choices == second.choices, f"seed {seed}: schedules differ"
+        assert first.arities == second.arities, f"seed {seed}: choice arities differ"
+        assert first.steps == second.steps, f"seed {seed}: state counts differ"
+        assert first.pruned == second.pruned, f"seed {seed}: POR counts differ"
+        assert first.violations == second.violations
+        first_bytes = ReproTrace.from_result(SPEC, first).to_json_bytes()
+        second_bytes = ReproTrace.from_result(SPEC, second).to_json_bytes()
+        assert first_bytes == second_bytes, f"seed {seed}: trace bytes differ"
+
+
+def test_different_seeds_explore_different_schedules():
+    schedules = {tuple(run_pct(SPEC, seed).choices) for seed in SEEDS}
+    # Not all 20 need to differ (small scenario), but a sweep that
+    # collapses to one schedule is not exploring anything.
+    assert len(schedules) > 1
+
+
+def test_dfs_exploration_is_deterministic():
+    first = explore(SPEC, depth=4, budget=50)
+    second = explore(SPEC, depth=4, budget=50)
+    assert first.executions == second.executions
+    assert first.choice_points == second.choice_points
+    assert first.pruned == second.pruned
+    assert first.exhausted == second.exhausted
+
+
+def test_identical_prefixes_reproduce_identical_runs():
+    probe = DfsStrategy([], depth=6)
+    run_execution(SPEC, probe)
+    prefix = probe.choices
+    first = run_execution(SPEC, DfsStrategy(prefix, depth=6))
+    second = run_execution(SPEC, DfsStrategy(prefix, depth=6))
+    assert first.choices == second.choices
+    assert first.end_time == second.end_time
+    assert first.committed == second.committed

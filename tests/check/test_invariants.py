@@ -1,0 +1,148 @@
+"""Unit tests of the shared invariant predicates.
+
+The positive direction (clean runs have no violations) is covered by
+the exploration suite and the property tests; here each predicate is
+shown to actually *fire* on a broken state, using minimal fakes where
+breaking a real federation is impractical.
+"""
+
+from types import SimpleNamespace
+
+from repro.core.invariants import (
+    convergence_violations,
+    inverse_order_violations,
+    lock_release_violations,
+    redo_drain_violations,
+    undo_drain_violations,
+)
+from repro.core.redo import RedoLog
+from repro.core.undo import UndoLog
+from repro.localdb.engine import OpRecord
+from repro.mlt.actions import increment
+
+
+def _op(seq, txn_id, gtxn_id, table, key, kind="increment"):
+    return OpRecord(seq=seq, txn_id=txn_id, gtxn_id=gtxn_id, kind=kind,
+                    table=table, key=key)
+
+
+def _fake_federation(**overrides):
+    gtm = SimpleNamespace(
+        name="central",
+        active={},
+        l1=None,
+        redo_log=RedoLog(),
+        undo_log=UndoLog(),
+        config=SimpleNamespace(optimize_undo=False),
+        is_active=lambda gtxn_id: False,
+    )
+    federation = SimpleNamespace(gtm=gtm, engines={}, pool=None)
+    for key, value in overrides.items():
+        setattr(federation, key, value)
+    return federation
+
+
+def test_redo_drain_flags_unconfirmed_entries():
+    federation = _fake_federation()
+    federation.gtm.redo_log.record("G1", "s0", [increment("t0", "a", 1)])
+    violations = redo_drain_violations(federation)
+    assert len(violations) == 1
+    assert violations[0].invariant == "redo_drain"
+    assert "G1" in violations[0].detail
+
+
+def test_redo_drain_ignores_still_active_transactions():
+    federation = _fake_federation()
+    federation.gtm.is_active = lambda gtxn_id: True
+    federation.gtm.redo_log.record("G1", "s0", [increment("t0", "a", 1)])
+    assert redo_drain_violations(federation) == []
+
+
+def test_undo_drain_flags_unexecuted_inverses():
+    federation = _fake_federation()
+    operation = increment("t0", "a", 1)
+    federation.gtm.undo_log.record("G2", "s1", operation, increment("t0", "a", -1))
+    violations = undo_drain_violations(federation)
+    assert len(violations) == 1
+    assert violations[0].invariant == "undo_drain"
+    assert "G2" in violations[0].detail
+
+
+def test_lock_release_flags_held_locks():
+    engine = SimpleNamespace(
+        locks=SimpleNamespace(
+            _resources={("t0", 3): SimpleNamespace(holders={"s0:t9": object()})}
+        )
+    )
+    federation = _fake_federation(engines={"s0": engine})
+    violations = lock_release_violations(federation)
+    assert len(violations) == 1
+    assert "s0:t9" in violations[0].detail
+
+
+def test_convergence_flags_active_gtxns_and_unfinished_processes():
+    federation = _fake_federation()
+    federation.gtm.active = {"G3": object()}
+    process = SimpleNamespace(done=False, name="submit:G3")
+    violations = convergence_violations(federation, processes=[process])
+    kinds = [violation.detail for violation in violations]
+    assert any("G3" in detail for detail in kinds)
+    assert any("submit:G3" in detail for detail in kinds)
+
+
+def _engine_with_history(records, committed):
+    return SimpleNamespace(op_history=records, committed_txn_ids=set(committed))
+
+
+def test_inverse_order_accepts_reverse_undo():
+    records = [
+        _op(1, "s0:t1", "G1", "t0", "a"),
+        _op(2, "s0:t2", "G1", "t0", "b"),
+        _op(3, "s0:t3", "G1!undo", "t0", "b"),
+        _op(4, "s0:t4", "G1!undo", "t0", "a"),
+    ]
+    federation = _fake_federation(
+        engines={"s0": _engine_with_history(records, ["s0:t1", "s0:t2", "s0:t3", "s0:t4"])}
+    )
+    assert inverse_order_violations(federation) == []
+
+
+def test_inverse_order_flags_forward_order_undo():
+    records = [
+        _op(1, "s0:t1", "G1", "t0", "a"),
+        _op(2, "s0:t2", "G1", "t0", "b"),
+        # Undo in FORWARD order: only sound for commuting actions,
+        # which the audit does not assume.
+        _op(3, "s0:t3", "G1!undo", "t0", "a"),
+        _op(4, "s0:t4", "G1!undo", "t0", "b"),
+    ]
+    federation = _fake_federation(
+        engines={"s0": _engine_with_history(records, ["s0:t1", "s0:t2", "s0:t3", "s0:t4"])}
+    )
+    violations = inverse_order_violations(federation)
+    assert len(violations) == 1
+    assert violations[0].invariant == "inverse_order"
+
+
+def test_inverse_order_skips_multi_attempt_transactions():
+    records = [
+        _op(1, "s0:t1", "G1", "t0", "a"),
+        _op(2, "s0:t2", "G1~r1", "t0", "b"),
+        _op(3, "s0:t3", "G1!undo", "t0", "a"),
+    ]
+    federation = _fake_federation(
+        engines={"s0": _engine_with_history(records, ["s0:t1", "s0:t2", "s0:t3"])}
+    )
+    assert inverse_order_violations(federation) == []
+
+
+def test_inverse_order_skips_when_optimizer_collapses_inverses():
+    records = [
+        _op(1, "s0:t1", "G1", "t0", "a"),
+        _op(2, "s0:t2", "G1!undo", "t0", "a"),
+    ]
+    federation = _fake_federation(
+        engines={"s0": _engine_with_history(records, ["s0:t1", "s0:t2"])}
+    )
+    federation.gtm.config.optimize_undo = True
+    assert inverse_order_violations(federation) == []

@@ -1,0 +1,53 @@
+"""The greedy shrinker: minimal schedules, bounded budget."""
+
+from repro.check import shrink_schedule
+
+
+def test_shrinks_to_shortest_violating_prefix():
+    # Violation depends only on the first choice being 1.
+    def violates(schedule):
+        return len(schedule) >= 1 and schedule[0] == 1
+
+    assert shrink_schedule(violates, [1, 2, 0, 3, 1]) == [1]
+
+
+def test_zeroes_incidental_choices():
+    # Violation needs choice 2 at position 1; everything else is noise.
+    def violates(schedule):
+        return len(schedule) >= 2 and schedule[1] == 2
+
+    assert shrink_schedule(violates, [3, 2, 1, 1]) == [0, 2]
+
+
+def test_always_violating_schedule_shrinks_to_empty():
+    assert shrink_schedule(lambda schedule: True, [4, 3, 2, 1]) == []
+
+
+def test_strips_trailing_defaults():
+    def violates(schedule):
+        return len(schedule) >= 1 and schedule[0] == 1
+
+    assert shrink_schedule(violates, [1, 0, 0, 0]) == [1]
+
+
+def test_attempt_budget_is_respected():
+    calls = []
+
+    def violates(schedule):
+        calls.append(list(schedule))
+        return True
+
+    shrink_schedule(violates, list(range(1, 30)), max_attempts=10)
+    assert len(calls) <= 10
+
+
+def test_result_always_violates():
+    # Non-monotone predicate: greedy descent must still end on a
+    # violating schedule (it only ever *keeps* violating candidates).
+    def violates(schedule):
+        return sum(schedule) % 3 == 1
+
+    start = [2, 2, 0, 3]  # sum 7 -> violates
+    result = shrink_schedule(violates, start)
+    assert violates(result)
+    assert len(result) <= len(start)

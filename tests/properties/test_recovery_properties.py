@@ -1,13 +1,16 @@
 """Property-based tests of engine recovery.
 
 Random committed/aborted/in-flight transaction mixes followed by a
-crash: recovery must restore exactly the committed effects, and running
-it twice must equal running it once.
+crash: recovery must restore exactly the committed effects, leave the
+engine quiescent (shared :func:`engine_quiescent_violations` audit:
+no surviving transactions, no held locks), and running it twice must
+equal running it once.
 """
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.invariants import engine_quiescent_violations
 from repro.localdb.config import LocalDBConfig
 from repro.localdb.engine import LocalDatabase
 from repro.sim.kernel import Kernel
@@ -116,6 +119,7 @@ def test_recovery_restores_exactly_committed_state(scripts, seed):
     db.crash()
     kernel.spawn(db.restart())
     kernel.run()
+    assert engine_quiescent_violations(db) == []
     assert read_state(kernel, db) == expected
 
 
@@ -150,5 +154,6 @@ def test_double_crash_recovery_idempotent(scripts, seed):
     db.crash()
     kernel.spawn(db.restart())
     kernel.run()
+    assert engine_quiescent_violations(db) == []
     second = read_state(kernel, db)
     assert first == second == expected
