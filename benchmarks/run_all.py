@@ -31,6 +31,7 @@ from __future__ import annotations
 import importlib
 import json
 import pathlib
+import platform
 import sys
 import time
 import traceback
@@ -91,10 +92,24 @@ def run_benchmarks(only: str | None = None) -> list[dict]:
     return reports
 
 
+def environment_stamp(started_at: float) -> dict:
+    """Provenance for BENCH_perf.json: wall-clock numbers only make
+    sense relative to the interpreter and machine that produced them."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "total_wall_seconds": round(time.perf_counter() - started_at, 3),
+    }
+
+
 def headline_numbers() -> dict:
     """The distilled perf summary for BENCH_perf.json."""
     from benchmarks.bench_a5_batching import measure
     from benchmarks.bench_c1_check_throughput import headline as check_headline
+    from benchmarks.bench_k1_hotpath import hotpath_headline
     from benchmarks.bench_kernel_wallclock import (
         SEED_EVENTS_PER_SEC,
         kernel_events_per_sec,
@@ -148,6 +163,7 @@ def headline_numbers() -> dict:
             "seed_events_per_sec": round(SEED_EVENTS_PER_SEC),
             "speedup_vs_seed": round(events_per_sec / SEED_EVENTS_PER_SEC, 2),
         },
+        "kernel_hotpath": hotpath_headline(),
         "chaos": chaos_headline(),
         "obs": obs_headline(),
         "sharded": sharded_headline(),
@@ -166,6 +182,7 @@ def main(argv: list[str]) -> int:
         if not any(name.startswith(only) for name in bench_modules()):
             print(f"error: no benchmark matches prefix {only!r}", file=sys.stderr)
             return 2
+    started_at = time.perf_counter()
     reports = run_benchmarks(only=only)
     if only:
         # A partial run must not clobber the full BENCH_perf.json
@@ -173,6 +190,7 @@ def main(argv: list[str]) -> int:
         print(f"\npartial run ({len(reports)} benchmark(s)); BENCH_perf.json untouched")
     else:
         summary = headline_numbers()
+        summary["environment"] = environment_stamp(started_at)
         summary["benchmarks"] = [
             {"bench": r["bench"], "ok": r["ok"], "seconds": r["seconds"]}
             for r in reports

@@ -1,0 +1,125 @@
+"""Perf-smoke regression gate: fresh hot-path rates vs BENCH_perf.json.
+
+Reruns the kernel hot-path benchmarks (``bench_k1_hotpath`` and
+``bench_kernel_wallclock``) and compares every events/s figure against
+the committed baseline in ``BENCH_perf.json``.  A rate more than
+``--threshold`` (default 20%) below its baseline fails the run; on
+failure the federation scenario is re-profiled and the ``cProfile``
+stats land in ``--artifacts-dir`` for the post-mortem.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python scripts/check_perf_regression.py \
+        [--threshold 0.2] [--artifacts-dir perf-artifacts]
+
+The threshold is deliberately loose: CI runners and dev machines
+differ, and wall-clock noise is one-sided.  It catches the class of
+regression that matters -- an accidental return to per-event heap
+churn or a new allocation on the dispatch path -- not single-digit
+drift.  ``PERF_SMOKE_THRESHOLD`` overrides the default when the
+runner fleet changes speed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import shutil
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def fresh_rates() -> dict[str, float]:
+    from benchmarks.bench_k1_hotpath import hotpath_headline
+    from benchmarks.bench_kernel_wallclock import kernel_events_per_sec
+
+    rates = {
+        f"kernel_hotpath.{name}": float(rate)
+        for name, rate in hotpath_headline().items()
+    }
+    rates["kernel.events_per_sec"] = kernel_events_per_sec()
+    return rates
+
+
+def baseline_rates(summary: dict) -> dict[str, float]:
+    rates = {
+        f"kernel_hotpath.{name}": float(rate)
+        for name, rate in summary.get("kernel_hotpath", {}).items()
+    }
+    kernel = summary.get("kernel", {})
+    if "events_per_sec" in kernel:
+        rates["kernel.events_per_sec"] = float(kernel["events_per_sec"])
+    return rates
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=float(os.environ.get("PERF_SMOKE_THRESHOLD", "0.2")),
+        help="maximum tolerated fractional drop vs baseline (default 0.2)",
+    )
+    parser.add_argument(
+        "--artifacts-dir",
+        default="perf-artifacts",
+        help="where profile stats land when a regression is found",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_path = REPO_ROOT / "BENCH_perf.json"
+    if not baseline_path.exists():
+        print(f"error: no baseline at {baseline_path}", file=sys.stderr)
+        return 2
+    baseline = baseline_rates(json.loads(baseline_path.read_text()))
+    if not baseline:
+        print("error: BENCH_perf.json has no hot-path rates", file=sys.stderr)
+        return 2
+
+    fresh = fresh_rates()
+    floor = 1.0 - args.threshold
+    regressions = []
+    print(f"{'metric':<42} {'baseline':>12} {'fresh':>12} {'ratio':>7}")
+    for name in sorted(baseline):
+        if name not in fresh:
+            print(f"{name:<42} {baseline[name]:>12.0f} {'missing':>12}")
+            regressions.append(name)
+            continue
+        ratio = fresh[name] / baseline[name]
+        flag = "" if ratio >= floor else "  << REGRESSION"
+        print(
+            f"{name:<42} {baseline[name]:>12.0f} {fresh[name]:>12.0f} "
+            f"{ratio:>6.2f}x{flag}"
+        )
+        if ratio < floor:
+            regressions.append(name)
+
+    if not regressions:
+        print(f"\nok: all rates within {args.threshold:.0%} of baseline")
+        return 0
+
+    print(
+        f"\nFAILED: {len(regressions)} rate(s) more than "
+        f"{args.threshold:.0%} below baseline: {', '.join(regressions)}"
+    )
+    # Capture a profile of the representative scenario for the triage.
+    from benchmarks.bench_k1_hotpath import profile_federation
+
+    artifacts = pathlib.Path(args.artifacts_dir)
+    artifacts.mkdir(parents=True, exist_ok=True)
+    report = profile_federation()
+    (artifacts / "profile_report.txt").write_text(report + "\n")
+    stats = REPO_ROOT / "benchmarks" / "results" / "k1_hotpath.prof"
+    if stats.exists():
+        shutil.copy(stats, artifacts / "k1_hotpath.prof")
+    print(f"profile artifacts written to {artifacts}/")
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

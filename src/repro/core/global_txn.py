@@ -83,14 +83,18 @@ class GlobalTransaction:
     def set_decision(self, decision: str, **details: Any) -> None:
         """Record the global commit/abort decision at decision time."""
         self.decision = decision
-        self._kernel.trace.emit(
-            "gtxn_decision", self.origin, self.gtxn_id, decision=decision, **details
-        )
+        trace = self._kernel.trace
+        if trace.enabled:
+            trace.emit(
+                "gtxn_decision", self.origin, self.gtxn_id, decision=decision, **details
+            )
 
     def _trace(self, **details: Any) -> None:
-        self._kernel.trace.emit(
-            "gtxn_state", self.origin, self.gtxn_id, state=self.state.value, **details
-        )
+        trace = self._kernel.trace
+        if trace.enabled:
+            trace.emit(
+                "gtxn_state", self.origin, self.gtxn_id, state=self.state.value, **details
+            )
 
     def sites(self) -> list[str]:
         """Sites touched, in first-use order (set by routing)."""

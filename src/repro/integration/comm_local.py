@@ -81,6 +81,11 @@ class LocalCommunicationManager:
         # in-flight redo (or two redo retries) must never interleave on
         # the same subtransaction.
         self._gtxn_locks: dict[str, FifoLock] = {}
+        # Hot-path caches: resolved handler per message kind and the
+        # "{site}:{kind}" process name per kind, so the serve loop does
+        # not pay a getattr probe plus an f-string per request.
+        self._handlers: dict[str, Any] = {}
+        self._handler_names: dict[str, str] = {}
         self._serve_process = kernel.spawn(self._serve(), name=f"comm:{node.name}")
         self.redo_executions = 0
         self.undo_executions = 0
@@ -151,9 +156,11 @@ class LocalCommunicationManager:
                 # covers it.
                 self.duplicate_requests += 1
                 continue
-            self.kernel.spawn(
-                self._handle(message), name=f"{self.site}:{message.kind}"
-            )
+            kind = message.kind
+            name = self._handler_names.get(kind)
+            if name is None:
+                name = self._handler_names[kind] = f"{self.site}:{kind}"
+            self.kernel.spawn(self._handle(message), name=name)
 
     #: Request kinds that mutate a subtransaction's fate; retries of
     #: these must not interleave with each other on one gtxn.
@@ -163,13 +170,17 @@ class LocalCommunicationManager:
     )
 
     def _handle(self, message: Message) -> Generator[Any, Any, None]:
-        handler = getattr(self, f"_on_{message.kind}", None)
+        kind = message.kind
+        handler = self._handlers.get(kind)
         if handler is None:
-            self._reply(message, "error", error=f"unknown kind {message.kind}")
-            return
+            handler = getattr(self, f"_on_{kind}", None)
+            if handler is None:
+                self._reply(message, "error", error=f"unknown kind {kind}")
+                return
+            self._handlers[kind] = handler
         lock = (
             self._gtxn_lock(message.gtxn_id)
-            if message.kind in self._SERIALIZED_KINDS
+            if kind in self._SERIALIZED_KINDS
             else None
         )
         self._in_flight.add(message.msg_id)

@@ -739,6 +739,8 @@ class LocalDatabase:
                 self._occ_gate.release()
 
     def _trace_state(self, txn: LocalTransaction) -> None:
+        if not self.kernel.trace.enabled:
+            return  # skip building the details dict entirely
         details: dict[str, Any] = {"state": txn.state.value}
         if txn.gtxn_id:
             details["gtxn"] = txn.gtxn_id

@@ -46,9 +46,14 @@ class _Request:
 
 
 class _ResourceState:
-    __slots__ = ("holders", "waiters")
+    __slots__ = ("resource", "serial", "holders", "waiters")
 
-    def __init__(self) -> None:
+    def __init__(self, resource: Hashable, serial: int) -> None:
+        self.resource = resource
+        # Creation order of this incarnation of the resource entry;
+        # release_all uses it to visit a transaction's resources in
+        # lock-table order without scanning the whole table.
+        self.serial = serial
         self.holders: dict[str, _Request] = {}
         self.waiters: deque[_Request] = deque()
 
@@ -68,6 +73,11 @@ class LockManager:
         self.default_timeout = default_timeout
         self.deadlock_detection = deadlock_detection
         self._resources: dict[Hashable, _ResourceState] = {}
+        self._state_serial = 0
+        # txn_id -> resources it holds (an ordered set).  Turns the
+        # release_all table scan into a direct lookup; kept in sync by
+        # _grant / release_all / crash.
+        self._held: dict[str, dict[Hashable, None]] = {}
         self._graph = WaitsForGraph()
         # Metrics.
         self.grants = 0
@@ -123,7 +133,12 @@ class LockManager:
         """
         if timeout is None:
             timeout = self.default_timeout
-        state = self._resources.setdefault(resource, _ResourceState())
+        state = self._resources.get(resource)
+        if state is None:
+            self._state_serial += 1
+            state = self._resources[resource] = _ResourceState(
+                resource, self._state_serial
+            )
         held = state.holders.get(txn_id)
         if held is not None:
             if held.mode is LockMode.EXCLUSIVE or mode is LockMode.SHARED:
@@ -188,22 +203,31 @@ class LockManager:
 
     def release_all(self, txn_id: str) -> None:
         """Strict 2PL release: drop every lock of ``txn_id`` at once."""
-        for resource, state in list(self._resources.items()):
-            request = state.holders.pop(txn_id, None)
-            if request is not None:
-                grant_time = (
-                    request.grant_time
-                    if request.grant_time is not None
-                    else request.request_time
-                )
-                hold = self._kernel.now - grant_time
-                self.total_hold_time += hold
-                self.releases += 1
-                if hold > self.max_hold_time:
-                    self.max_hold_time = hold
-                if self.hold_observer is not None:
-                    self.hold_observer(resource, hold)
-                self._dispatch(resource)
+        held = self._held.pop(txn_id, None)
+        if held:
+            # Visit in lock-table creation order -- the order the old
+            # whole-table scan produced -- so the dispatch (and hence
+            # grant/event) sequence is unchanged.
+            resources = sorted(
+                held, key=lambda r: self._resources[r].serial
+            ) if len(held) > 1 else list(held)
+            for resource in resources:
+                state = self._resources.get(resource)
+                request = state.holders.pop(txn_id, None) if state is not None else None
+                if request is not None:
+                    grant_time = (
+                        request.grant_time
+                        if request.grant_time is not None
+                        else request.request_time
+                    )
+                    hold = self._kernel.now - grant_time
+                    self.total_hold_time += hold
+                    self.releases += 1
+                    if hold > self.max_hold_time:
+                        self.max_hold_time = hold
+                    if self.hold_observer is not None:
+                        self.hold_observer(resource, hold)
+                    self._dispatch(resource)
         self._graph.clear_txn(txn_id)
 
     # -- internals ----------------------------------------------------------------
@@ -221,6 +245,11 @@ class LockManager:
             state.holders[request.txn_id].mode = LockMode.EXCLUSIVE
         else:
             state.holders[request.txn_id] = request
+            held = self._held.get(request.txn_id)
+            if held is None:
+                self._held[request.txn_id] = {state.resource: None}
+            else:
+                held[state.resource] = None
         self.grants += 1
         if request.future is not None and not request.future.done:
             request.future.resolve(None)
@@ -287,6 +316,7 @@ class LockManager:
                 if request.future is not None and not request.future.done:
                     request.future.fail(SiteCrashed(f"{self.site} crashed"))
         self._resources.clear()
+        self._held.clear()
         self._graph = WaitsForGraph()
 
     def __repr__(self) -> str:

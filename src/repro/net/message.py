@@ -12,12 +12,18 @@ per-destination outbox (see :class:`~repro.net.network.Network`).
 Receivers never see it -- the network unwraps envelopes at delivery
 time -- but the metrics distinguish logical messages from envelopes so
 the EXP-T5 accounting stays honest.
+
+Both classes are hand-written ``__slots__`` classes rather than frozen
+dataclasses: every request/response pair allocates a message, and the
+frozen-dataclass construction path (one ``object.__setattr__`` per
+field) dominated the envelope cost in profiles.  Instances are
+immutable by convention; equality remains field-by-field, like the
+dataclasses they replace.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Optional
 
 _msg_counter = itertools.count(1)
@@ -34,17 +40,28 @@ def reset_message_ids() -> None:
     _msg_counter = itertools.count(1)
 
 
-@dataclass(frozen=True, slots=True)
 class Message:
     """One logical network message."""
 
-    kind: str
-    sender: str
-    dest: str
-    payload: dict[str, Any] = field(default_factory=dict)
-    gtxn_id: Optional[str] = None
-    reply_to: Optional[int] = None
-    msg_id: int = field(default_factory=lambda: next(_msg_counter))
+    __slots__ = ("kind", "sender", "dest", "payload", "gtxn_id", "reply_to", "msg_id")
+
+    def __init__(
+        self,
+        kind: str,
+        sender: str,
+        dest: str,
+        payload: Optional[dict[str, Any]] = None,
+        gtxn_id: Optional[str] = None,
+        reply_to: Optional[int] = None,
+        msg_id: Optional[int] = None,
+    ):
+        self.kind = kind
+        self.sender = sender
+        self.dest = dest
+        self.payload = {} if payload is None else payload
+        self.gtxn_id = gtxn_id
+        self.reply_to = reply_to
+        self.msg_id = next(_msg_counter) if msg_id is None else msg_id
 
     @property
     def link(self) -> tuple[str, str]:
@@ -73,19 +90,44 @@ class Message:
     def reply(self, kind: str, **payload: Any) -> "Message":
         """Build a response correlated with this message."""
         return Message(
-            kind=kind,
-            sender=self.dest,
-            dest=self.sender,
-            payload=payload,
-            gtxn_id=self.gtxn_id,
-            reply_to=self.msg_id,
+            kind,
+            self.dest,
+            self.sender,
+            payload,
+            self.gtxn_id,
+            self.msg_id,
         )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Message):
+            return NotImplemented
+        return (
+            self.kind == other.kind
+            and self.sender == other.sender
+            and self.dest == other.dest
+            and self.payload == other.payload
+            and self.gtxn_id == other.gtxn_id
+            and self.reply_to == other.reply_to
+            and self.msg_id == other.msg_id
+        )
+
+    # Payload dicts make messages unhashable, exactly like the frozen
+    # dataclass this class replaces (its generated hash raised on the
+    # dict field).
+    __hash__ = None  # type: ignore[assignment]
 
     def __str__(self) -> str:
         return f"{self.kind}({self.sender}->{self.dest}, gtxn={self.gtxn_id})"
 
+    def __repr__(self) -> str:
+        return (
+            f"Message(kind={self.kind!r}, sender={self.sender!r}, "
+            f"dest={self.dest!r}, payload={self.payload!r}, "
+            f"gtxn_id={self.gtxn_id!r}, reply_to={self.reply_to!r}, "
+            f"msg_id={self.msg_id!r})"
+        )
 
-@dataclass(frozen=True, slots=True)
+
 class BatchMessage:
     """One physical envelope carrying several logical messages.
 
@@ -96,20 +138,27 @@ class BatchMessage:
     carry many logical messages.
     """
 
-    sender: str
-    dest: str
-    messages: tuple[Message, ...]
-    msg_id: int = field(default_factory=lambda: next(_msg_counter))
+    __slots__ = ("sender", "dest", "messages", "msg_id")
 
-    def __post_init__(self) -> None:
-        if not self.messages:
+    def __init__(
+        self,
+        sender: str,
+        dest: str,
+        messages: tuple[Message, ...],
+        msg_id: Optional[int] = None,
+    ):
+        if not messages:
             raise ValueError("empty batch")
-        for message in self.messages:
-            if message.sender != self.sender or message.dest != self.dest:
+        for message in messages:
+            if message.sender != sender or message.dest != dest:
                 raise ValueError(
-                    f"batch {self.sender}->{self.dest} cannot carry "
+                    f"batch {sender}->{dest} cannot carry "
                     f"{message.sender}->{message.dest} message"
                 )
+        self.sender = sender
+        self.dest = dest
+        self.messages = messages
+        self.msg_id = next(_msg_counter) if msg_id is None else msg_id
 
     def __len__(self) -> int:
         return len(self.messages)
@@ -123,6 +172,24 @@ class BatchMessage:
         """Envelope-level commutativity (see :meth:`Message.commutes_with`)."""
         return self.dest != other.dest
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BatchMessage):
+            return NotImplemented
+        return (
+            self.sender == other.sender
+            and self.dest == other.dest
+            and self.messages == other.messages
+            and self.msg_id == other.msg_id
+        )
+
+    __hash__ = None  # type: ignore[assignment]
+
     def __str__(self) -> str:
         kinds = "+".join(m.kind for m in self.messages)
         return f"batch[{kinds}]({self.sender}->{self.dest})"
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchMessage(sender={self.sender!r}, dest={self.dest!r}, "
+            f"messages={self.messages!r}, msg_id={self.msg_id!r})"
+        )

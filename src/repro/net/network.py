@@ -174,30 +174,37 @@ class Network:
 
     def send(self, message: Message) -> None:
         """Asynchronously transmit ``message`` (fire and forget)."""
-        src = self.node(message.sender)
-        dst = self.node(message.dest)
+        nodes = self._nodes
+        src = nodes.get(message.sender)
+        if src is None:
+            raise NodeUnreachable(f"unknown node {message.sender}")
+        dst = nodes.get(message.dest)
+        if dst is None:
+            raise NodeUnreachable(f"unknown node {message.dest}")
         if self.enforce_star and not (src.is_central or dst.is_central):
             raise TopologyViolation(
                 f"local-to-local message {message.sender} -> {message.dest}"
             )
         self.sent += 1
-        self.by_kind[message.kind] = self.by_kind.get(message.kind, 0) + 1
+        kind = message.kind
+        by_kind = self.by_kind
+        by_kind[kind] = by_kind.get(kind, 0) + 1
         trace = self.kernel.trace
         if trace.enabled:
             trace.emit(
                 "message",
                 message.sender,
-                message.kind,
+                kind,
                 dest=message.dest,
                 gtxn=message.gtxn_id,
                 msg_id=message.msg_id,
                 reply_to=message.reply_to,
             )
-        if message.kind in self.drop_once:
-            self.drop_once.discard(message.kind)
+        if self.drop_once and kind in self.drop_once:
+            self.drop_once.discard(kind)
             self.dropped += 1
             trace.emit(
-                "message_drop", message.sender, message.kind,
+                "message_drop", message.sender, kind,
                 dest=message.dest, cause="injected",
             )
             return

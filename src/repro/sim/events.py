@@ -8,6 +8,14 @@ A process yields one of the following to the kernel:
 * :class:`AnyOf` -- resume when the first of several futures resolves.
 * another :class:`~repro.sim.process.Process` -- processes are futures,
   so yielding one joins it.
+
+Futures sit on the hottest allocation path of the simulator (every
+request/response pair and every blocking wait creates one), so the
+implementation favours flat slots and lazy structures: the callback
+list is only materialised when someone actually waits, and a process
+waiting on a future is recorded as a bare ``(process, epoch)`` tuple
+rather than a closure -- completion schedules the resumption step
+directly, with no intermediate frame.
 """
 
 from __future__ import annotations
@@ -16,13 +24,13 @@ import itertools
 from typing import Any, Callable, Iterable, Optional
 
 #: Monotonic creation-order ids shared by every effect that can end up
-#: inside an ordered container (the kernel's heap, candidate lists of
-#: the ``repro.check`` controlled scheduler).  The ids make comparisons
-#: between two effects *total*: without them, two entries tying on
-#: ``(time, priority)`` would fall through to Python's default identity
-#: comparison, which raises for futures and -- worse for the checker --
-#: is not stable across runs, so schedule enumeration could never
-#: revisit the same execution twice.
+#: inside an ordered container (the kernel's calendar queue, candidate
+#: lists of the ``repro.check`` controlled scheduler).  The ids make
+#: comparisons between two effects *total*: without them, two entries
+#: tying on ``(time, priority)`` would fall through to Python's default
+#: identity comparison, which raises for futures and -- worse for the
+#: checker -- is not stable across runs, so schedule enumeration could
+#: never revisit the same execution twice.
 _effect_uids = itertools.count(1)
 
 
@@ -52,6 +60,12 @@ class Future:
     :meth:`add_callback` run synchronously at resolution time (the
     kernel uses them to schedule process resumption at the current
     simulated instant).
+
+    The waiter list (``_callbacks``) is ``None`` until the first waiter
+    arrives -- most futures resolve with exactly one -- and holds two
+    kinds of entry: plain callables, and ``(process, epoch)`` tuples
+    planted by :meth:`_add_waiter`, which completion turns straight
+    into a kernel-scheduled ``process._step`` without a closure.
     """
 
     __slots__ = ("_done", "_value", "_exception", "_callbacks", "label", "_uid")
@@ -60,7 +74,7 @@ class Future:
         self._done = False
         self._value: Any = None
         self._exception: Optional[BaseException] = None
-        self._callbacks: list[Callable[[Future], None]] = []
+        self._callbacks: Optional[list] = None
         self.label = label
         self._uid = next(_effect_uids)
 
@@ -86,28 +100,80 @@ class Future:
 
     def resolve(self, value: Any = None) -> None:
         """Complete the future successfully with ``value``."""
-        self._complete(value, None)
-
-    def fail(self, exception: BaseException) -> None:
-        """Complete the future with an exception."""
-        self._complete(None, exception)
-
-    def _complete(self, value: Any, exception: Optional[BaseException]) -> None:
         if self._done:
             raise RuntimeError(f"future {self.label!r} resolved twice")
         self._done = True
         self._value = value
-        self._exception = exception
-        callbacks, self._callbacks = self._callbacks, []
-        for callback in callbacks:
-            callback(self)
+        callbacks = self._callbacks
+        if callbacks is not None:
+            self._callbacks = None
+            self._notify(callbacks)
 
-    def add_callback(self, callback: Callable[[Future], None]) -> None:
+    def fail(self, exception: BaseException) -> None:
+        """Complete the future with an exception."""
+        if self._done:
+            raise RuntimeError(f"future {self.label!r} resolved twice")
+        self._done = True
+        self._exception = exception
+        callbacks = self._callbacks
+        if callbacks is not None:
+            self._callbacks = None
+            self._notify(callbacks)
+
+    def _notify(self, callbacks: list) -> None:
+        for entry in callbacks:
+            if type(entry) is tuple:
+                # A waiting process: schedule its resumption directly.
+                process, epoch = entry
+                if self._exception is not None:
+                    process._kernel._schedule(0.0, process._step, epoch, None, self._exception)
+                else:
+                    process._kernel._schedule(0.0, process._step, epoch, self._value, None)
+            else:
+                entry(self)
+
+    def add_callback(self, callback: Callable[["Future"], None]) -> None:
         """Run ``callback(self)`` on completion (immediately if done)."""
         if self._done:
             callback(self)
+        elif self._callbacks is None:
+            self._callbacks = [callback]
         else:
             self._callbacks.append(callback)
+
+    def _add_waiter(self, process, epoch: int) -> None:
+        """Register a process to be stepped when this future completes.
+
+        The fast-path twin of :meth:`add_callback`: the waiter is a
+        ``(process, epoch)`` tuple and completion schedules
+        ``process._step(epoch, value, exc)`` without building a closure.
+        If the future is already done, the step is scheduled now -- at
+        the current instant, preserving the one-event resumption hop a
+        pending future would have cost.
+        """
+        if self._done:
+            if self._exception is not None:
+                process._kernel._schedule(0.0, process._step, epoch, None, self._exception)
+            else:
+                process._kernel._schedule(0.0, process._step, epoch, self._value, None)
+        elif self._callbacks is None:
+            self._callbacks = [(process, epoch)]
+        else:
+            self._callbacks.append((process, epoch))
+
+    def _reset(self) -> None:
+        """Return the future to its pristine pending state.
+
+        Only the kernel's timeout-timer free-list calls this, and only
+        when the queue entry being skipped was provably the last
+        reference (see ``docs/performance.md``).  The uid is refreshed
+        so recycled futures keep strictly increasing creation order.
+        """
+        self._done = False
+        self._value = None
+        self._exception = None
+        self._callbacks = None
+        self._uid = next(_effect_uids)
 
     def __repr__(self) -> str:
         state = "done" if self._done else "pending"

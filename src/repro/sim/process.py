@@ -56,6 +56,11 @@ class Process(Future):
         self._observed = True
         super().add_callback(callback)
 
+    def _add_waiter(self, process: "Process", epoch: int) -> None:  # type: ignore[override]
+        """Joining a process observes it, like :meth:`add_callback`."""
+        self._observed = True
+        Future._add_waiter(self, process, epoch)
+
     @property
     def alive(self) -> bool:
         return not self._finished
@@ -108,11 +113,17 @@ class Process(Future):
         except Exception as exc:
             self._finish_err(exc)
             return
-        # Inline fast path for the overwhelmingly common effect -- a
-        # bare delay -- before falling back to the generic handler.
-        if type(effect) is float or type(effect) is int:
+        # Inline fast paths for the overwhelmingly common effects -- a
+        # bare delay or a (process-)future -- before falling back to
+        # the generic handler.
+        cls = effect.__class__
+        if cls is float or cls is int:
             self._epoch += 1
             self._kernel._schedule(effect, self._step, self._epoch, None, None)
+            return
+        if cls is Future or cls is Process:
+            self._epoch = epoch = self._epoch + 1
+            effect._add_waiter(self, epoch)
             return
         self._handle_effect(effect)
 
@@ -126,24 +137,16 @@ class Process(Future):
         elif isinstance(effect, AnyOf):
             race = Future(label=f"{self.label}:anyof")
             effect.attach(race)
-            self._wait_on(race, epoch)
+            race._add_waiter(self, epoch)
         elif isinstance(effect, Future):
-            self._wait_on(effect, epoch)
+            # Resumption is scheduled at the current instant when the
+            # future completes, preserving FIFO order with other events
+            # scheduled "now" (see Future._add_waiter).
+            effect._add_waiter(self, epoch)
         else:
             self._finish_err(
                 SimulationError(f"{self.label} yielded unsupported effect {effect!r}")
             )
-
-    def _wait_on(self, future: Future, epoch: int) -> None:
-        def on_complete(completed: Future) -> None:
-            # Resume at the current instant, preserving FIFO order with
-            # other events scheduled "now".
-            if completed.exception is not None:
-                self._kernel._schedule(0.0, self._step, epoch, None, completed.exception)
-            else:
-                self._kernel._schedule(0.0, self._step, epoch, completed._value, None)
-
-        future.add_callback(on_complete)
 
     def _finish_ok(self, value: Any) -> None:
         self._finished = True

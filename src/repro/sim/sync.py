@@ -24,6 +24,7 @@ class Mailbox:
         self.name = name
         self._items: deque[Any] = deque()
         self._waiters: deque[Future] = deque()
+        self._recv_label = f"{name}:recv"
 
     def put(self, item: Any) -> None:
         """Enqueue ``item``, waking the oldest waiting receiver if any."""
@@ -36,7 +37,7 @@ class Mailbox:
         """Dequeue the next item, blocking the caller until one arrives."""
         if self._items:
             return self._items.popleft()
-        waiter = Future(label=f"{self.name}:recv")
+        waiter = Future(label=self._recv_label)
         self._waiters.append(waiter)
         item = yield waiter
         return item

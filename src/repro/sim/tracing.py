@@ -17,16 +17,20 @@ skip building the keyword payload at all.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.kernel import Kernel
 
 
-@dataclass(frozen=True, slots=True)
 class TraceRecord:
     """One timestamped event.
+
+    A hand-written slots class rather than a frozen dataclass: records
+    are allocated once per traced event, and the frozen-dataclass
+    ``object.__setattr__`` per field tripled construction cost on the
+    hottest allocation site of a traced run.  Treat instances as
+    immutable by convention.
 
     Attributes
     ----------
@@ -45,15 +49,42 @@ class TraceRecord:
         Free-form payload.
     """
 
-    time: float
-    category: str
-    site: str
-    subject: str
-    details: dict[str, Any] = field(default_factory=dict)
+    __slots__ = ("time", "category", "site", "subject", "details")
+
+    def __init__(
+        self,
+        time: float,
+        category: str,
+        site: str,
+        subject: str,
+        details: Optional[dict[str, Any]] = None,
+    ):
+        self.time = time
+        self.category = category
+        self.site = site
+        self.subject = subject
+        self.details = {} if details is None else details
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceRecord):
+            return NotImplemented
+        return (
+            self.time == other.time
+            and self.category == other.category
+            and self.site == other.site
+            and self.subject == other.subject
+            and self.details == other.details
+        )
 
     def __str__(self) -> str:
         detail = " ".join(f"{k}={v}" for k, v in self.details.items())
         return f"[{self.time:10.3f}] {self.site:<12} {self.category:<10} {self.subject} {detail}"
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceRecord(time={self.time!r}, category={self.category!r}, "
+            f"site={self.site!r}, subject={self.subject!r}, details={self.details!r})"
+        )
 
 
 class TraceLog:

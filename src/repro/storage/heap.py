@@ -40,6 +40,10 @@ class HeapFile:
         self.bucket_count = bucket_count
         self._page_ids = list(range(first_page_id, first_page_id + bucket_count))
         self._pinned_keys: dict[Any, int] = {}
+        # key -> page id placement memo: the sha256 placement hash is
+        # pure per key, and every record access recomputes it otherwise.
+        # Invalidated by pin_key_to_page.
+        self._placement: dict[Any, int] = {}
 
     @property
     def page_ids(self) -> list[int]:
@@ -58,12 +62,19 @@ class HeapFile:
         if not 0 <= bucket_index < self.bucket_count:
             raise ValueError(f"bucket {bucket_index} out of range")
         self._pinned_keys[key] = self._page_ids[bucket_index]
+        self._placement.pop(key, None)
 
     def page_of(self, key: Any) -> int:
         """The page id storing ``key``."""
+        page_id = self._placement.get(key)
+        if page_id is not None:
+            return page_id
         if key in self._pinned_keys:
-            return self._pinned_keys[key]
-        return self._page_ids[_stable_hash(key) % self.bucket_count]
+            page_id = self._pinned_keys[key]
+        else:
+            page_id = self._page_ids[_stable_hash(key) % self.bucket_count]
+        self._placement[key] = page_id
+        return page_id
 
     # -- record access (generators: consume simulated I/O time) ---------------
 

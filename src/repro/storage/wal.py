@@ -9,8 +9,12 @@ pushes everything up to a target LSN to the stable disk.  The WAL rule
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
+from operator import attrgetter
 from typing import TYPE_CHECKING, Any, Generator, Optional
+
+_record_lsn = attrgetter("lsn")
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.storage.disk import StableDisk
@@ -159,13 +163,28 @@ class LogManager:
         yield from self._force_now(upto_lsn)
 
     def _force_now(self, upto_lsn: int) -> Generator[Any, Any, None]:
-        to_flush = [r for r in self._tail if r.lsn <= upto_lsn]
-        if not to_flush:
+        tail = self._tail
+        if not tail:
             return
+        if tail[-1].lsn <= upto_lsn:
+            # Whole-tail force -- the overwhelmingly common case (a
+            # commit forces everything appended so far): snapshot with
+            # one slice instead of an attribute-access filter pass.
+            to_flush = tail[:]
+        else:
+            to_flush = [r for r in tail if r.lsn <= upto_lsn]
+            if not to_flush:
+                return
+        # The volatile tail is pruned only after the disk write lands:
+        # a crash during the write must still wipe these records.
         yield from self._disk.append_log(to_flush)
         self.forced += 1
         self.flushed_lsn = to_flush[-1].lsn
-        self._tail = [r for r in self._tail if r.lsn > upto_lsn]
+        # The tail is LSN-ordered, so the flushed prefix is contiguous.
+        tail = self._tail
+        cut = bisect_right(tail, upto_lsn, key=_record_lsn)
+        if cut:
+            self._tail = tail[cut:]
 
     def _group_force(self, upto_lsn: int) -> Generator[Any, Any, None]:
         """Join (or lead) the current commit group."""

@@ -1,0 +1,182 @@
+"""Calendar-queue kernel mechanics: slot drains, pooling, accounting.
+
+The byte-identity matrix (``test_golden_identity``) proves the rewrite
+changed nothing observable; these tests pin down the new machinery's
+own invariants -- live slot drains, mid-slot exception recovery,
+``stop()`` from inside a drain, pooled timeout-timer recycling and the
+``events_dispatched`` counter -- so a future change that breaks one
+fails with a named behaviour, not a trace diff.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import KernelStopped, SimulationError
+from repro.sim.events import Future
+from repro.sim.kernel import Kernel
+
+
+@pytest.fixture
+def kernel():
+    return Kernel(seed=1)
+
+
+# -- slot drains ------------------------------------------------------------
+
+
+def test_zero_delay_followup_joins_the_live_slot(kernel):
+    """A 0-delay event scheduled mid-drain fires in the same drain,
+    after everything already queued at that instant (sequence order)."""
+    order = []
+    kernel.call_at(1.0, lambda: (order.append("a"),
+                                 kernel.call_at(1.0, order.append, "a0")))
+    kernel.call_at(1.0, order.append, "b")
+    kernel.run()
+    assert order == ["a", "b", "a0"]
+
+
+def test_distinct_timestamps_fire_in_time_order_across_buckets(kernel):
+    order = []
+    for time in (3.0, 1.0, 2.0, 1.0):
+        kernel.call_at(time, order.append, time)
+    kernel.run()
+    assert order == [1.0, 1.0, 2.0, 3.0]
+
+
+def test_exception_mid_slot_preserves_the_undispatched_tail(kernel):
+    """A callback exception drops only the failing entry; the rest of
+    the slot (and later slots) fire on the next run() call."""
+    order = []
+
+    def boom():
+        raise ValueError("boom")
+
+    kernel.call_at(1.0, order.append, 1)
+    kernel.call_at(1.0, boom)
+    kernel.call_at(1.0, order.append, 2)
+    kernel.call_at(2.0, order.append, 3)
+    with pytest.raises(ValueError):
+        kernel.run()
+    assert order == [1]
+    assert kernel.queued == 2
+    kernel.run()
+    assert order == [1, 2, 3]
+
+
+def test_stop_inside_a_drain_discards_the_rest_of_the_slot(kernel):
+    order = []
+
+    def first():
+        order.append("first")
+        kernel.stop()
+
+    kernel.call_at(1.0, first)
+    kernel.call_at(1.0, order.append, "second")
+    kernel.call_at(2.0, order.append, "later")
+    kernel.run()
+    assert order == ["first"]
+    assert kernel.queued == 0
+    with pytest.raises(KernelStopped):
+        kernel.call_at(3.0, order.append, "never")
+
+
+def test_run_until_leaves_future_slots_queued(kernel):
+    order = []
+    kernel.call_at(1.0, order.append, 1)
+    kernel.call_at(5.0, order.append, 5)
+    assert kernel.run(until=2.0) == 2.0
+    assert order == [1]
+    assert kernel.queued == 1
+    kernel.run()
+    assert order == [1, 5]
+
+
+# -- bulk scheduling --------------------------------------------------------
+
+
+def test_call_at_bulk_interleaves_with_call_at_by_sequence(kernel):
+    order = []
+    kernel.call_at(1.0, order.append, "a")
+    kernel.call_at_bulk([
+        (1.0, order.append, ("b",)),
+        (0.5, order.append, ("c",)),
+    ])
+    kernel.call_at(1.0, order.append, "d")
+    kernel.run()
+    assert order == ["c", "a", "b", "d"]
+
+
+def test_call_at_bulk_rejects_past_times(kernel):
+    kernel.call_at(1.0, lambda: None)
+    kernel.run()
+    with pytest.raises(SimulationError):
+        kernel.call_at_bulk([(0.5, lambda: None, ())])
+
+
+# -- pooled timeout timers --------------------------------------------------
+
+
+def _win_race(kernel, resolve_at=1.0, timeout=5.0):
+    future = Future(label="work")
+    kernel.call_at(resolve_at, future.resolve, 42)
+    outcome = []
+
+    def proc():
+        outcome.append((yield from kernel.wait_with_timeout(future, timeout)))
+
+    kernel.spawn(proc(), name="racer")
+    kernel.run()
+    return outcome[0]
+
+
+def test_won_race_recycles_the_timeout_timer(kernel):
+    assert _win_race(kernel) == (True, 42)
+    # The losing timer was resolved early; at its deadline the run loop
+    # recognised the cancelled pooled firing and returned the future to
+    # the free-list, reset and ready for reuse.
+    assert len(kernel._timer_pool) == 1
+    recycled = kernel._timer_pool[0]
+    assert not recycled._done
+    assert kernel._pooled_timer(1.0) is recycled
+
+
+def test_expired_timeout_timer_is_not_recycled(kernel):
+    """A timer that actually fired is never pooled: the waiting frame
+    (or a same-instant race) may still hold and inspect it."""
+    never = Future(label="never")
+
+    def proc():
+        result = yield from kernel.wait_with_timeout(never, timeout=2.0)
+        assert result == (False, None)
+
+    kernel.spawn(proc(), name="racer")
+    kernel.run()
+    assert kernel._timer_pool == []
+
+
+def test_recycled_timer_runs_a_fresh_race_correctly(kernel):
+    assert _win_race(kernel) == (True, 42)
+    assert _win_race(kernel, resolve_at=kernel.now + 1.0) == (True, 42)
+    assert len(kernel._timer_pool) == 1
+
+
+# -- accounting -------------------------------------------------------------
+
+
+def test_events_dispatched_counts_fired_events_only(kernel):
+    timer = kernel.timer(1.0)
+    timer.resolve(None)  # cancelled before firing: queue maintenance
+    kernel.call_at(2.0, lambda: None)
+    kernel.run()
+    assert kernel.events_dispatched == 1
+
+
+def test_queued_and_repr_reflect_pending_events(kernel):
+    kernel.call_at(1.0, lambda: None)
+    kernel.call_at(1.0, lambda: None)
+    kernel.call_at(2.0, lambda: None)
+    assert kernel.queued == 3
+    assert "queued=3" in repr(kernel)
+    kernel.run()
+    assert kernel.queued == 0
