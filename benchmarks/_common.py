@@ -32,7 +32,7 @@ def build_fed(
     the run itself is unaffected); ``spans=True`` additionally turns on
     log-force tracing so ``fed.obs.span_forest()`` yields full spans.
     """
-    preparable = protocol in ("2pc", "2pc-pa", "3pc")
+    preparable = protocol in ("2pc", "2pc-pa", "3pc", "paxos")
     specs = [
         SiteSpec(f"s{i}", tables={f"t{i}": {"x": 100, "y": 50}}, preparable=preparable)
         for i in range(n_sites)

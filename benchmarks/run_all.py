@@ -115,6 +115,7 @@ def headline_numbers() -> dict:
         kernel_events_per_sec,
     )
     from benchmarks.bench_o1_obs_overhead import obs_headline
+    from benchmarks.bench_p1_paxos import headline as paxos_headline
     from benchmarks.bench_r1_chaos import headline as chaos_headline
     from benchmarks.bench_s1_sharded_gtm import headline as sharded_headline
 
@@ -167,6 +168,7 @@ def headline_numbers() -> dict:
         "chaos": chaos_headline(),
         "obs": obs_headline(),
         "sharded": sharded_headline(),
+        "paxos": paxos_headline(),
         "check": check_headline(),
     }
 

@@ -22,7 +22,7 @@ from repro import Federation, FederationConfig, GTMConfig, SiteSpec, ops
 from repro.bench.report import format_table
 from repro.core.invariants import atomicity_report
 
-PROTOCOLS = ("before", "after", "2pc", "2pc-pa", "3pc", "saga", "altruistic")
+PROTOCOLS = ("before", "after", "2pc", "2pc-pa", "3pc", "paxos", "saga", "altruistic")
 
 
 def build(
@@ -33,7 +33,7 @@ def build(
     spans: bool = False,
     coordinators: int = 1,
 ) -> Federation:
-    preparable = protocol in ("2pc", "2pc-pa", "3pc")
+    preparable = protocol in ("2pc", "2pc-pa", "3pc", "paxos")
     granularity = "per_action" if protocol in ("before", "saga", "altruistic") else "per_site"
     specs = [
         SiteSpec(

@@ -19,7 +19,9 @@ from repro.check.engine import (
     CrashPoint,
     ExecutionResult,
     enumerate_crash_points,
+    enumerate_decision_boundaries,
     explore,
+    explore_coordinator_crash_points,
     explore_crash_points,
     replay_execution,
     run_execution,
@@ -49,7 +51,9 @@ __all__ = [
     "Strategy",
     "build_scenario",
     "enumerate_crash_points",
+    "enumerate_decision_boundaries",
     "explore",
+    "explore_coordinator_crash_points",
     "explore_crash_points",
     "replay_execution",
     "run_execution",

@@ -19,6 +19,7 @@ from typing import Optional
 from repro.check.engine import (
     CheckReport,
     explore,
+    explore_coordinator_crash_points,
     explore_crash_points,
     replay_execution,
     run_pct,
@@ -112,6 +113,16 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="also run one execution per durable log-force boundary",
     )
     parser.add_argument(
+        "--coordinator-crash-points", action="store_true",
+        help="non-blocking exhibit: kill coordinator shard 0 (no restart) "
+        "at every durable-force boundary instead of exploring schedules",
+    )
+    parser.add_argument(
+        "--acceptor-crashes", type=int, default=0,
+        help="with --coordinator-crash-points and --protocol paxos: also "
+        "kill this many acceptors at the same instant (F of 2F+1)",
+    )
+    parser.add_argument(
         "--out", default="counterexample.repro.json",
         help="where to write the shrunk counterexample trace",
     )
@@ -125,6 +136,31 @@ def main(argv: Optional[list[str]] = None) -> int:
         return _replay(args.replay)
 
     spec = _build_spec(args)
+    if args.acceptor_crashes and spec.protocol != "paxos":
+        parser.error("--acceptor-crashes requires --protocol paxos")
+    if args.coordinator_crash_points:
+        report = explore_coordinator_crash_points(
+            spec, acceptor_crashes=args.acceptor_crashes
+        )
+        label = f"{spec.protocol} coordinators={spec.coordinators}" + (
+            f" acceptor-crashes={args.acceptor_crashes}"
+            if args.acceptor_crashes else ""
+        )
+        print(
+            f"{label}: coordinator killed at each of {report.crash_points} "
+            f"durable-force boundaries, {report.executions} executions, "
+            f"{report.violation_count} with blocked transactions"
+        )
+        if report.counterexample is not None:
+            result = report.counterexample
+            crash = result.crashes[0]
+            print(f"first blocking window: {crash.site} killed at t={crash.at}:")
+            for violation in result.violations:
+                print(f"  {violation}")
+            return 1
+        print("no execution blocked: every transaction resolved everywhere")
+        return 0
+
     if args.strategy == "pct":
         report = CheckReport(spec=spec)
         for offset in range(args.budget):

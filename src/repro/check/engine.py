@@ -72,7 +72,10 @@ def run_execution(
     federation.kernel.scheduler = strategy
     for crash in crashes:
         federation.crash_site(crash.site, at=crash.at)
-        federation.restart_site(crash.site, at=crash.at + crash.restart_after)
+        if crash.restart_after > 0:
+            # restart_after <= 0 means the site stays down for the rest
+            # of the execution -- the shape of the non-blocking question.
+            federation.restart_site(crash.site, at=crash.at + crash.restart_after)
     end_time = federation.run(until=spec.horizon)
     result = ExecutionResult(end_time=end_time, crashes=list(crashes))
     if strategy is not None:
@@ -211,6 +214,82 @@ def enumerate_crash_points(
         seen.add(key)
         points.append(CrashPoint(record.site, record.time, restart_after))
     return points
+
+
+def enumerate_decision_boundaries(spec: CheckSpec) -> list[float]:
+    """Durable-force instants of the baseline execution, *all* sites.
+
+    Like :func:`enumerate_crash_points` but including the coordinator
+    side: data-site forces plus (for Paxos Commit) the acceptor group's
+    consensus-record forces -- the instants where a decision becomes
+    durable somewhere and a coordinator crash changes who can finish
+    the transaction.
+    """
+    scenario = build_scenario(spec)
+    federation = scenario.federation
+    for engine in federation.engines.values():
+        engine.disk.trace_forces = True
+    federation.run(until=spec.horizon)
+    return sorted({
+        record.time
+        for record in federation.kernel.trace.select(category="log_force")
+    })
+
+
+def explore_coordinator_crash_points(
+    spec: CheckSpec,
+    coordinator: int = 0,
+    acceptor_crashes: int = 0,
+    restart_after: float = 0.0,
+    max_points: Optional[int] = None,
+    stop_on_violation: bool = True,
+) -> CheckReport:
+    """One execution per decision boundary, coordinator killed there.
+
+    The non-blocking exhibit: at every durable-force instant of the
+    baseline, crash coordinator shard ``coordinator`` (and, for Paxos
+    Commit, the first ``acceptor_crashes`` acceptors at the same
+    instant).  ``restart_after`` <= 0 keeps them down for good.  Under
+    plain 2PC with one coordinator this leaves prepared participants
+    blocked (convergence violations); under Paxos Commit with a live
+    peer and F surviving acceptors every execution must stay clean.
+    """
+    points = enumerate_decision_boundaries(spec)
+    if max_points is not None:
+        points = points[:max_points]
+    report = CheckReport(spec=spec, crash_points=len(points))
+    for at in points:
+        scenario = build_scenario(spec)
+        federation = scenario.federation
+        federation.crash_coordinator(coordinator, at=at)
+        if restart_after > 0:
+            federation.restart_coordinator(coordinator, at=at + restart_after)
+        for index in range(acceptor_crashes):
+            federation.crash_acceptor(index, at=at)
+            if restart_after > 0:
+                federation.restart_acceptor(index, at=at + restart_after)
+        end_time = federation.run(until=spec.horizon)
+        result = ExecutionResult(end_time=end_time)
+        result.crashes = [
+            CrashPoint(federation.coordinators[coordinator].name, at, restart_after)
+        ]
+        result.committed = sum(gtm.committed for gtm in federation.coordinators)
+        result.aborted = sum(gtm.aborted for gtm in federation.coordinators)
+        result.violations = [
+            str(violation)
+            for violation in check_invariants(
+                federation, processes=scenario.processes
+            )
+        ]
+        report.executions += 1
+        if result.violations:
+            report.violation_count += 1
+            if report.counterexample is None:
+                report.counterexample = result
+            if stop_on_violation:
+                break
+    report.exhausted = max_points is None or len(points) <= max_points
+    return report
 
 
 def explore_crash_points(

@@ -49,6 +49,7 @@ CHECK_PROTOCOLS: list[tuple[str, str]] = [
     ("3pc", "per_site"),
     ("after", "per_site"),
     ("before", "per_action"),
+    ("paxos", "per_site"),
 ]
 
 MUTANTS = ("no_l1_guard",)
@@ -65,6 +66,8 @@ class CheckSpec:
     n_sites: int = 2
     n_txns: int = 2
     coordinators: int = 1
+    #: Paxos Commit only: acceptor-group fault tolerance (2F+1 built).
+    paxos_f: int = 1
     mutant: str = ""
     #: Simulated-time ceiling of one execution; generous, because an
     #: exploration must never mistake a slow schedule for a hang.
@@ -120,7 +123,7 @@ def _transfer_keys(spec: CheckSpec) -> list[str]:
 
 
 def _site_specs(spec: CheckSpec) -> list[SiteSpec]:
-    preparable = spec.protocol in ("2pc", "2pc-pa", "3pc")
+    preparable = spec.protocol in ("2pc", "2pc-pa", "3pc", "paxos")
     # "x"/"y" feed the rw_cross workload; the "g<n>" keys are the
     # transfer transactions' private, page-disjoint keys.
     rows = {"x": 100, "y": 100}
@@ -186,6 +189,7 @@ def build_scenario(spec: CheckSpec) -> Scenario:
         seed=spec.seed,
         latency=1.0,
         coordinators=spec.coordinators,
+        paxos_f=spec.paxos_f,
         gtm=GTMConfig(
             protocol=spec.protocol,
             granularity=spec.granularity,

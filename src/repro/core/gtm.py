@@ -90,6 +90,10 @@ class GTMConfig:
     l1_timeout: Optional[float] = 150.0
     msg_timeout: float = 50.0
     status_poll_interval: float = 10.0
+    #: Paxos Commit only: how long a crashed coordinator's peers wait
+    #: before taking over its undecided transactions at a higher ballot
+    #: (timeout-driven leader change, not orphan adoption).
+    paxos_takeover_timeout: float = 80.0
     durable_status: bool = True
     #: Collapse inverse transactions (net increments, dead-write
     #: elimination) before sending them -- the optimization §4.1 defers.
@@ -103,6 +107,11 @@ class GTMConfig:
     def __post_init__(self) -> None:
         if self.granularity not in ("per_action", "per_site"):
             raise ValueError(f"unknown granularity {self.granularity!r}")
+
+    @property
+    def coordinator_mode(self) -> str:
+        """``"paxos"`` (replicated decisions) or ``"classic"``."""
+        return "paxos" if self.protocol == "paxos" else "classic"
 
     def resolved_l1_table(self) -> Optional[ConflictTable]:
         """The L1 conflict table this configuration actually uses."""
@@ -315,6 +324,9 @@ class GlobalTransactionManager:
         # -- all of them die with the coordinator.
         self.crashed = False
         self.pool: Optional[Any] = None
+        # Paxos coordinator mode: the federation installs the shared
+        # AcceptorGroup here; ``None`` on every classic path.
+        self.acceptors: Optional[Any] = None
         self._inflight: dict[str, "Process"] = {}
         self._service: list["Process"] = []
         from repro.core.recovery import GlobalRecoveryManager
@@ -448,7 +460,17 @@ class GlobalTransactionManager:
             "l1_wait_time": self.l1.total_wait_time if self.l1 else 0.0,
             "l1_hold_time": self.l1.total_hold_time if self.l1 else 0.0,
             "l1_deadlocks": self.l1.deadlocks if self.l1 else 0,
-            "decision_forces": self.decision_log.forces,
+            # Paxos folds the acceptor-group forces into the decision
+            # figure (only once, at the shard named "central", which
+            # every report reads): the acceptor majority *is* the
+            # durable decision record, so the §4 cost accounting stays
+            # comparable across coordinator modes.
+            "decision_forces": self.decision_log.forces
+            + (
+                self.acceptors.total_forces()
+                if self.acceptors is not None and self.name == "central"
+                else 0
+            ),
             "decision_groups": self.pipeline.groups_sent if self.pipeline else 0,
             "decisions_grouped": (
                 self.pipeline.decisions_grouped if self.pipeline else 0

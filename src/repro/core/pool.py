@@ -71,8 +71,21 @@ class CoordinatorPool:
         #: ``adopt_orphans`` pops entries as it settles them, so on an
         #: adopter crash the leftover is exactly what must be re-adopted.
         self._adoptions: dict[int, dict[str, "GlobalTransaction"]] = {}
+        #: Adopters with an adoption process in flight.  A second crash
+        #: of the same shard while its orphans are mid-adoption merges
+        #: into the running batch instead of spawning a duplicate
+        #: adoption that would redrive the same transactions twice.
+        self._adoption_running: set[int] = set()
+        #: Paxos coordinator mode: undecided transactions of a crashed
+        #: shard wait here for the takeover timeout, then a live peer
+        #: finishes their consensus instances at a higher ballot
+        #: (timeout-driven leader change, not orphan adoption).
+        self._pending_takeovers: dict[str, "GlobalTransaction"] = {}
+        self._takeover_batches: dict[int, dict[str, "GlobalTransaction"]] = {}
+        self._takeover_running: set[int] = set()
         self.crashes = 0
         self.failovers_started = 0
+        self.takeovers_started = 0
         self.submissions_rerouted = 0
         for gtm in self.coordinators:
             gtm.pool = self
@@ -138,6 +151,10 @@ class CoordinatorPool:
                 return True
         if gtxn_id in self._pending_orphans:
             return True
+        if gtxn_id in self._pending_takeovers:
+            return True
+        if any(gtxn_id in batch for batch in self._takeover_batches.values()):
+            return True
         return any(gtxn_id in batch for batch in self._adoptions.values())
 
     def live_coordinator(self) -> "GlobalTransactionManager":
@@ -159,7 +176,10 @@ class CoordinatorPool:
     def unresolved_orphans(self) -> list[str]:
         """In-doubt gtxn ids no failover has settled yet (audits)."""
         unresolved = sorted(self._pending_orphans)
+        unresolved.extend(sorted(self._pending_takeovers))
         for batch in self._adoptions.values():
+            unresolved.extend(sorted(batch))
+        for batch in self._takeover_batches.values():
             unresolved.extend(sorted(batch))
         return unresolved
 
@@ -177,11 +197,17 @@ class CoordinatorPool:
         # processes: the interrupt runs each coordinator generator's
         # ``finally`` blocks, which pop ``gtm.active``.
         orphans: dict[str, "GlobalTransaction"] = dict(gtm.active)
-        # An adoption this shard was running for an earlier crash is
-        # itself orphaned now -- whatever it had not settled yet.
+        # An adoption (or takeover) this shard was running for an
+        # earlier crash is itself orphaned now -- whatever it had not
+        # settled yet.
         leftover = self._adoptions.pop(index, None)
         if leftover:
             orphans.update(leftover)
+        self._adoption_running.discard(index)
+        leftover = self._takeover_batches.pop(index, None)
+        if leftover:
+            orphans.update(leftover)
+        self._takeover_running.discard(index)
         gtm.crashed = True
         if gtm.pipeline is not None:
             gtm.pipeline.crash()
@@ -197,8 +223,16 @@ class CoordinatorPool:
             if not process.done:
                 process.interrupt(cause=f"coordinator {gtm.name} crashed")
         gtm._service.clear()
-        self._pending_orphans.update(orphans)
-        self._start_failover()
+        if self._paxos_mode:
+            # Paxos Commit: nobody adopts anything.  The undecided
+            # transactions wait out the takeover timeout, then a live
+            # peer finishes their consensus instances at a higher
+            # ballot -- non-blocking by the acceptor majority.
+            self._pending_takeovers.update(orphans)
+            self._schedule_takeover()
+        else:
+            self._pending_orphans.update(orphans)
+            self._start_failover()
 
     def restart(self, index: int) -> Generator[Any, Any, None]:
         """Restart coordinator ``index`` (a generator; spawn or yield from)."""
@@ -210,8 +244,9 @@ class CoordinatorPool:
         gtm.comm.respawn()
         self.kernel.trace.emit("coordinator_restart", gtm.name, gtm.name)
         # Orphans stranded while every peer was down: the reborn
-        # coordinator adopts them itself.
+        # coordinator adopts (or, under paxos, takes over) them itself.
         self._start_failover()
+        self._schedule_takeover()
 
     def _start_failover(self) -> None:
         """Hand all pending orphans to one live peer, if any exists."""
@@ -230,6 +265,13 @@ class CoordinatorPool:
         existing = self._adoptions.setdefault(adopter_index, {})
         existing.update(batch)
         self.failovers_started += 1
+        if adopter_index in self._adoption_running:
+            # The adopter is already draining its batch (a double crash
+            # of the same shard landed mid-adoption): the merge above
+            # is enough -- a second adoption process would re-adopt and
+            # redrive transactions the running one is still settling.
+            return
+        self._adoption_running.add(adopter_index)
         process = self.kernel.spawn(
             self._run_adoption(adopter, adopter_index),
             name=f"failover:{adopter.name}",
@@ -240,13 +282,74 @@ class CoordinatorPool:
         self, adopter: "GlobalTransactionManager", adopter_index: int
     ) -> Generator[Any, Any, None]:
         batch = self._adoptions.get(adopter_index)
-        if not batch:
-            return
         try:
+            if not batch:
+                return
             yield from adopter.recovery.adopt_orphans(batch)
         finally:
+            self._adoption_running.discard(adopter_index)
             if not batch and self._adoptions.get(adopter_index) is batch:
                 self._adoptions.pop(adopter_index, None)
+
+    # ------------------------------------------------------------------
+    # Paxos takeover (coordinator_mode == "paxos")
+    # ------------------------------------------------------------------
+
+    @property
+    def _paxos_mode(self) -> bool:
+        return self.coordinators[0].config.protocol == "paxos"
+
+    def _schedule_takeover(self) -> None:
+        """Arm the takeover timer for the pending undecided batch."""
+        if not self._pending_takeovers:
+            return
+        timeout = self.coordinators[0].config.paxos_takeover_timeout
+        self.kernel._schedule(timeout, self._takeover_due)
+
+    def _takeover_due(self) -> None:
+        """Timeout fired: hand the pending batch to one live peer."""
+        if not self._pending_takeovers:
+            return
+        adopter: Optional["GlobalTransactionManager"] = None
+        for gtm in self.coordinators:
+            if not gtm.crashed:
+                adopter = gtm
+                break
+        if adopter is None:
+            return  # total outage; a restart re-arms the timer
+        batch = dict(self._pending_takeovers)
+        self._pending_takeovers.clear()
+        adopter_index = self.coordinators.index(adopter)
+        existing = self._takeover_batches.setdefault(adopter_index, {})
+        existing.update(batch)
+        self.takeovers_started += 1
+        self.kernel.trace.emit(
+            "paxos_takeover", adopter.name, adopter.name, batch=len(batch)
+        )
+        if adopter_index in self._takeover_running:
+            return  # the running drain loop picks the merge up
+        self._takeover_running.add(adopter_index)
+        process = self.kernel.spawn(
+            self._run_takeover(adopter, adopter_index),
+            name=f"takeover:{adopter.name}",
+        )
+        adopter.track_service(process)
+
+    def _run_takeover(
+        self, adopter: "GlobalTransactionManager", adopter_index: int
+    ) -> Generator[Any, Any, None]:
+        batch = self._takeover_batches.get(adopter_index)
+        try:
+            while batch:
+                if adopter.crashed:
+                    return  # crash handling re-routes the leftover
+                gtxn_id = min(batch)
+                yield from adopter.recovery.takeover_paxos(batch[gtxn_id])
+                batch.pop(gtxn_id, None)
+        finally:
+            self._takeover_running.discard(adopter_index)
+            if not batch and self._takeover_batches.get(adopter_index) is batch:
+                self._takeover_batches.pop(adopter_index, None)
 
     # ------------------------------------------------------------------
 

@@ -280,6 +280,7 @@ def make_protocol(name: str) -> CommitProtocol:
     from repro.baselines.sagas import SagaCoordinator
     from repro.core.protocols.commit_after import CommitAfter
     from repro.core.protocols.commit_before import CommitBefore
+    from repro.core.protocols.paxos_commit import PaxosCommit
     from repro.core.protocols.presumed_abort import PresumedAbort2PC
     from repro.core.protocols.three_phase import ThreePhaseCommit
     from repro.core.protocols.two_phase import TwoPhaseCommit
@@ -292,6 +293,7 @@ def make_protocol(name: str) -> CommitProtocol:
         "3pc": ThreePhaseCommit,
         "saga": SagaCoordinator,
         "altruistic": AltruisticCommit,
+        "paxos": PaxosCommit,
     }
     if name not in protocols:
         raise ValueError(f"unknown protocol {name!r}; choose from {sorted(protocols)}")

@@ -1,0 +1,153 @@
+"""Paxos Commit (Gray & Lamport) -- non-blocking replicated 2PC.
+
+Structurally this is two-phase commit with the coordinator's forced
+decision-log write replaced by one consensus instance over the
+``2F + 1`` acceptor group (see :mod:`repro.core.paxos`): the locals
+prepare exactly as for 2PC, and the commit decision is *chosen* by a
+ballot-0 Phase 2a/2b round batching all RM votes into one record --
+no Phase 1a on the fast path, because ballot 0 is reserved for the
+transaction's home coordinator.
+
+What changes operationally:
+
+* A commit decision is durable at ``F + 1`` acceptors, not in the
+  central decision log -- ``DecisionLog.harden`` is never called, and
+  recovery reads :meth:`AcceptorGroup.decision_for
+  <repro.core.paxos.AcceptorGroup.decision_for>` instead.
+* A coordinator crash mid-decision never blocks the transaction: a
+  live peer's takeover timer finishes the ballot at a higher number
+  (:meth:`PaxosLeader.resolve <repro.core.paxos.PaxosLeader.resolve>`),
+  so in-doubt locals resolve without waiting for the crashed shard.
+* Any RM voting no short-circuits to presumed abort with no acceptor
+  round at all -- a chosen *commit* therefore implies every RM is
+  durably prepared.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.core.global_txn import GlobalTxnState
+from repro.core.paxos import PaxosLeader
+from repro.core.protocols.base import CommitProtocol, ExecutionFailure, ProtocolContext
+from repro.errors import DeadlockDetected, LockTimeout, MessageTimeout
+
+
+class PaxosCommit(CommitProtocol):
+    """2PC voting with a replicated, non-blocking decision."""
+
+    name = "paxos"
+    requires_prepare = True
+
+    def run(self, ctx: ProtocolContext) -> Generator[Any, Any, None]:
+        gtxn = ctx.gtxn
+        try:
+            yield from ctx.begin_subtransactions()
+            yield from ctx.execute_operations()
+        except ExecutionFailure as exc:
+            ctx.outcome.retriable = exc.aborted
+            yield from self._abort_running(ctx, reason=str(exc))
+            return
+        except (DeadlockDetected, LockTimeout) as exc:
+            ctx.outcome.retriable = True
+            yield from self._abort_running(ctx, reason=f"L1 conflict: {exc}")
+            return
+
+        if ctx.intends_abort:
+            yield from self._abort_running(ctx, reason="intended abort")
+            return
+
+        # Phase 1: prepare -- identical to 2PC, the locals enter the
+        # ready state with their own forced writes.
+        gtxn.set_state(GlobalTxnState.INQUIRE)
+        votes = yield from ctx.parallel(
+            {
+                site: ctx.request(site, "prepare", protocol="paxos")
+                for site in ctx.decomposition.sites
+            }
+        )
+        all_ready = all(
+            not isinstance(reply, Exception) and reply.payload.get("vote") == "ready"
+            for reply in votes.values()
+        )
+        vote_map = {
+            site: ("timeout" if isinstance(r, Exception) else r.payload.get("vote"))
+            for site, r in votes.items()
+        }
+
+        if all_ready:
+            # The decision round: ballot-0 fast path over the acceptor
+            # group.  The returned value is whatever consensus *chose*
+            # -- normally commit, but a takeover that presumed this
+            # leader dead may have chosen abort first; its choice wins.
+            leader = PaxosLeader(
+                ctx.gtm, gtxn.gtxn_id, sorted(ctx.decomposition.sites)
+            )
+            decision = yield from leader.commit_fast(vote_map)
+        else:
+            # Presumed abort: no acceptor round for a no vote.  A later
+            # takeover reading an empty instance concludes abort too.
+            decision = "abort"
+        gtxn.set_decision(decision, votes=vote_map)
+
+        gtxn.set_state(
+            GlobalTxnState.WAITING_TO_COMMIT
+            if decision == "commit"
+            else GlobalTxnState.WAITING_TO_ABORT
+        )
+        if decision == "commit":
+            yield from ctx.parallel(
+                {
+                    site: self._commit_site_until_done(ctx, site)
+                    for site in ctx.decomposition.sites
+                }
+            )
+            gtxn.set_state(GlobalTxnState.COMMITTED)
+            ctx.outcome.committed = True
+        else:
+            yield from ctx.parallel(
+                {
+                    site: ctx.request_until_answered(site, "decide", decision="abort")
+                    for site in ctx.decomposition.sites
+                }
+            )
+            gtxn.set_state(GlobalTxnState.ABORTED)
+            ctx.outcome.reason = (
+                "participant voted abort" if not all_ready else "takeover chose abort"
+            )
+            ctx.outcome.retriable = True
+
+    def _commit_site_until_done(
+        self, ctx: ProtocolContext, site: str
+    ) -> Generator[Any, Any, str]:
+        """Deliver the chosen commit, waiting out crashed sites.
+
+        Unlike :meth:`ProtocolContext.decide_commit` this never touches
+        the central decision log -- the acceptor majority *is* the
+        durable decision record.
+        """
+        while True:
+            try:
+                reply = yield from ctx.comm.request(
+                    site, "decide", gtxn_id=ctx.gtxn.gtxn_id,
+                    timeout=ctx.config.msg_timeout * 4,
+                    decision="commit", marker_key=None,
+                )
+                return reply.payload["outcome"]
+            except MessageTimeout:
+                yield ctx.config.status_poll_interval
+
+    def _abort_running(
+        self, ctx: ProtocolContext, reason: str
+    ) -> Generator[Any, Any, None]:
+        """Abort while every local is still running -- the cheap path."""
+        ctx.gtxn.set_decision("abort", cause=reason)
+        ctx.gtxn.set_state(GlobalTxnState.WAITING_TO_ABORT)
+        yield from ctx.parallel(
+            {
+                site: ctx.request_until_answered(site, "decide", decision="abort")
+                for site in ctx.decomposition.sites
+            }
+        )
+        ctx.gtxn.set_state(GlobalTxnState.ABORTED)
+        ctx.outcome.reason = reason

@@ -52,6 +52,10 @@ class GlobalRecoveryManager:
         # Coordinator-failover accounting (sharded pools only).
         self.failovers = 0
         self.failover_resolved = 0
+        # Paxos: consensus instances this manager had to *conclude* at
+        # a higher ballot because nothing else would ever decide them.
+        self.paxos_concluded = 0
+        self._concluding: set[str] = set()
         # Per-site recovery epoch: a fresh restart supersedes any sweep
         # loop still running from the previous one.
         self._epochs: dict[str, int] = {}
@@ -101,7 +105,12 @@ class GlobalRecoveryManager:
     #: Terminal acknowledgements and status answers are excluded: they
     #: carry no obligation to clean anything up.
     _STATE_FREE_KINDS = frozenset(
-        {"finished", "status_report", "recover_report"}
+        {"finished", "status_report", "recover_report",
+         # Acceptor replies: consensus bookkeeping, not site state.  A
+         # straggling promise or acceptance after its leader crashed
+         # must not be mistaken for an orphaned subtransaction at the
+         # "site" named acceptorN.
+         "paxos_p1b", "paxos_p2b"}
     )
 
     def note_orphan_reply(self, message: Any) -> None:
@@ -140,11 +149,68 @@ class GlobalRecoveryManager:
             )
         )
 
+    def _resolved_decision(self, gtxn_id: str) -> Optional[str]:
+        """The durable decision recovery may act on, or ``None``.
+
+        Classic protocols read the central decision log: a hardened
+        commit record, else presumed abort -- never ``None``.  Paxos
+        reads the acceptor majority instead; ``None`` there means the
+        consensus instance is still in flux (an in-flight ballot could
+        yet choose commit), so the caller must leave the local in doubt
+        -- the pending takeover finishes the ballot and a later sweep
+        reads the chosen value.
+        """
+        if self.gtm.acceptors is not None:
+            return self.gtm.acceptors.decision_for(gtxn_id)
+        return self.gtm.decision_log.decision_for(gtxn_id) or "abort"
+
+    def _settled_decision(
+        self, gtxn_id: str, rms: list[str]
+    ) -> Generator[Any, Any, Optional[str]]:
+        """Like :meth:`_resolved_decision`, but *concludes* paxos limbo.
+
+        A transaction its home coordinator aborted on the fast path --
+        presumed abort, no consensus record -- can leave a prepared
+        local in doubt forever: no acceptor majority will ever answer,
+        and no takeover is pending because the home never crashed.  When
+        nothing is driving the instance anymore, recovery must finish
+        the consensus itself: a takeover round at a higher ballot blocks
+        ballot 0, re-proposes any accepted value it finds (so a chosen
+        commit survives), and otherwise *chooses* abort.  That round is
+        safe against any concurrent leader -- it is ordinary Paxos.
+
+        Returns ``None`` only while someone else may still decide (a
+        live driver, a pending pool takeover, or a conclusion already
+        in flight here); the caller's sweep retries later.
+        """
+        decision = self._resolved_decision(gtxn_id)
+        if decision is not None or self.gtm.acceptors is None:
+            return decision
+        if self.gtm.is_active(gtxn_id):
+            return None  # a driver or a pending takeover settles it
+        if gtxn_id in self._concluding:
+            return None  # one concluding round at a time per instance
+        from repro.core.paxos import PaxosLeader
+
+        self._concluding.add(gtxn_id)
+        try:
+            self.gtm.kernel.trace.emit(
+                "paxos_conclude", self.gtm.name, gtxn_id
+            )
+            decision = yield from PaxosLeader(self.gtm, gtxn_id, rms).resolve()
+            self.paxos_concluded += 1
+            return decision
+        finally:
+            self._concluding.discard(gtxn_id)
+
     def _terminate_orphan(
         self, gtxn_id: str, site: str
     ) -> Generator[Any, Any, None]:
         config = self.gtm.config
-        decision = self.gtm.decision_log.decision_for(gtxn_id) or "abort"
+        decision = yield from self._settled_decision(gtxn_id, [site])
+        if decision is None:
+            self._terminating.discard((gtxn_id, site))
+            return  # paxos: a pending takeover or conclusion settles it
         self.gtm.kernel.trace.emit(
             "recovery_decide", self.gtm.name, gtxn_id,
             at=site, decision=decision, cause="orphan reply",
@@ -198,7 +264,13 @@ class GlobalRecoveryManager:
                 continue
             # Orphaned in-doubt subtransaction: the hardened decision
             # record is authoritative, its absence means presumed abort.
-            decision = self.gtm.decision_log.decision_for(gtxn_id) or "abort"
+            # (Paxos: the acceptor majority is authoritative instead; an
+            # instance nobody is driving is concluded at a higher ballot
+            # -- abort is only ever *chosen*, never presumed.)
+            decision = yield from self._settled_decision(gtxn_id, [site])
+            if decision is None:
+                unresolved += 1
+                continue
             self.gtm.kernel.trace.emit(
                 "recovery_decide", self.gtm.name, gtxn_id, at=site, decision=decision
             )
@@ -318,9 +390,14 @@ class GlobalRecoveryManager:
         self.gtm.kernel.trace.emit(
             "failover", self.gtm.name, self.gtm.name, orphans=len(orphans)
         )
-        for gtxn_id in sorted(orphans):
+        # Drain-style loop (not a snapshot of the keys): a double crash
+        # of the same shard mid-adoption merges its still-unsettled
+        # orphans into this very batch, and the drain picks them up --
+        # the pool spawns no second adoption while one is running.
+        while orphans:
             if self.gtm.crashed:
                 return  # the pool re-adopts whatever is left
+            gtxn_id = min(orphans)
             gtxn = orphans[gtxn_id]
             if config.protocol == "before":
                 if config.granularity == "per_action":
@@ -335,6 +412,42 @@ class GlobalRecoveryManager:
             orphans.pop(gtxn_id, None)
             if resolved:
                 self.failover_resolved += 1
+
+    def takeover_paxos(self, gtxn: Any) -> Generator[Any, Any, bool]:
+        """Finish a crashed peer's consensus instance; settle its sites.
+
+        Paxos Commit's replacement for orphan adoption: this
+        coordinator becomes the transaction's leader at a higher
+        ballot (:meth:`PaxosLeader.resolve
+        <repro.core.paxos.PaxosLeader.resolve>`).  The chosen value --
+        the crashed leader's commit if it reached an acceptor
+        majority, abort otherwise -- is then delivered to every
+        participant.  Non-blocking under any F acceptor crashes plus
+        the coordinator crash: no step here waits on the dead shard.
+        """
+        from repro.core.paxos import PaxosLeader
+
+        self.failovers += 1
+        self.gtm.kernel.trace.emit(
+            "paxos_takeover_txn", self.gtm.name, gtxn.gtxn_id,
+            sites=len(gtxn.sites()),
+        )
+        leader = PaxosLeader(self.gtm, gtxn.gtxn_id, sorted(gtxn.sites()))
+        decision = yield from leader.resolve()
+        settled_all = True
+        for site in gtxn.sites():
+            self.gtm.kernel.trace.emit(
+                "recovery_decide", self.gtm.name, gtxn.gtxn_id,
+                at=site, decision=decision, cause="paxos takeover",
+            )
+            settled = yield from self._decide_until_settled(
+                site, gtxn.gtxn_id, decision, None
+            )
+            if not settled:
+                settled_all = False
+        if settled_all:
+            self.failover_resolved += 1
+        return settled_all
 
     def _failover_decide(self, gtxn: Any) -> Generator[Any, Any, bool]:
         """Redrive the hardened decision (or presumed abort) everywhere."""

@@ -87,6 +87,15 @@ class ChaosSpec:
     coordinator_crash_index: int = 1
     coordinator_crash_at: float = 0.0
     coordinator_outage: float = 0.0
+    #: Paxos Commit only: acceptor-group fault tolerance (2F+1 built)
+    #: and a scheduled kill of the first ``acceptor_crashes`` acceptors
+    #: at ``acceptor_crash_at`` (0 = none), restarted after
+    #: ``acceptor_outage`` (0 = they stay down -- which up to F crashes
+    #: must tolerate without a single blocked transaction).
+    paxos_f: int = 1
+    acceptor_crashes: int = 0
+    acceptor_crash_at: float = 0.0
+    acceptor_outage: float = 0.0
 
 
 @dataclass
@@ -127,7 +136,7 @@ class ChaosResult:
 
 def build_chaos_federation(spec: ChaosSpec) -> Federation:
     """A federation wired for one chaos run (reliable delivery on)."""
-    needs_prepare = spec.protocol in ("2pc", "2pc-pa", "3pc")
+    needs_prepare = spec.protocol in ("2pc", "2pc-pa", "3pc", "paxos")
     site_specs = [
         SiteSpec(
             f"s{i}",
@@ -150,6 +159,7 @@ def build_chaos_federation(spec: ChaosSpec) -> Federation:
         retransmit_timeout=6.0,
         metrics=spec.metrics,
         coordinators=spec.coordinators,
+        paxos_f=spec.paxos_f,
         gtm=GTMConfig(
             protocol=spec.protocol,
             granularity=spec.granularity,
@@ -206,6 +216,17 @@ def run_chaos(spec: ChaosSpec) -> ChaosResult:
                 spec.coordinator_crash_index,
                 at=spec.coordinator_crash_at + spec.coordinator_outage,
             )
+
+    # -- scheduled acceptor crashes (paxos coordinator mode) -----------
+    if spec.acceptor_crashes > 0 and spec.acceptor_crash_at > 0:
+        if fed.acceptors is None:
+            raise ValueError("acceptor_crashes requires protocol='paxos'")
+        for i in range(spec.acceptor_crashes):
+            fed.crash_acceptor(i, at=spec.acceptor_crash_at)
+            if spec.acceptor_outage > 0:
+                fed.restart_acceptor(
+                    i, at=spec.acceptor_crash_at + spec.acceptor_outage
+                )
 
     # -- conservation workload: balanced cross-site transfers ----------
     def transfer_ops(txn_rng) -> list:
@@ -314,6 +335,10 @@ def run_chaos(spec: ChaosSpec) -> ChaosResult:
             g.recovery.orphans_terminated for g in fed.coordinators
         ),
         "coordinator_crashes": fed.pool.crashes,
+        "takeovers_started": fed.pool.takeovers_started,
+        "paxos_concluded": sum(
+            g.recovery.paxos_concluded for g in fed.coordinators
+        ),
         "failovers": sum(g.recovery.failovers for g in fed.coordinators),
         "failover_resolved": sum(
             g.recovery.failover_resolved for g in fed.coordinators

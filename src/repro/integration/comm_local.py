@@ -295,7 +295,7 @@ class LocalCommunicationManager:
         if status is not LocalTxnState.RUNNING:
             self._reply(message, "vote", vote="abort", reason=f"state={status}")
             return
-        if protocol == "2pc":
+        if protocol in ("2pc", "paxos"):
             if message.payload.get("allow_readonly"):
                 # Read-only optimization ([ML 83]): a participant that
                 # wrote nothing commits right away and drops out of

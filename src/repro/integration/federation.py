@@ -75,6 +75,10 @@ class FederationConfig:
     coordinators: int = 1
     #: ``"hash"`` (gtxn id) or ``"affinity"`` (first routed site).
     coordinator_routing: str = "hash"
+    #: Paxos Commit fault tolerance: the decision survives ``paxos_f``
+    #: acceptor crashes (``2 * paxos_f + 1`` acceptors are built).
+    #: Only read when ``gtm.protocol == "paxos"``.
+    paxos_f: int = 1
     gtm: GTMConfig = field(default_factory=GTMConfig)
 
     def __post_init__(self) -> None:
@@ -149,6 +153,21 @@ class Federation:
         self.pool = CoordinatorPool(
             self.kernel, self.coordinators, routing=self.config.coordinator_routing
         )
+
+        # Paxos coordinator mode: one shared 2F+1 acceptor group; every
+        # shard's embedded leader speaks to the same ensemble.  Never
+        # built on classic paths -- no extra nodes, no extra events.
+        self.acceptors = None
+        if self.config.gtm.protocol == "paxos":
+            from repro.core.paxos import AcceptorGroup
+
+            self.acceptors = AcceptorGroup(
+                self.kernel, self.network, self.config.paxos_f
+            )
+            for acceptor in self.acceptors.acceptors:
+                self.nodes[acceptor.name] = acceptor.node
+            for gtm in self.coordinators:
+                gtm.acceptors = self.acceptors
 
         # Per-site end-of-outage time; overlapping crash schedules
         # extend it so stale restarts cannot resurrect a site early.
@@ -284,6 +303,9 @@ class Federation:
             if index is not None:
                 self.crash_coordinator(index, at=at)
                 return
+        if self.acceptors is not None and name in self.acceptors.by_name:
+            self.crash_acceptor(self.acceptors.names.index(name), at=at)
+            return
         node = self.nodes[name]
         if at is None:
             node.crash()
@@ -313,6 +335,9 @@ class Federation:
             if index is not None:
                 self.restart_coordinator(index, at=at)
                 return
+        if self.acceptors is not None and name in self.acceptors.by_name:
+            self.restart_acceptor(self.acceptors.names.index(name), at=at)
+            return
         node = self.nodes[name]
 
         def do_restart() -> None:
@@ -384,6 +409,41 @@ class Federation:
             self.kernel.call_at(at, do_restart)
 
     # ------------------------------------------------------------------
+    # Acceptor fault control (paxos coordinator mode)
+    # ------------------------------------------------------------------
+
+    def crash_acceptor(self, index: int, at: Optional[float] = None) -> None:
+        """Crash acceptor ``index`` now or at simulated time ``at``.
+
+        Up to ``paxos_f`` simultaneous acceptor crashes leave every
+        decision readable and every new decision choosable.
+        """
+        if self.acceptors is None:
+            raise RuntimeError("no acceptor group (protocol is not paxos)")
+        if at is None:
+            self.acceptors.crash(index)
+        else:
+            self.kernel.call_at(at, self.acceptors.crash, index)
+
+    def restart_acceptor(self, index: int, at: Optional[float] = None) -> None:
+        """Restart acceptor ``index``; its stable state survived."""
+        if self.acceptors is None:
+            raise RuntimeError("no acceptor group (protocol is not paxos)")
+
+        def do_restart() -> None:
+            acceptor = self.acceptors.acceptors[index]
+            if not acceptor.node.crashed:
+                return
+            self.kernel.spawn(
+                acceptor.restart(), name=f"restart:{acceptor.name}"
+            )
+
+        if at is None:
+            do_restart()
+        else:
+            self.kernel.call_at(at, do_restart)
+
+    # ------------------------------------------------------------------
     # Inspection
     # ------------------------------------------------------------------
 
@@ -432,6 +492,8 @@ class Federation:
             report["coordinators"] = {
                 gtm.name: gtm.metrics() for gtm in self.coordinators
             }
+        if self.acceptors is not None:
+            report["acceptors"] = self.acceptors.metrics()
         if self.obs is not None:
             report["obs"] = self.obs.registry.as_dict()
         report["totals"] = {

@@ -139,6 +139,12 @@ class Network:
         # Reliability/fault metrics (physical layer).
         self.retransmissions = 0
         self.retransmit_drops = 0
+        # Per-destination logical messages whose retry budget ran out:
+        # before this counter a budget-exhausted request vanished
+        # silently from the metrics' point of view (only the aggregate
+        # ``retransmit_drops`` moved, with no site attribution), so
+        # chaos runs could not assert on *who* lost traffic.
+        self.retransmit_budget_exhausted: dict[str, int] = {}
         self.lost_transmissions = 0
         self.partition_blocked = 0
         self.duplicates_injected = 0
@@ -432,6 +438,9 @@ class Network:
             del self._pending_xmits[xid]
             self.retransmit_drops += 1
             self.dropped += len(messages)
+            exhausted = self.retransmit_budget_exhausted
+            for message in messages:
+                exhausted[message.dest] = exhausted.get(message.dest, 0) + 1
             trace = self.kernel.trace
             if trace.enabled:
                 for message in messages:
@@ -532,6 +541,9 @@ class Network:
             "reordered": self.reordered,
             "acks_sent": self.acks_sent,
             "abandoned_messages": self.abandoned_messages,
+            "retransmit_budget_exhausted": sum(
+                self.retransmit_budget_exhausted.values()
+            ),
             "unacked_in_flight": len(self._pending_xmits),
         }
 

@@ -157,6 +157,13 @@ class Observability:
                 registry.gauge(name, protocol=protocol).set(value)
             else:
                 registry.counter(name, protocol=protocol).set_total(value)
+        # Per-destination retry-budget exhaustion (site + protocol
+        # labels): lets chaos runs assert on which site silently lost a
+        # request, not just that *some* retry chain gave up.
+        for dest, count in sorted(network.retransmit_budget_exhausted.items()):
+            registry.counter(
+                "retransmit_budget_exhausted", site=dest, protocol=protocol
+            ).set_total(count)
         registry.counter("duplicate_requests", protocol=protocol).set_total(
             sum(comm.duplicate_requests for comm in federation.comms.values())
         )

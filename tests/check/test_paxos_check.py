@@ -1,0 +1,96 @@
+"""Coordinator-crash-point exploration: Paxos is non-blocking, 2PC is not.
+
+The acceptance exhibit of the Paxos Commit work, as checker runs: kill
+the coordinator at *every* durable log-force boundary of the traced
+baseline (plus F acceptors, for paxos) and audit the aftermath.  Paxos
+Commit must leave zero blocked transactions in every execution; classic
+2PC with a single central GTM must exhibit the blocking window the
+paper motivates -- an orphaned in-doubt local holding its locks.
+"""
+
+import pytest
+
+from repro.check import (
+    CheckSpec,
+    enumerate_decision_boundaries,
+    explore_coordinator_crash_points,
+)
+from repro.check.cli import main as check_main
+
+
+def paxos_spec(coordinators: int = 2) -> CheckSpec:
+    return CheckSpec(
+        protocol="paxos", granularity="per_site", coordinators=coordinators
+    )
+
+
+def test_decision_boundaries_cover_acceptor_forces():
+    boundaries = enumerate_decision_boundaries(paxos_spec())
+    assert boundaries, "a committing paxos run must force acceptor logs"
+    assert boundaries == sorted(boundaries)
+    # More boundaries than 2PC's: every acceptor of the 2F+1 group
+    # forces one acceptance per commit, versus one decision force.
+    reference = enumerate_decision_boundaries(
+        CheckSpec(protocol="2pc", granularity="per_site")
+    )
+    assert len(boundaries) > len(reference) > 0
+
+
+def test_paxos_coordinator_kill_at_every_boundary_never_blocks():
+    report = explore_coordinator_crash_points(
+        paxos_spec(), coordinator=0, acceptor_crashes=1
+    )
+    assert report.crash_points > 0
+    assert report.executions == report.crash_points
+    assert report.violation_count == 0, report.counterexample.violations
+    assert report.counterexample is None
+
+
+def test_paxos_survives_kill_of_either_shard():
+    # The crashed shard's in-flight work lands on its peer regardless
+    # of which shard the workload hashed to.
+    for coordinator in (0, 1):
+        report = explore_coordinator_crash_points(
+            paxos_spec(), coordinator=coordinator
+        )
+        assert report.violation_count == 0
+
+
+def test_2pc_single_coordinator_kill_exhibits_blocking_window():
+    spec = CheckSpec(protocol="2pc", granularity="per_site", coordinators=1)
+    report = explore_coordinator_crash_points(spec)
+    assert report.violation_count > 0
+    counterexample = report.counterexample
+    assert counterexample is not None
+    assert counterexample.crashes, "the counterexample must name the kill"
+    text = " ".join(counterexample.violations)
+    assert "in-doubt" in text or "non-terminal" in text
+
+
+def test_cli_paxos_crash_points_exits_zero(capsys):
+    status = check_main([
+        "--protocol", "paxos", "--coordinators", "2",
+        "--coordinator-crash-points", "--acceptor-crashes", "1",
+    ])
+    assert status == 0
+    out = capsys.readouterr().out
+    assert "0 with blocked transactions" in out
+    assert "no execution blocked" in out
+
+
+def test_cli_2pc_crash_points_exits_one(capsys):
+    status = check_main([
+        "--protocol", "2pc", "--coordinators", "1",
+        "--coordinator-crash-points",
+    ])
+    assert status == 1
+    out = capsys.readouterr().out
+    assert "first blocking window" in out
+
+
+def test_cli_rejects_acceptor_crashes_off_paxos():
+    with pytest.raises(SystemExit):
+        check_main([
+            "--protocol", "2pc", "--coordinator-crash-points",
+            "--acceptor-crashes", "1",
+        ])

@@ -195,6 +195,74 @@ def test_failover_redrives_hardened_commit():
     assert atomicity_report(fed).ok
 
 
+def test_double_crash_merges_into_running_adoption():
+    """A re-crash mid-adoption merges orphans; no duplicate adopter.
+
+    Unit-level check of the ``_start_failover`` guard: while shard 0's
+    adoption process is draining its batch, a second crash of the same
+    shard must fold the new orphans into that very batch -- spawning a
+    second adoption would redrive transactions the running one is
+    still settling.
+    """
+    fed = build(coordinators=3)
+    pool = fed.pool
+    first, second = object(), object()
+    pool._adoption_running.add(0)  # an adoption is (notionally) running
+    pool._adoptions[0] = {"X1": first}
+    pool._pending_orphans.update({"X2": second})
+    queued_before = fed.kernel.queued
+    started_before = pool.failovers_started
+    pool._start_failover()
+    # Merged into the running batch, counted, and *no* process spawned.
+    assert pool._adoptions[0] == {"X1": first, "X2": second}
+    assert pool.failovers_started == started_before + 1
+    assert pool._adoption_running == {0}
+    assert fed.kernel.queued == queued_before
+    assert pool._pending_orphans == {}
+
+
+def test_double_crash_of_same_shard_converges():
+    """Crash, restart, re-crash: adoption stays idempotent end to end.
+
+    Shard 1 crashes with transactions in flight, its peer starts
+    adopting, shard 1 restarts, accepts fresh work, and crashes again
+    while the first adoption is still draining.  The second batch
+    merges into the first; afterwards nothing may be double-driven,
+    orphaned, or left in the adoption bookkeeping.
+    """
+    fed = build(coordinators=2)
+    shard1 = [f"T{i}" for i in range(40)
+              if fed.pool.shard_of(f"T{i}", transfer(0)) == 1][:6]
+    assert len(shard1) == 6
+
+    def submitter(name: str, delay: float, n: int):
+        yield delay
+        outcome = yield fed.submit(transfer(n), name=name)
+        return outcome
+
+    # Four transactions in flight at the first crash; two more begin
+    # at the reborn shard and are caught by the second crash.
+    delays = [0.5, 2.0, 3.5, 4.5, 9.5, 10.0]
+    processes = [
+        fed.kernel.spawn(
+            submitter(name, delays[i], i), name=f"client:{name}"
+        )
+        for i, name in enumerate(shard1)
+    ]
+    fed.crash_coordinator(1, at=5.0)
+    fed.restart_coordinator(1, at=9.0)
+    fed.crash_coordinator(1, at=11.0)  # again, mid-adoption of batch 1
+    fed.run()
+    assert fed.pool.crashes == 2
+    assert fed.pool.failovers_started == 2
+    assert all(process.done for process in processes)
+    assert fed.pool.unresolved_orphans() == []
+    assert fed.pool._adoptions == {}
+    assert fed.pool._adoption_running == set()
+    assert atomicity_report(fed).ok
+    assert serializability_ok(fed)
+
+
 def test_restart_rejoins_the_pool():
     fed = build(coordinators=2)
     fed.crash_coordinator(0, at=5.0)

@@ -34,6 +34,10 @@ def exhaust_retries(kernel, net: Network) -> float:
     net.send(Message(kind="ping", sender="central", dest="a"))
     kernel.run()
     assert net.retransmit_drops == 1  # the retry budget was exhausted
+    # The give-up is also a per-destination counter: a chaos run can
+    # tell *which* site silently lost a request, not just that one did.
+    assert net.retransmit_budget_exhausted == {"a": 1}
+    assert net.reliability_counts()["retransmit_budget_exhausted"] == 1
     return kernel.now
 
 
@@ -111,3 +115,5 @@ def test_default_cap_recovers_after_long_partition(kernel):
     # Capped at 5.0, the next retry lands within one cap interval of
     # the heal; uncapped backoff would have been silent until t=127+.
     assert arrived <= 60.0 + 5.0 + 1.0
+    # Delivered within budget: no silent-give-up recorded.
+    assert net.retransmit_budget_exhausted == {}

@@ -48,7 +48,7 @@ class TestArgumentValidation:
 
     def test_unknown_protocol_rejected(self):
         with pytest.raises(SystemExit):
-            main(["--protocol", "paxos"])
+            main(["--protocol", "4pc"])
 
     def test_too_few_sites_rejected(self):
         with pytest.raises(SystemExit):

@@ -42,8 +42,11 @@ PROTOCOLS = [
     ("3pc", "per_site"),
     ("after", "per_site"),
     ("before", "per_action"),
+    ("paxos", "per_site"),
 ]
 COORDINATORS = [1, 2, 8]
+#: The five pre-paxos protocols: the paxos wiring must be inert here.
+CLASSIC_PROTOCOLS = [entry for entry in PROTOCOLS if entry[0] != "paxos"]
 
 
 class HeapKernel(Kernel):
@@ -156,8 +159,10 @@ class HeapKernel(Kernel):
 # ---------------------------------------------------------------------------
 
 
-def _build(protocol: str, granularity: str, coordinators: int) -> Federation:
-    preparable = protocol in ("2pc", "2pc-pa", "3pc")
+def _build(
+    protocol: str, granularity: str, coordinators: int, paxos_f: int = 1
+) -> Federation:
+    preparable = protocol in ("2pc", "2pc-pa", "3pc", "paxos")
     specs = [
         SiteSpec(
             f"s{i}",
@@ -171,6 +176,7 @@ def _build(protocol: str, granularity: str, coordinators: int) -> Federation:
         FederationConfig(
             seed=11,
             coordinators=coordinators,
+            paxos_f=paxos_f,
             gtm=GTMConfig(protocol=protocol, granularity=granularity),
         ),
     )
@@ -195,10 +201,12 @@ def _workload() -> list[dict]:
     return batches
 
 
-def _fingerprint(protocol: str, granularity: str, coordinators: int) -> dict:
+def _fingerprint(
+    protocol: str, granularity: str, coordinators: int, paxos_f: int = 1
+) -> dict:
     """Everything observable about one run, byte for byte."""
     reset_message_ids()
-    fed = _build(protocol, granularity, coordinators)
+    fed = _build(protocol, granularity, coordinators, paxos_f=paxos_f)
     outcomes = fed.run_transactions(_workload())
     return {
         "outcomes": [outcome.committed for outcome in outcomes],
@@ -228,7 +236,29 @@ def test_calendar_kernel_matches_heap_reference(
     assert calendar == reference
 
 
-@pytest.mark.parametrize("protocol", ["2pc", "before"])
+@pytest.mark.parametrize("protocol,granularity", CLASSIC_PROTOCOLS)
+def test_paxos_wiring_is_inert_on_classic_protocols(protocol, granularity):
+    """The paxos knob must not move a single byte of a classic run.
+
+    Acceptors are only ever built for ``protocol="paxos"``, so varying
+    ``paxos_f`` on any other protocol has to produce byte-identical
+    traces, outcomes and RNG draws -- the regression that catches a
+    future leak of paxos wiring into the classic paths.
+    """
+    default = _fingerprint(protocol, granularity, 2)
+    widened = _fingerprint(protocol, granularity, 2, paxos_f=3)
+    assert default["trace"] == widened["trace"]
+    assert default == widened
+
+
+def test_classic_runs_build_no_acceptors():
+    fed = _build("2pc", "per_site", 2)
+    assert fed.acceptors is None
+    assert all(gtm.acceptors is None for gtm in fed.coordinators)
+    assert not any(name.startswith("acceptor") for name in fed.nodes)
+
+
+@pytest.mark.parametrize("protocol", ["2pc", "before", "paxos"])
 def test_dfs_exploration_counts_match_heap_reference(monkeypatch, protocol):
     """The controlled-scheduling path explores the same schedule tree."""
     spec = CheckSpec(protocol=protocol)
