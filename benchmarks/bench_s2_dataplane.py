@@ -1,0 +1,368 @@
+"""EXP-S2 -- data-plane sharding: placement scaling and replica failover.
+
+Three claims, one per section:
+
+**Scaling.**  With one partitioned global table placed across the data
+sites (hash partitioner, one partition per site) and a fixed *per-site*
+open-loop offered load, committed-transaction throughput rises
+monotonically from 4 to 32 sites: namespace routing keeps every
+sub-transaction local to its partition's member sites, so adding sites
+adds capacity instead of coordination.  Keys are Zipf-skewed
+(``s = 0.8``) *within per-site key blocks* -- the hot set scales with
+the fabric, the way a sharded deployment's per-tenant hot keys do, so
+the claim holds under a realistic skew profile without the degenerate
+single-global-hot-key workload whose one per-key lock chain caps every
+fabric size at the same serial rate.
+
+**Replication cost.**  At a fixed site count, raising the replica-set
+size 1 -> 2 -> 3 multiplies each write's participant set; the sweep
+reports the throughput and messages-per-transaction price of partial
+replication with the invariants audited (every replica is an ordinary
+commit-protocol participant, so atomicity needs no new machinery).
+
+**Failover.**  A run that loses a partition primary mid-traffic ends
+with zero unresolved in-doubt transactions, a deterministic lease-based
+promotion (epoch bump), a successful rejoin + resync of the returning
+site, and byte-converged surviving replicas -- the open-loop workload
+rides through the crash.
+"""
+
+from repro.bench import format_table
+from repro.core.gtm import GTMConfig
+from repro.core.invariants import (
+    atomicity_report,
+    check_invariants,
+    replica_convergence_violations,
+)
+from repro.dataplane import PlacementSpec
+from repro.integration.federation import Federation, FederationConfig, SiteSpec
+from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+from repro.workloads.open_loop import OpenLoopDriver, OpenLoopSpec
+
+from benchmarks._common import run_once, save_result
+
+SITES_SWEEP = [4, 8, 16, 32]
+#: Offered load and keyspace scale with the site count, so every sweep
+#: point runs the *same* per-site pressure.  The rate keeps each
+#: block's Zipf-hottest key subcritical (its lock chain drains faster
+#: than it fills), so queues stay bounded at every fabric size.
+PER_SITE_ARRIVAL = 0.05
+TXNS_PER_SITE = 12
+KEYS_PER_SITE = 16
+ZIPF_S = 0.8
+WINDOW_PER_COORDINATOR = 12
+
+#: Replication sweep runs at this fixed fabric size.
+REPL_SITES = 8
+REPL_FACTORS = [1, 2, 3]
+
+FAILOVER_PROTOCOLS = [
+    ("2pc", "per_site"),
+    ("before", "per_action"),
+]
+
+#: Headline numbers of the last ``run_experiment`` call, recorded by
+#: ``run_all.py`` in the per-bench JSON report.
+METRICS: dict = {}
+
+
+def build_placed(
+    sites: int,
+    replication: int,
+    protocol: str = "2pc",
+    granularity: str = "per_site",
+    seed: int = 13,
+) -> Federation:
+    """A federation with one hash-partitioned table across ``sites``."""
+    preparable = protocol in ("2pc", "2pc-pa", "3pc", "paxos")
+    specs = [SiteSpec(f"s{i}", preparable=preparable) for i in range(sites)]
+    rows = {f"k{j}": 100 for j in range(KEYS_PER_SITE * sites)}
+    return Federation(
+        specs,
+        FederationConfig(
+            seed=seed,
+            coordinators=max(1, sites // 4),
+            placement=[
+                PlacementSpec(
+                    table="acct",
+                    partitions=sites,
+                    replication=replication,
+                    rows=rows,
+                    buckets=64,
+                )
+            ],
+            gtm=GTMConfig(protocol=protocol, granularity=granularity),
+        ),
+    )
+
+
+def _workload_spec() -> WorkloadSpec:
+    return WorkloadSpec(
+        ops_per_txn=2,
+        read_fraction=0.4,
+        increment_fraction=0.6,
+        zipf_s=ZIPF_S,
+    )
+
+
+def zipf_generator(sites: int) -> WorkloadGenerator:
+    """One global Zipf over the whole keyspace (fixed-size sections)."""
+    objects = [("acct", f"k{j}") for j in range(KEYS_PER_SITE * sites)]
+    return WorkloadGenerator(_workload_spec(), objects)
+
+
+def block_zipf_batches(sites: int, federation: Federation) -> list[dict]:
+    """Pre-sampled transactions, Zipf-skewed within per-site key blocks.
+
+    One generator per ``KEYS_PER_SITE`` block, transactions cycling the
+    blocks round-robin: every block sees the same skewed load, and the
+    hot set grows with the fabric.  Draws come from a dedicated kernel
+    RNG stream, so the sampled workload is a deterministic function of
+    the federation seed alone.
+    """
+    generators = [
+        WorkloadGenerator(
+            _workload_spec(),
+            [
+                ("acct", f"k{j}")
+                for j in range(block * KEYS_PER_SITE, (block + 1) * KEYS_PER_SITE)
+            ],
+        )
+        for block in range(sites)
+    ]
+    rng = federation.kernel.rng.stream("block-zipf")
+    batches = []
+    for index in range(TXNS_PER_SITE * sites):
+        operations, intends_abort = generators[index % sites].next_transaction(rng)
+        batches.append({
+            "operations": operations,
+            "name": f"Z{index}",
+            "intends_abort": intends_abort,
+        })
+    return batches
+
+
+def open_loop_spec(sites: int) -> OpenLoopSpec:
+    return OpenLoopSpec(
+        arrival_rate=PER_SITE_ARRIVAL * sites,
+        n_txns=TXNS_PER_SITE * sites,
+        window_per_coordinator=WINDOW_PER_COORDINATOR,
+    )
+
+
+def measure_scaling(sites: int) -> dict:
+    """Fixed per-site load at ``sites`` sites, replication 1."""
+    fed = build_placed(sites, replication=1)
+    driver = OpenLoopDriver(fed, open_loop_spec(sites))
+    result = driver.run(block_zipf_batches(sites, fed))
+    assert result.completed == result.submitted
+    assert atomicity_report(fed).ok
+    return {
+        "sites": sites,
+        "coordinators": max(1, sites // 4),
+        "committed": result.committed,
+        "aborted": result.aborted,
+        "throughput": result.throughput,
+        "p50": result.p50,
+        "p99": result.p99,
+        "makespan": result.makespan,
+        "routed_writes": fed.dataplane.routed_writes,
+        "messages": fed.network.sent,
+    }
+
+
+def measure_replication(replication: int) -> dict:
+    """Replication sweep at the fixed fabric size (full audit)."""
+    fed = build_placed(REPL_SITES, replication=replication)
+    driver = OpenLoopDriver(fed, open_loop_spec(REPL_SITES))
+    result = driver.run_generated(zipf_generator(REPL_SITES))
+    fed.run()  # drain stragglers before auditing replica images
+    committed = result.committed
+    violations = check_invariants(fed)
+    return {
+        "replication": replication,
+        "committed": committed,
+        "aborted": result.aborted,
+        "throughput": result.throughput,
+        "p99": result.p99,
+        "msgs_per_commit": fed.network.sent / max(1, committed),
+        "routed_writes": fed.dataplane.routed_writes,
+        "invariants_ok": not violations,
+    }
+
+
+def measure_failover(protocol: str, granularity: str) -> dict:
+    """Primary crash mid-traffic: promotion, rejoin, zero unresolved."""
+    fed = build_placed(
+        REPL_SITES, replication=2, protocol=protocol, granularity=granularity
+    )
+    victim = fed.dataplane.map.partition(0).primary
+    fed.crash_site(victim, at=60.0)
+    fed.restart_site(victim, at=260.0)
+    driver = OpenLoopDriver(fed, open_loop_spec(REPL_SITES))
+    result = driver.run_generated(zipf_generator(REPL_SITES))
+    fed.run()  # drain recovery + rejoin stragglers
+    dp = fed.dataplane
+    replica_violations = replica_convergence_violations(fed)
+    return {
+        "protocol": f"{protocol}/{granularity}",
+        "victim": victim,
+        "committed": result.committed,
+        "aborted": result.aborted,
+        "promotions": dp.promotions,
+        "evictions": dp.evictions,
+        "rejoins": dp.rejoins,
+        "stale_rejections": dp.stale_rejections,
+        "unresolved_indoubt": len(fed.pool.unresolved_orphans()),
+        "atomicity_ok": atomicity_report(fed).ok,
+        "replicas_converged": not replica_violations,
+    }
+
+
+def headline() -> dict:
+    """Compact summary for BENCH_perf.json."""
+    scaling = {}
+    throughputs = []
+    for sites in SITES_SWEEP:
+        row = measure_scaling(sites)
+        throughputs.append(row["throughput"])
+        scaling[str(sites)] = {
+            "committed": row["committed"],
+            "throughput": round(row["throughput"], 4),
+            "p99_response": round(row["p99"], 1),
+        }
+    replication = {}
+    for factor in REPL_FACTORS:
+        row = measure_replication(factor)
+        replication[str(factor)] = {
+            "throughput": round(row["throughput"], 4),
+            "msgs_per_commit": round(row["msgs_per_commit"], 1),
+            "invariants_ok": row["invariants_ok"],
+        }
+    failover = {}
+    for protocol, granularity in FAILOVER_PROTOCOLS:
+        row = measure_failover(protocol, granularity)
+        failover[row["protocol"]] = {
+            "promotions": row["promotions"],
+            "rejoins": row["rejoins"],
+            "unresolved_indoubt": row["unresolved_indoubt"],
+            "replicas_converged": row["replicas_converged"],
+            "invariants_ok": row["atomicity_ok"] and row["replicas_converged"],
+        }
+    return {
+        "scenario": (
+            f"hash-placed table, 1 partition/site, Zipf s={ZIPF_S}, "
+            f"open-loop {PER_SITE_ARRIVAL}/u/site, {TXNS_PER_SITE} txns/site"
+        ),
+        "scaling": scaling,
+        "throughput_monotonic_4_to_32": all(
+            b > a for a, b in zip(throughputs, throughputs[1:])
+        ),
+        "replication": replication,
+        "failover": failover,
+        "zero_unresolved_after_failover": all(
+            entry["unresolved_indoubt"] == 0 for entry in failover.values()
+        ),
+    }
+
+
+def run_experiment() -> str:
+    METRICS.clear()
+    sweep = []
+    scaling_rows = []
+    for sites in SITES_SWEEP:
+        row = measure_scaling(sites)
+        sweep.append(row)
+        scaling_rows.append([
+            sites, row["coordinators"], row["committed"], row["aborted"],
+            round(row["throughput"], 4), round(row["p50"], 1),
+            round(row["p99"], 1), row["messages"],
+        ])
+    table = format_table(
+        ["sites", "coordinators", "committed", "aborted", "txn/u (sim)",
+         "p50 resp", "p99 resp", "messages"],
+        scaling_rows,
+        title=(
+            f"EXP-S2a: open-loop throughput vs sites "
+            f"(1 partition/site, Zipf s={ZIPF_S}, fixed per-site load)"
+        ),
+    )
+
+    repl_rows = []
+    repl_sweep = []
+    for factor in REPL_FACTORS:
+        row = measure_replication(factor)
+        repl_sweep.append(row)
+        repl_rows.append([
+            factor, row["committed"], row["aborted"],
+            round(row["throughput"], 4), round(row["p99"], 1),
+            round(row["msgs_per_commit"], 1), row["routed_writes"],
+            "OK" if row["invariants_ok"] else "VIOLATED",
+        ])
+    table += "\n\n" + format_table(
+        ["replicas", "committed", "aborted", "txn/u (sim)", "p99 resp",
+         "msgs/commit", "routed writes", "invariants"],
+        repl_rows,
+        title=f"EXP-S2b: partial replication cost at {REPL_SITES} sites",
+    )
+
+    failover_rows = []
+    failover_sweep = []
+    for protocol, granularity in FAILOVER_PROTOCOLS:
+        row = measure_failover(protocol, granularity)
+        failover_sweep.append(row)
+        failover_rows.append([
+            row["protocol"], row["victim"], row["committed"], row["aborted"],
+            row["promotions"], row["rejoins"], row["stale_rejections"],
+            row["unresolved_indoubt"],
+            "OK" if row["atomicity_ok"] and row["replicas_converged"]
+            else "VIOLATED",
+        ])
+    table += "\n\n" + format_table(
+        ["protocol", "victim", "committed", "aborted", "promotions",
+         "rejoins", "stale rejects", "unresolved", "invariants"],
+        failover_rows,
+        title=(
+            f"EXP-S2c: primary crash + replica failover, "
+            f"{REPL_SITES} sites, replication 2"
+        ),
+    )
+
+    # The tentpole claims, enforced.
+    throughputs = [row["throughput"] for row in sweep]
+    for a, b in zip(throughputs, throughputs[1:]):
+        assert b > a, (
+            "throughput must rise monotonically with sites at fixed "
+            f"per-site load: {throughputs}"
+        )
+    assert all(row["invariants_ok"] for row in repl_sweep)
+    for row in failover_sweep:
+        assert row["promotions"] >= 1, f"{row['protocol']}: no promotion fired"
+        assert row["rejoins"] >= 1, f"{row['protocol']}: victim never rejoined"
+        assert row["unresolved_indoubt"] == 0, (
+            f"{row['protocol']}: unresolved in-doubt after failover"
+        )
+        assert row["atomicity_ok"], f"{row['protocol']}: atomicity violated"
+        assert row["replicas_converged"], (
+            f"{row['protocol']}: surviving replicas diverged"
+        )
+
+    METRICS.update(
+        scaling={str(row["sites"]): round(row["throughput"], 4) for row in sweep},
+        p99={str(row["sites"]): round(row["p99"], 1) for row in sweep},
+        replication={
+            str(row["replication"]): round(row["msgs_per_commit"], 1)
+            for row in repl_sweep
+        },
+        failover_unresolved={
+            row["protocol"]: row["unresolved_indoubt"] for row in failover_sweep
+        },
+        failover_promotions={
+            row["protocol"]: row["promotions"] for row in failover_sweep
+        },
+    )
+    return table
+
+
+def test_s2_dataplane(benchmark):
+    save_result("s2_dataplane", run_once(benchmark, run_experiment))

@@ -118,6 +118,7 @@ def headline_numbers() -> dict:
     from benchmarks.bench_p1_paxos import headline as paxos_headline
     from benchmarks.bench_r1_chaos import headline as chaos_headline
     from benchmarks.bench_s1_sharded_gtm import headline as sharded_headline
+    from benchmarks.bench_s2_dataplane import headline as dataplane_headline
 
     protocols = {}
     for protocol, granularity, piggyback in [
@@ -168,6 +169,7 @@ def headline_numbers() -> dict:
         "chaos": chaos_headline(),
         "obs": obs_headline(),
         "sharded": sharded_headline(),
+        "dataplane": dataplane_headline(),
         "paxos": paxos_headline(),
         "check": check_headline(),
     }

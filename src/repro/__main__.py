@@ -32,6 +32,8 @@ def build(
     metrics: bool = False,
     spans: bool = False,
     coordinators: int = 1,
+    partitions: int = 0,
+    replication: int = 1,
 ) -> Federation:
     preparable = protocol in ("2pc", "2pc-pa", "3pc", "paxos")
     granularity = "per_action" if protocol in ("before", "saga", "altruistic") else "per_site"
@@ -43,6 +45,20 @@ def build(
         )
         for index in range(sites)
     ]
+    placement = None
+    if partitions > 0:
+        from repro.dataplane import PlacementSpec
+
+        # One shared account namespace hash-placed across the banks;
+        # four keys per partition keeps the demo's contention visible.
+        placement = [
+            PlacementSpec(
+                table="acct",
+                partitions=partitions,
+                replication=replication,
+                rows={f"k{index}": 100 for index in range(4 * partitions)},
+            )
+        ]
     return Federation(
         specs,
         FederationConfig(
@@ -50,6 +66,7 @@ def build(
             metrics=metrics,
             spans=spans,
             coordinators=coordinators,
+            placement=placement,
             gtm=GTMConfig(protocol=protocol, granularity=granularity),
         ),
     )
@@ -99,6 +116,9 @@ def run_single(
     report: bool,
     trace_out: Optional[str],
     coordinators: int = 1,
+    partitions: int = 0,
+    replication: int = 1,
+    zipf: float = 0.0,
 ) -> None:
     """One-protocol run with optional observability exports."""
     fed = build(
@@ -106,32 +126,79 @@ def run_single(
         metrics=report or trace_out is not None,
         spans=trace_out is not None,
         coordinators=coordinators,
+        partitions=partitions,
+        replication=replication,
     )
     batches = []
-    for index in range(txns):
-        src = index % sites
-        dst = (index + 1) % sites
-        batches.append({
-            "operations": [
-                ops.increment(f"acc_{src}", "holder", -1),
-                ops.increment(f"acc_{dst}", "holder", 1),
-            ],
-            "name": f"transfer-{index}",
-            # Staggered submission: the default workload demonstrates
-            # protocol cost, not contention (all transfers touch the
-            # same accounts).
-            "delay": index * 25.0,
-        })
+    if partitions > 0:
+        # Transfers inside the placed namespace: the data plane routes
+        # each key to its partition's replica set at decompose time.
+        keys = [f"k{index}" for index in range(4 * partitions)]
+        picker = None
+        if zipf > 0.0:
+            from bisect import bisect_left
+
+            weights = [1.0 / (rank + 1) ** zipf for rank in range(len(keys))]
+            total = sum(weights)
+            cdf, running = [], 0.0
+            for weight in weights:
+                running += weight / total
+                cdf.append(running)
+            cdf[-1] = 1.0
+            rng = fed.kernel.rng.stream("cli-zipf")
+            picker = lambda: keys[bisect_left(cdf, rng.random())]  # noqa: E731
+        for index in range(txns):
+            if picker is not None:
+                src_key = picker()
+                dst_key = picker()
+                if dst_key == src_key:
+                    dst_key = keys[(keys.index(src_key) + 1) % len(keys)]
+            else:
+                src_key = keys[index % len(keys)]
+                dst_key = keys[(index + 1) % len(keys)]
+            batches.append({
+                "operations": [
+                    ops.increment("acct", src_key, -1),
+                    ops.increment("acct", dst_key, 1),
+                ],
+                "name": f"transfer-{index}",
+                "delay": index * 25.0,
+            })
+    else:
+        for index in range(txns):
+            src = index % sites
+            dst = (index + 1) % sites
+            batches.append({
+                "operations": [
+                    ops.increment(f"acc_{src}", "holder", -1),
+                    ops.increment(f"acc_{dst}", "holder", 1),
+                ],
+                "name": f"transfer-{index}",
+                # Staggered submission: the default workload demonstrates
+                # protocol cost, not contention (all transfers touch the
+                # same accounts).
+                "delay": index * 25.0,
+            })
     outcomes = fed.run_transactions(batches)
     committed = sum(1 for outcome in outcomes if outcome.committed)
     shards = (
         f", {coordinators} coordinators" if coordinators > 1 else ""
     )
+    placed = (
+        f", {partitions} partitions x{replication}" if partitions > 0 else ""
+    )
     print(
         f"{protocol}: {committed}/{txns} committed over {sites} sites"
-        f"{shards} (seed {seed}), atomicity "
+        f"{shards}{placed} (seed {seed}), atomicity "
         f"{'OK' if atomicity_report(fed).ok else 'VIOLATED'}"
     )
+    if partitions > 0:
+        dp = fed.dataplane
+        print(
+            f"data plane: routed_reads={dp.routed_reads} "
+            f"routed_writes={dp.routed_writes} promotions={dp.promotions} "
+            f"stale_rejections={dp.stale_rejections}"
+        )
     if report:
         print()
         print(fed.report().render())
@@ -170,6 +237,19 @@ def main(argv: Optional[list[str]] = None) -> None:
         help="number of commit coordinators (sharded GTM pool; default 1)",
     )
     parser.add_argument("--txns", type=int, default=4, help="number of transfers to run")
+    parser.add_argument(
+        "--partitions", type=int, default=0,
+        help="> 0: place one shared table across the sites via the data "
+        "plane (hash partitioning, one namespace)",
+    )
+    parser.add_argument(
+        "--replication", type=int, default=1,
+        help="replica-set size per partition (requires --partitions)",
+    )
+    parser.add_argument(
+        "--zipf", type=float, default=0.0,
+        help="Zipf skew exponent for key choice (requires --partitions)",
+    )
     parser.add_argument("--seed", type=int, default=1, help="simulation seed")
     parser.add_argument(
         "--report", action="store_true",
@@ -184,17 +264,30 @@ def main(argv: Optional[list[str]] = None) -> None:
         parser.error("--sites must be at least 2")
     if args.coordinators < 1:
         parser.error("--coordinators must be at least 1")
+    if args.partitions < 0:
+        parser.error("--partitions must be >= 0")
+    if args.replication < 1:
+        parser.error("--replication must be at least 1")
+    if args.partitions == 0 and (args.replication != 1 or args.zipf):
+        parser.error("--replication/--zipf require --partitions")
+    if args.zipf < 0:
+        parser.error("--zipf must be >= 0")
     if args.protocol is None:
         if args.report or args.trace_out:
             parser.error("--report/--trace-out require --protocol")
         if args.coordinators != 1:
             parser.error("--coordinators requires --protocol")
+        if args.partitions:
+            parser.error("--partitions requires --protocol")
         demo()
         return
     run_single(
         args.protocol, args.sites, args.txns, args.seed,
         report=args.report, trace_out=args.trace_out,
         coordinators=args.coordinators,
+        partitions=args.partitions,
+        replication=args.replication,
+        zipf=args.zipf,
     )
 
 

@@ -38,6 +38,8 @@ def _build_spec(args: argparse.Namespace) -> CheckSpec:
         seed=args.seed,
         coordinators=args.coordinators,
         mutant=args.mutant,
+        partitions=args.partitions,
+        replication=args.replication,
     )
 
 
@@ -84,8 +86,17 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="commit protocol to check (granularity follows the protocol)",
     )
     parser.add_argument(
-        "--workload", default="transfers", choices=("transfers", "rw_cross"),
-        help="scenario workload",
+        "--workload", default="transfers",
+        choices=("transfers", "rw_cross", "replicated"),
+        help="scenario workload (replicated needs --partitions)",
+    )
+    parser.add_argument(
+        "--partitions", type=int, default=0,
+        help="> 0: place one partitioned global table across the sites",
+    )
+    parser.add_argument(
+        "--replication", type=int, default=1,
+        help="replica-set size per partition (with --partitions)",
     )
     parser.add_argument(
         "--strategy", default="dfs", choices=("dfs", "pct"),

@@ -18,6 +18,12 @@ Workloads
     orders, submitted simultaneously.  The classic global-serializability
     counterexample of §3.3: only the L1 layer (or a prepared protocol's
     site locks held to the decision) forces a serial order.
+``replicated``
+    Balanced transfers over one partitioned global table placed across
+    the sites (``partitions``/``replication`` on the spec), plus one
+    intends-abort transaction to exercise replica-side undo.  Combined
+    with crash-point enumeration this proves atomicity *and* replica
+    convergence across every durable-force boundary.
 
 Mutants
 -------
@@ -29,6 +35,13 @@ Mutants
     ``rw_cross`` this yields a committed non-serializable history on
     the very first schedule, which the checker must find, shrink and
     replay.
+``stale_epoch``
+    Disables the data plane's stale-epoch fencing *and* the rejoin-time
+    drain/resync -- a replica that missed decisions while evicted
+    rejoins with its old image and keeps accepting requests stamped
+    with a superseded epoch.  Under ``replicated`` with crash points a
+    surviving-replica divergence is the guaranteed symptom, which the
+    replica-convergence invariant must flag.
 """
 
 from __future__ import annotations
@@ -52,7 +65,7 @@ CHECK_PROTOCOLS: list[tuple[str, str]] = [
     ("paxos", "per_site"),
 ]
 
-MUTANTS = ("no_l1_guard",)
+MUTANTS = ("no_l1_guard", "stale_epoch")
 
 
 @dataclass
@@ -69,6 +82,10 @@ class CheckSpec:
     #: Paxos Commit only: acceptor-group fault tolerance (2F+1 built).
     paxos_f: int = 1
     mutant: str = ""
+    #: Data-plane sharding: > 0 places one global table (``acct``)
+    #: across the sites, each partition with ``replication`` members.
+    partitions: int = 0
+    replication: int = 1
     #: Simulated-time ceiling of one execution; generous, because an
     #: exploration must never mistake a slow schedule for a hang.
     horizon: float = 20000.0
@@ -76,8 +93,12 @@ class CheckSpec:
     def __post_init__(self) -> None:
         if self.mutant and self.mutant not in MUTANTS:
             raise ValueError(f"unknown mutant {self.mutant!r}")
-        if self.workload not in ("transfers", "rw_cross"):
+        if self.workload not in ("transfers", "rw_cross", "replicated"):
             raise ValueError(f"unknown workload {self.workload!r}")
+        if self.workload == "replicated" and self.partitions < 1:
+            raise ValueError("workload 'replicated' requires partitions >= 1")
+        if self.mutant == "stale_epoch" and self.partitions < 1:
+            raise ValueError("mutant 'stale_epoch' requires partitions >= 1")
 
     def to_dict(self) -> dict[str, Any]:
         return asdict(self)
@@ -163,6 +184,36 @@ def _transfer_batches(spec: CheckSpec) -> list[dict]:
     return batches
 
 
+def _replicated_batches(spec: CheckSpec) -> list[dict]:
+    """Transfers over the placed table, plus one intends-abort.
+
+    Distinct per-transaction keys live in one partitioned namespace;
+    the final transaction intends to abort, exercising replica-side
+    undo under whatever crash point the explorer lands on.
+    """
+    keys = _transfer_keys(spec)
+    batches = []
+    for index in range(spec.n_txns):
+        amount = index + 1
+        batches.append({
+            "name": f"T{index}",
+            "operations": [
+                increment("acct", keys[index], -amount),
+                increment("acct", keys[(index + 1) % len(keys)], amount),
+            ],
+            # The abort rides on the *undelayed* first transaction so
+            # the staggered ones are real transfers a lost replica
+            # write would visibly corrupt.
+            "intends_abort": index == 0 and spec.n_txns > 1,
+            # Staggered arrivals: later transactions decompose *during*
+            # an early crash point's eviction window (post-promotion,
+            # pre-rejoin), which is the only routing that can leave a
+            # resync-less rejoiner behind -- the stale_epoch bait.
+            "delay": index * 50.0,
+        })
+    return batches
+
+
 def _rw_cross_batches(spec: CheckSpec) -> list[dict]:
     """The §3.3 write-write cross: opposite site orders, same instant."""
     return [
@@ -185,11 +236,24 @@ def build_scenario(spec: CheckSpec) -> Scenario:
     byte-identical traces and ``.repro.json`` files.
     """
     reset_message_ids()
+    placement = None
+    if spec.partitions > 0:
+        from repro.dataplane import PlacementSpec
+
+        placement = [
+            PlacementSpec(
+                table="acct",
+                partitions=spec.partitions,
+                replication=spec.replication,
+                rows={key: 100 for key in _transfer_keys(spec)},
+            )
+        ]
     config = FederationConfig(
         seed=spec.seed,
         latency=1.0,
         coordinators=spec.coordinators,
         paxos_f=spec.paxos_f,
+        placement=placement,
         gtm=GTMConfig(
             protocol=spec.protocol,
             granularity=spec.granularity,
@@ -200,15 +264,25 @@ def build_scenario(spec: CheckSpec) -> Scenario:
     if spec.mutant == "no_l1_guard":
         for gtm in federation.coordinators:
             gtm.l1 = None
+    elif spec.mutant == "stale_epoch":
+        federation.dataplane.fencing = False
+        federation.dataplane.drain_on_rejoin = False
+        federation.dataplane.resync_on_rejoin = False
 
     if spec.workload == "rw_cross":
         batches = _rw_cross_batches(spec)
+    elif spec.workload == "replicated":
+        batches = _replicated_batches(spec)
     else:
         batches = _transfer_batches(spec)
 
     def submitter(batch: dict):
+        if batch.get("delay"):
+            yield batch["delay"]
         outcome = yield federation.submit(
-            batch["operations"], name=batch["name"]
+            batch["operations"],
+            name=batch["name"],
+            intends_abort=batch.get("intends_abort", False),
         )
         return outcome
 

@@ -104,5 +104,17 @@ class GlobalTransaction:
                 seen.setdefault(operation.site, None)
         return list(seen)
 
+    def partitions(self) -> set[int]:
+        """Data-plane partitions touched (empty outside placements).
+
+        The rejoin drain consults this: a partition must quiesce before
+        a returning replica is resynchronised.
+        """
+        return {
+            operation.partition
+            for operation in self.operations
+            if operation.partition is not None
+        }
+
     def __repr__(self) -> str:
         return f"<GlobalTransaction {self.gtxn_id} {self.state.value}>"

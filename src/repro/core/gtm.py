@@ -327,6 +327,10 @@ class GlobalTransactionManager:
         # Paxos coordinator mode: the federation installs the shared
         # AcceptorGroup here; ``None`` on every classic path.
         self.acceptors: Optional[Any] = None
+        # Data-plane placement: the federation installs the shared
+        # DataPlane here when a placement is configured; ``None`` (the
+        # default) keeps decomposition on the static schema path.
+        self.dataplane: Optional[Any] = None
         self._inflight: dict[str, "Process"] = {}
         self._service: list["Process"] = []
         from repro.core.recovery import GlobalRecoveryManager
@@ -407,7 +411,30 @@ class GlobalTransactionManager:
         while True:
             attempt += 1
             attempt_id = gtxn_id if attempt == 1 else f"{gtxn_id}~r{attempt - 1}"
-            decomposition = decompose(self.schema, operations)
+            try:
+                decomposition = decompose(self.schema, operations, self.dataplane)
+            except Exception as exc:
+                from repro.dataplane.placement import PlacementUnavailable
+
+                if not isinstance(exc, PlacementUnavailable):
+                    raise
+                # A frozen/memberless partition: transient by design
+                # (rejoins unfreeze, restarts repopulate), so back off
+                # and re-route exactly like an L1-conflict retry.
+                if attempt <= self.config.retry_attempts:
+                    yield self.config.retry_backoff * attempt
+                    continue
+                outcome = GlobalOutcome(
+                    gtxn_id=attempt_id,
+                    committed=False,
+                    reason=str(exc),
+                    submit_time=submit_time,
+                    attempts=attempt,
+                )
+                outcome.finish_time = self.kernel.now
+                self.outcomes.append(outcome)
+                self.aborted += 1
+                return outcome
             gtxn = GlobalTransaction(
                 self.kernel, attempt_id, decomposition.ordered, origin=self.name
             )
@@ -480,6 +507,7 @@ class GlobalTransactionManager:
             "recovery_redriven_redos": self.recovery.redriven_redos,
             "recovery_redriven_undos": self.recovery.redriven_undos,
             "recovery_orphans_terminated": self.recovery.orphans_terminated,
+            "recovery_promotions_adopted": self.recovery.promotions_adopted,
         }
 
     def __repr__(self) -> str:

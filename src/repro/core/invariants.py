@@ -331,6 +331,57 @@ def inverse_order_violations(federation: "Federation") -> list[InvariantViolatio
     return violations
 
 
+def replica_convergence_violations(
+    federation: "Federation",
+) -> list[InvariantViolation]:
+    """Data-plane replication: serving replicas are byte-converged.
+
+    For every partition, every *serving* member (in the member list and
+    currently up) must hold exactly the same records in the partition's
+    local table.  Atomic commitment is supposed to give this for free --
+    replicas are ordinary participants -- so a divergence means a write
+    reached part of a replica set, an eviction raced a commit, or a
+    rejoin skipped its resync.  Members that are down or evicted are
+    excluded: they reconcile on rejoin, and *that* path is exactly what
+    the exclusion must not mask once they serve again.
+
+    No-op (empty list) for federations without a data plane.
+    """
+    dataplane = getattr(federation, "dataplane", None)
+    if dataplane is None:
+        return []
+    violations = []
+    for partition in dataplane.map.partitions:
+        serving = [
+            member
+            for member in partition.members
+            if not federation.nodes[member].crashed
+        ]
+        if len(serving) < 2:
+            continue
+        images = {
+            member: sorted(
+                (repr(key), repr(value))
+                for key, value in dataplane.table_records(
+                    member, partition.local_table
+                ).items()
+            )
+            for member in serving
+        }
+        reference = images[serving[0]]
+        for member in serving[1:]:
+            if images[member] != reference:
+                violations.append(
+                    InvariantViolation(
+                        "replica_convergence",
+                        f"{partition.table}/p{partition.index}: {member} "
+                        f"diverges from primary {serving[0]} "
+                        f"(epoch {partition.epoch})",
+                    )
+                )
+    return violations
+
+
 def check_invariants(
     federation: "Federation",
     processes: list | None = None,
@@ -371,6 +422,7 @@ def check_invariants(
     violations.extend(redo_drain_violations(federation))
     violations.extend(undo_drain_violations(federation))
     violations.extend(inverse_order_violations(federation))
+    violations.extend(replica_convergence_violations(federation))
     return violations
 
 

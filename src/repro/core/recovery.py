@@ -49,6 +49,12 @@ class GlobalRecoveryManager:
         self.redriven_redos = 0
         self.redriven_undos = 0
         self.orphans_terminated = 0
+        # Data-plane promotions this coordinator adopted: after a lease
+        # expiry evicts a partition member, routing already targets the
+        # promoted membership; the adoption records the handover so
+        # in-flight retries and later recovery sweeps agree on who owns
+        # the partition.
+        self.promotions_adopted = 0
         # Coordinator-failover accounting (sharded pools only).
         self.failovers = 0
         self.failover_resolved = 0
@@ -95,6 +101,29 @@ class GlobalRecoveryManager:
                 return  # a newer restart owns the sweep loop now
             if self.gtm.network.node(site).crashed:
                 return  # down again; the next restart starts over
+
+    # ------------------------------------------------------------------
+    # Data-plane promotions
+    # ------------------------------------------------------------------
+
+    def note_promotion(
+        self, site: str, partition: int, epoch: int, primary: Optional[str]
+    ) -> None:
+        """Adopt a replica promotion the data plane just decided.
+
+        The placement map has already evicted ``site`` and bumped the
+        partition to ``epoch``; nothing needs re-driving here -- stale
+        requests are fenced at the sites and in-flight transactions
+        re-route on their next retry.  The adoption is recorded so the
+        handover shows up in traces and the coordinator's metrics.
+        """
+        self.promotions_adopted += 1
+        trace = self.gtm.kernel.trace
+        if trace.enabled:
+            trace.emit(
+                "promotion_adopted", self.gtm.name, f"p{partition}",
+                evicted=site, primary=primary, epoch=epoch,
+            )
 
     # ------------------------------------------------------------------
     # Orphan termination: replies nobody was waiting for

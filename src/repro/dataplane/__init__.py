@@ -1,0 +1,37 @@
+"""Data-plane sharding with partial replication.
+
+The control plane scaled in PRs 4 and 7 (sharded coordinator pool,
+Paxos Commit); this package scales the *data* plane.  A
+:class:`PlacementMap` partitions each global table (a namespace) into
+partitions via a key-range or hash partitioner and assigns every
+partition a primary site plus an optional replica set -- partial
+replication: a replica holds only the partitions it serves.  The
+:class:`DataPlane` manager routes every sub-transaction action by
+namespace at decompose time, fans writes out to the full replica set
+(each replica is an ordinary participant site, so the existing atomic
+commitment protocols give replica convergence for free), fences stale
+epochs after a promotion, and re-integrates restarted replicas with a
+freeze -> drain -> resync -> epoch-bump handshake.
+"""
+
+from repro.dataplane.manager import DataPlane
+from repro.dataplane.placement import (
+    HashPartitioner,
+    Partition,
+    PlacementError,
+    PlacementMap,
+    PlacementSpec,
+    PlacementUnavailable,
+    RangePartitioner,
+)
+
+__all__ = [
+    "DataPlane",
+    "HashPartitioner",
+    "Partition",
+    "PlacementError",
+    "PlacementMap",
+    "PlacementSpec",
+    "PlacementUnavailable",
+    "RangePartitioner",
+]

@@ -31,7 +31,11 @@ from dataclasses import dataclass, field
 from typing import Any, Generator
 
 from repro.core.gtm import GTMConfig
-from repro.core.invariants import atomicity_report, serializability_ok
+from repro.core.invariants import (
+    atomicity_report,
+    replica_convergence_violations,
+    serializability_ok,
+)
 from repro.faults.injector import FaultInjector
 from repro.integration.federation import Federation, FederationConfig, SiteSpec
 from repro.mlt.actions import increment
@@ -96,6 +100,19 @@ class ChaosSpec:
     acceptor_crashes: int = 0
     acceptor_crash_at: float = 0.0
     acceptor_outage: float = 0.0
+    #: Data-plane sharding: > 0 replaces the per-site tables with one
+    #: partitioned global table (``acct``) placed across the sites,
+    #: each partition carrying ``replication`` members.
+    partitions: int = 0
+    replication: int = 1
+    #: Scheduled data-site crashes: kill the primaries of the first
+    #: ``site_crashes`` distinct partitions at ``site_crash_at`` (0 =
+    #: none), restarting each after ``replica_outage`` (0 = stays down).
+    site_crashes: int = 0
+    site_crash_at: float = 0.0
+    replica_outage: float = 60.0
+    #: Replica-set lease: promotion fires this long after a crash.
+    lease_timeout: float = 40.0
 
 
 @dataclass
@@ -114,6 +131,9 @@ class ChaosResult:
     conserved: bool = False
     total_balance: int = 0
     expected_balance: int = 0
+    #: Partitioned runs only: serving replicas hold identical images.
+    replicas_converged: bool = True
+    replica_violations: list = field(default_factory=list)
     #: Time from the fault silence to the last transaction finishing
     #: (0 when everything already resolved during the fault phase).
     time_to_resolution: float = 0.0
@@ -131,24 +151,51 @@ class ChaosResult:
             and self.serializable
             and self.converged
             and self.conserved
+            and self.replicas_converged
         )
+
+
+def _chaos_keys(spec: ChaosSpec) -> int:
+    """Total account keys of a partitioned chaos run."""
+    return spec.n_sites * spec.keys_per_site
 
 
 def build_chaos_federation(spec: ChaosSpec) -> Federation:
     """A federation wired for one chaos run (reliable delivery on)."""
     needs_prepare = spec.protocol in ("2pc", "2pc-pa", "3pc", "paxos")
-    site_specs = [
-        SiteSpec(
-            f"s{i}",
-            tables={
-                f"t{i}": {
-                    f"k{j}": INITIAL_BALANCE for j in range(spec.keys_per_site)
-                }
-            },
-            preparable=needs_prepare,
-        )
-        for i in range(spec.n_sites)
-    ]
+    placement = None
+    if spec.partitions > 0:
+        # One partitioned global table replaces the per-site tables; the
+        # same money, now placed (and possibly replicated) by namespace.
+        from repro.dataplane import PlacementSpec
+
+        site_specs = [
+            SiteSpec(f"s{i}", preparable=needs_prepare)
+            for i in range(spec.n_sites)
+        ]
+        placement = [
+            PlacementSpec(
+                table="acct",
+                partitions=spec.partitions,
+                replication=spec.replication,
+                rows={
+                    f"k{j}": INITIAL_BALANCE for j in range(_chaos_keys(spec))
+                },
+            )
+        ]
+    else:
+        site_specs = [
+            SiteSpec(
+                f"s{i}",
+                tables={
+                    f"t{i}": {
+                        f"k{j}": INITIAL_BALANCE for j in range(spec.keys_per_site)
+                    }
+                },
+                preparable=needs_prepare,
+            )
+            for i in range(spec.n_sites)
+        ]
     config = FederationConfig(
         seed=spec.seed,
         latency=1.0,
@@ -160,6 +207,8 @@ def build_chaos_federation(spec: ChaosSpec) -> Federation:
         metrics=spec.metrics,
         coordinators=spec.coordinators,
         paxos_f=spec.paxos_f,
+        placement=placement,
+        lease_timeout=spec.lease_timeout,
         gtm=GTMConfig(
             protocol=spec.protocol,
             granularity=spec.granularity,
@@ -228,8 +277,33 @@ def run_chaos(spec: ChaosSpec) -> ChaosResult:
                     i, at=spec.acceptor_crash_at + spec.acceptor_outage
                 )
 
+    # -- scheduled data-site crashes (partitioned data plane) ----------
+    if spec.partitions > 0 and spec.site_crashes > 0 and spec.site_crash_at > 0:
+        victims: list[str] = []
+        for partition in fed.dataplane.map.partitions:
+            if partition.primary not in victims:
+                victims.append(partition.primary)
+            if len(victims) >= spec.site_crashes:
+                break
+        for victim in victims:
+            fed.crash_site(victim, at=spec.site_crash_at)
+            if spec.replica_outage > 0:
+                fed.restart_site(
+                    victim, at=spec.site_crash_at + spec.replica_outage
+                )
+
     # -- conservation workload: balanced cross-site transfers ----------
     def transfer_ops(txn_rng) -> list:
+        if spec.partitions > 0:
+            total = _chaos_keys(spec)
+            src_key = int(txn_rng.uniform(0, total)) % total
+            hop = 1 + int(txn_rng.uniform(0, total - 1)) % (total - 1)
+            amount = 1 + int(txn_rng.uniform(0, 9))
+            dst_key = (src_key + hop) % total
+            return [
+                increment("acct", f"k{src_key}", -amount),
+                increment("acct", f"k{dst_key}", amount),
+            ]
         src = int(txn_rng.uniform(0, spec.n_sites)) % spec.n_sites
         hop = int(txn_rng.uniform(0, spec.n_sites)) % max(1, spec.n_sites - 1)
         dst = (src + 1 + hop) % spec.n_sites
@@ -299,11 +373,20 @@ def run_chaos(spec: ChaosSpec) -> ChaosResult:
     result.expected_balance = (
         spec.n_sites * spec.keys_per_site * INITIAL_BALANCE
     )
-    result.total_balance = sum(
-        fed.peek(f"s{i}", f"t{i}", f"k{j}") or 0
-        for i in range(spec.n_sites)
-        for j in range(spec.keys_per_site)
-    )
+    if spec.partitions > 0:
+        result.total_balance = sum(
+            fed.peek_global("acct", f"k{j}") or 0
+            for j in range(_chaos_keys(spec))
+        )
+        violations = replica_convergence_violations(fed)
+        result.replicas_converged = not violations
+        result.replica_violations = [str(v) for v in violations]
+    else:
+        result.total_balance = sum(
+            fed.peek(f"s{i}", f"t{i}", f"k{j}") or 0
+            for i in range(spec.n_sites)
+            for j in range(spec.keys_per_site)
+        )
     result.conserved = result.total_balance == result.expected_balance
 
     finish_times = [
@@ -344,6 +427,16 @@ def run_chaos(spec: ChaosSpec) -> ChaosResult:
             g.recovery.failover_resolved for g in fed.coordinators
         ),
     }
+    if fed.dataplane is not None:
+        dp = fed.dataplane
+        result.counters.update(
+            dataplane_promotions=dp.promotions,
+            dataplane_evictions=dp.evictions,
+            dataplane_rejoins=dp.rejoins,
+            dataplane_resynced_keys=dp.resynced_keys,
+            dataplane_stale_rejections=dp.stale_rejections,
+            dataplane_unavailable_rejections=dp.unavailable_rejections,
+        )
     result.registry = injector.registry
     result.federation = fed
     return result

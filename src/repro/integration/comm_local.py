@@ -89,6 +89,10 @@ class LocalCommunicationManager:
         self._serve_process = kernel.spawn(self._serve(), name=f"comm:{node.name}")
         self.redo_executions = 0
         self.undo_executions = 0
+        # Data-plane placement: the federation installs the shared
+        # DataPlane here so forward executions can fence stale epochs.
+        # ``None`` (the default) skips the check entirely.
+        self.dataplane = None
         # Hooks fired after this manager votes "ready" -- the window in
         # which the paper's erroneous aborts happen; the fault injector
         # subscribes here.  Each hook receives (gtxn_id, txn_id, protocol).
@@ -222,6 +226,30 @@ class LocalCommunicationManager:
         return
         yield  # pragma: no cover - generator protocol
 
+    def _stale_epoch(self, operation: "Operation") -> bool:
+        """Is this forward execution fenced by a superseded epoch?
+
+        Only data-plane-routed operations carry a partition/epoch
+        stamp.  A membership change (promotion, eviction, rejoin) bumps
+        the partition epoch, and every execution still stamped with the
+        old one is rejected here -- aborted-but-retriable, so the
+        coordinator re-decomposes against the current membership.
+        Decision, undo and recovery traffic is never fenced: it must
+        reach exactly the sites the forward execution recorded.
+        """
+        dataplane = self.dataplane
+        if (
+            dataplane is None
+            or not dataplane.fencing
+            or operation.partition is None
+            or operation.epoch is None
+        ):
+            return False
+        if operation.epoch == dataplane.epoch_of(operation.partition):
+            return False
+        dataplane.stale_rejections += 1
+        return True
+
     def _on_execute_op(self, message: Message) -> Generator[Any, Any, None]:
         """Run one operation inside the gtxn's open subtransaction.
 
@@ -233,6 +261,9 @@ class LocalCommunicationManager:
         """
         gtxn = message.gtxn_id
         operation: Operation = message.payload["op"]
+        if self._stale_epoch(operation):
+            self._reply(message, "op_failed", aborted=True, reason="stale epoch")
+            return
         finish_marker = message.payload.get("finish_marker")
         txn_id = self._subtxns.get(gtxn or "")
         if txn_id is None:
@@ -476,6 +507,13 @@ class LocalCommunicationManager:
                 message, "l0_done",
                 value=payload.get("value"), before=payload.get("before"), retries=0,
             )
+            return
+        # Fence *after* the marker guard: an action that already
+        # committed under the old epoch must keep answering from its
+        # marker, or its forward effect would be orphaned.  Only
+        # not-yet-executed actions are rejected for re-routing.
+        if not is_undo and self._stale_epoch(operation):
+            self._reply(message, "l0_failed", aborted=True, reason="stale epoch")
             return
         # Inverse transactions are tagged so the atomicity checker can
         # pair them off against the forward executions they neutralize.

@@ -9,9 +9,13 @@ preserving the global execution order.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
 from repro.integration.schema import GlobalSchema
 from repro.mlt.actions import Operation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dataplane.manager import DataPlane
 
 
 @dataclass
@@ -29,10 +33,28 @@ class Decomposition:
         return len(self.ordered)
 
 
-def decompose(schema: GlobalSchema, operations: list[Operation]) -> Decomposition:
-    """Route every operation and group by site (order preserving)."""
+def decompose(
+    schema: GlobalSchema,
+    operations: list[Operation],
+    dataplane: Optional["DataPlane"] = None,
+) -> Decomposition:
+    """Route every operation and group by site (order preserving).
+
+    Tables under a data-plane placement route by namespace instead of
+    the static schema: reads bind to the partition's primary, writes
+    fan out to the whole replica set -- one routed copy per member, in
+    member order -- so every replica participates in the commit
+    protocol like any other site.  May raise
+    :class:`~repro.dataplane.placement.PlacementUnavailable` while a
+    partition is frozen for a rejoin; the GTM retries.
+    """
     result = Decomposition()
     for operation in operations:
+        if dataplane is not None and dataplane.manages(operation.table):
+            for routed in dataplane.routes(operation):
+                result.ordered.append(routed)
+                result.by_site.setdefault(routed.site, []).append(routed)
+            continue
         routed = schema.route(operation)
         result.ordered.append(routed)
         result.by_site.setdefault(routed.site, []).append(routed)

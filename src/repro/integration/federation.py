@@ -79,6 +79,15 @@ class FederationConfig:
     #: acceptor crashes (``2 * paxos_f + 1`` acceptors are built).
     #: Only read when ``gtm.protocol == "paxos"``.
     paxos_f: int = 1
+    #: Data-plane placement: a list of
+    #: :class:`~repro.dataplane.placement.PlacementSpec` declarations.
+    #: ``None`` (the default) builds no data plane at all -- routing,
+    #: execution and recovery stay byte-identical to the seed.
+    placement: Optional[list] = None
+    #: How long a crashed partition member keeps its seat before the
+    #: data plane evicts it (promoting the next replica if it was the
+    #: primary) and bumps the partition epoch.
+    lease_timeout: float = 40.0
     gtm: GTMConfig = field(default_factory=GTMConfig)
 
     def __post_init__(self) -> None:
@@ -179,6 +188,32 @@ class Federation:
 
         for spec in site_specs:
             self._add_site(spec)
+
+        # Data-plane placement: only built when configured, so every
+        # default federation keeps the seed's exact wiring and event
+        # schedule.  The DataPlane is shared -- coordinators consult it
+        # at decompose time, sites fence stale epochs with it, and the
+        # crash hooks below arm its promotion leases.
+        self.dataplane = None
+        if self.config.placement:
+            from repro.dataplane import DataPlane, PlacementMap
+
+            self.dataplane = DataPlane(
+                self,
+                PlacementMap(
+                    self.config.placement, [spec.name for spec in site_specs]
+                ),
+                lease_timeout=self.config.lease_timeout,
+            )
+            for gtm in self.coordinators:
+                gtm.dataplane = self.dataplane
+            for comm in self.comms.values():
+                comm.dataplane = self.dataplane
+            for name in self.engines:
+                self.nodes[name].on_crash.append(
+                    lambda site=name: self.dataplane.on_site_crash(site)
+                )
+
         self._load_initial_data(site_specs)
 
         # Observability attaches after setup so baselines and the trace
@@ -232,6 +267,25 @@ class Federation:
                         for key, value in rows.items():
                             yield from engine.insert(txn, table, key, value)
                         yield from engine.commit(txn)
+            if self.dataplane is not None:
+                # Partition local tables: every member holds exactly
+                # the partitions it serves (partial replication), each
+                # seeded with that partition's slice of the global rows.
+                for partition in self.dataplane.map.partitions:
+                    spec = self.dataplane.map.spec_for(partition.table)
+                    rows = self.dataplane.map.initial_rows(partition)
+                    for member in partition.members:
+                        engine = self.engines[member]
+                        yield from engine.create_table(
+                            partition.local_table, spec.buckets
+                        )
+                        if rows:
+                            txn = engine.begin()
+                            for key, value in rows.items():
+                                yield from engine.insert(
+                                    txn, partition.local_table, key, value
+                                )
+                            yield from engine.commit(txn)
 
         process = self.kernel.spawn(loader(), name="federation-setup")
         self.kernel.run()
@@ -377,6 +431,12 @@ class Federation:
                 except AllCoordinatorsDown:
                     return  # the next coordinator restart re-sweeps
                 yield from owner.recovery.recover_site(name)
+            # Rejoin evicted partition memberships *after* global
+            # recovery settled the site's in-doubt locals: the resync
+            # must reconcile settled state, never race a pending
+            # decision.
+            if self.dataplane is not None and not node.crashed:
+                yield from self.dataplane.rejoin(name)
 
     # ------------------------------------------------------------------
     # Coordinator fault control (sharded pools)
@@ -461,6 +521,18 @@ class Federation:
         page = engine.disk.stable_page(page_id)
         return page.get(key) if page is not None else None
 
+    def peek_global(self, table: str, key: Any) -> Any:
+        """Peek a *global* object wherever it lives.
+
+        Resolves data-plane placements to the partition primary and
+        schema placements to their site, then peeks there.
+        """
+        if self.dataplane is not None and self.dataplane.manages(table):
+            partition = self.dataplane.map.partition_of(table, key)
+            return self.peek(partition.primary, partition.local_table, key)
+        placement = self.schema.placement(table, key)
+        return self.peek(placement.site, placement.local_table, key)
+
     def histories(self, by_gtxn: bool = True) -> dict[str, list]:
         """Per-site committed histories for the serializability checkers."""
         from repro.core.serializability import ops_from_engine
@@ -494,6 +566,8 @@ class Federation:
             }
         if self.acceptors is not None:
             report["acceptors"] = self.acceptors.metrics()
+        if self.dataplane is not None:
+            report["dataplane"] = self.dataplane.metrics()
         if self.obs is not None:
             report["obs"] = self.obs.registry.as_dict()
         report["totals"] = {

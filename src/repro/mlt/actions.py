@@ -35,6 +35,11 @@ class Operation:
     value: Any = None
     site: Optional[str] = None
     local_table: Optional[str] = None
+    #: Data-plane routing stamp: the partition id and membership epoch
+    #: the operation was routed under (``None`` outside placements).
+    #: Sites fence executions whose epoch a promotion has superseded.
+    partition: Optional[int] = None
+    epoch: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.kind or not isinstance(self.kind, str):
@@ -47,6 +52,15 @@ class Operation:
     def routed(self, site: str, local_table: str) -> "Operation":
         """Copy bound to a concrete site and local table."""
         return replace(self, site=site, local_table=local_table)
+
+    def placed(
+        self, site: str, local_table: str, partition: int, epoch: int
+    ) -> "Operation":
+        """Copy bound to a partition member, stamped for epoch fencing."""
+        return replace(
+            self, site=site, local_table=local_table,
+            partition=partition, epoch=epoch,
+        )
 
     def __str__(self) -> str:
         target = f"{self.table}[{self.key!r}]"

@@ -216,6 +216,27 @@ class Observability:
                     response.observe(outcome.response_time)
             self._outcome_scan[gtm.name] = len(outcomes)
 
+        # Data-plane routing and membership (only when placement is on).
+        dataplane = getattr(federation, "dataplane", None)
+        if dataplane is not None:
+            for name in (
+                "promotions", "evictions", "rejoins", "resynced_keys",
+                "stale_rejections", "unavailable_rejections",
+                "routed_reads", "routed_writes",
+            ):
+                registry.counter(
+                    f"dataplane_{name}", protocol=protocol
+                ).set_total(getattr(dataplane, name))
+            for partition in dataplane.map.partitions:
+                labels = {
+                    "partition": f"{partition.table}/p{partition.index}",
+                    "protocol": protocol,
+                }
+                registry.gauge("partition_epoch", **labels).set(partition.epoch)
+                registry.gauge("partition_members", **labels).set(
+                    len(partition.members)
+                )
+
         # In-doubt windows (§3): local ready -> terminal, from the trace.
         indoubt = registry.histogram("indoubt_window", protocol=protocol)
         records = federation.kernel.trace.records

@@ -9,6 +9,7 @@ differences between the commit protocols visible (EXP-T2).
 from __future__ import annotations
 
 import random
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Any
 
@@ -32,12 +33,18 @@ class WorkloadSpec:
     hot_object_count: int = 4
     intended_abort_rate: float = 0.0
     write_value_range: tuple[int, int] = (0, 1000)
+    #: Zipf skew exponent over the object list (rank 0 = hottest).
+    #: 0.0 keeps the legacy hot/cold split; > 0 replaces it with a
+    #: Zipf(s) draw, rank r weighted 1/(r+1)^s.
+    zipf_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.read_fraction + self.increment_fraction > 1.0:
             raise ValueError("operation fractions exceed 1.0")
         if not 0.0 <= self.hotspot_fraction <= 1.0:
             raise ValueError("hotspot_fraction out of range")
+        if self.zipf_s < 0.0:
+            raise ValueError("zipf_s must be non-negative")
 
 
 class WorkloadGenerator:
@@ -50,6 +57,17 @@ class WorkloadGenerator:
         self.objects = list(objects)
         self.hot = self.objects[: max(1, min(spec.hot_object_count, len(objects)))]
         self.cold = self.objects[len(self.hot):] or self.hot
+        # Cumulative Zipf(s) weights: one uniform draw + a bisect gives
+        # a deterministic, seeded skewed pick (EXP-S2 key skew).
+        self._zipf_cdf: list[float] = []
+        if spec.zipf_s > 0.0:
+            weights = [1.0 / (rank + 1) ** spec.zipf_s for rank in range(len(self.objects))]
+            total = sum(weights)
+            running = 0.0
+            for weight in weights:
+                running += weight / total
+                self._zipf_cdf.append(running)
+            self._zipf_cdf[-1] = 1.0  # guard against float drift
 
     def next_transaction(self, rng: random.Random) -> tuple[list[Operation], bool]:
         """One transaction: (operations, intends_abort)."""
@@ -61,6 +79,8 @@ class WorkloadGenerator:
         return operations, intends_abort
 
     def _pick_object(self, rng: random.Random) -> tuple[str, Any]:
+        if self._zipf_cdf:
+            return self.objects[bisect_left(self._zipf_cdf, rng.random())]
         pool = self.hot if rng.random() < self.spec.hotspot_fraction else self.cold
         return pool[rng.randrange(len(pool))]
 

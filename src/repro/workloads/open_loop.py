@@ -157,6 +157,31 @@ class OpenLoopDriver:
         )
         return self.result
 
+    def run_generated(
+        self,
+        generator: Any,
+        until: Optional[float] = None,
+    ) -> OpenLoopResult:
+        """Drive ``spec.n_txns`` transactions drawn from a generator.
+
+        Batches are pre-sampled from a dedicated RNG stream
+        (``{rng_stream}:gen``) so the draw sequence is independent of
+        arrival timing -- the same seed yields the same workload under
+        any protocol, window, or failure schedule.
+        """
+        rng = self.federation.kernel.rng.stream(f"{self.spec.rng_stream}:gen")
+        batches = []
+        for index in range(self.spec.n_txns):
+            operations, intends_abort = generator.next_transaction(rng)
+            batches.append(
+                {
+                    "operations": operations,
+                    "name": f"OL{index + 1}",
+                    "intends_abort": intends_abort,
+                }
+            )
+        return self.run(batches, until=until)
+
     # ------------------------------------------------------------------
 
     def _window(self) -> int:

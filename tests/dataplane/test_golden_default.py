@@ -1,0 +1,120 @@
+"""Golden byte-identity: the data plane must not perturb the default path.
+
+A federation built *without* ``placement`` must produce bit-for-bit the
+same execution it produced before the data-plane subsystem existed:
+same outcomes, same trace records, same event and message counts, same
+RNG stream states.  Each fingerprint below was pinned against the seed
+tree (pre-dataplane); any drift in these digests means the default,
+unpartitioned configuration is no longer byte-identical and is a
+regression by definition.
+
+The fingerprint covers, per (protocol, coordinator count):
+
+* every global outcome's committed flag,
+* the full rendered trace-record stream,
+* kernel events dispatched and final simulated time,
+* network envelopes sent,
+* one draw from a fresh named RNG stream (stream-state probe).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.core.gtm import GTMConfig
+from repro.integration.federation import Federation, FederationConfig, SiteSpec
+from repro.mlt.actions import increment
+from repro.net.message import reset_message_ids
+
+PROTOCOLS = [
+    ("2pc", "per_site"),
+    ("2pc-pa", "per_site"),
+    ("3pc", "per_site"),
+    ("after", "per_site"),
+    ("before", "per_action"),
+    ("paxos", "per_site"),
+]
+
+N_SITES, N_KEYS, N_TXNS = 3, 8, 18
+
+#: Pinned against the pre-dataplane tree; see the module docstring.
+GOLDEN_DIGESTS = {
+    "2pc/1": "18da28144ee5f0d8d4c4fb751e9993f73c9f386e7a3e930c564f740f8563a94d",
+    "2pc/2": "0f66fa322d38db9d245a19fc8f51bb6d8e47505ec7ccb55b5395784e77a38f9b",
+    "2pc-pa/1": "0876b1bf0f74983232b9ec04b60e76d3a525be7301cc3e7345157835483abe4e",
+    "2pc-pa/2": "1ae1a20547bb5e851524e6bccad95abddc3f071942eb04b53ea3f75badc8304d",
+    "3pc/1": "1583c36a1c026c4603aec7637123373f31cef6d9949a7cbd49352a1a69933ce0",
+    "3pc/2": "9e8a92874d0a1ffc23a4fbc25877848dbb8e9f46e57ca4e119a6a0adb72332f0",
+    "after/1": "53805d599235184b6039519dc1b608cfdf97fdb81c5f336e42a045bbe33f528f",
+    "after/2": "1eba21e3de7ad27fbd2b8333d2dc4922108cf1136672a0a8fcda4e1ad1b6a469",
+    "before/1": "908ee3dca8e8f9e3d9ad3f04609b09e931e187b626bd2e590cfce1c58fc1928e",
+    "before/2": "d9fb0fd815bedb3748daac6870475dc90dd32a79d51780f2ecdaf3804247f8f8",
+    "paxos/1": "c8e27371eff3c58f3b63ecdeda83105f1e03f7ce5da532157fbdaaab5c3d4aeb",
+    "paxos/2": "13f2c617429fc207ad98cd9d9e5ce7e408ad88ad8ad4f5d06e1042be93e163bf",
+}
+
+
+def build(protocol: str, granularity: str, coordinators: int) -> Federation:
+    preparable = protocol in ("2pc", "2pc-pa", "3pc", "paxos")
+    specs = [
+        SiteSpec(
+            f"s{i}",
+            tables={f"t{i}": {f"k{j}": 100 for j in range(N_KEYS)}},
+            preparable=preparable,
+        )
+        for i in range(N_SITES)
+    ]
+    return Federation(
+        specs,
+        FederationConfig(
+            seed=11,
+            coordinators=coordinators,
+            gtm=GTMConfig(protocol=protocol, granularity=granularity),
+        ),
+    )
+
+
+def workload() -> list[dict]:
+    batches = []
+    for index in range(N_TXNS):
+        src, dst = index % N_SITES, (index + 1) % N_SITES
+        batches.append({
+            "operations": [
+                increment(f"t{src}", f"k{index % N_KEYS}", -1),
+                increment(f"t{dst}", f"k{index % N_KEYS}", 1),
+            ],
+            "name": f"G{index}",
+            "delay": (index % 6) * 3.0,
+        })
+    return batches
+
+
+def fingerprint(protocol: str, granularity: str, coordinators: int) -> str:
+    reset_message_ids()
+    fed = build(protocol, granularity, coordinators)
+    outcomes = fed.run_transactions(workload())
+    blob = json.dumps(
+        {
+            "outcomes": [outcome.committed for outcome in outcomes],
+            "trace": [str(record) for record in fed.kernel.trace.records],
+            "events": fed.kernel.events_dispatched,
+            "end": fed.kernel.now,
+            "sent": fed.network.sent,
+            "rng_probe": fed.kernel.rng.stream("golden-probe").random(),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@pytest.mark.parametrize("protocol,granularity", PROTOCOLS)
+@pytest.mark.parametrize("coordinators", [1, 2])
+def test_default_config_byte_identical_to_seed(protocol, granularity, coordinators):
+    digest = fingerprint(protocol, granularity, coordinators)
+    assert digest == GOLDEN_DIGESTS[f"{protocol}/{coordinators}"], (
+        f"{protocol}/{coordinators}: default (unpartitioned) execution "
+        "drifted from the pinned pre-dataplane fingerprint"
+    )

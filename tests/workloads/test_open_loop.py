@@ -133,3 +133,39 @@ def test_coordinator_crash_counts_interrupted():
     assert result.committed + result.aborted + result.interrupted == 24
     assert result.interrupted >= 1
     assert fed.pool.unresolved_orphans() == []
+
+
+def test_run_generated_feeds_generator_transactions():
+    from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+
+    fed = build(seed=33)
+    objects = [(f"t{i}", f"k{j}") for i in range(N_SITES) for j in range(64)]
+    generator = WorkloadGenerator(
+        WorkloadSpec(
+            ops_per_txn=2, read_fraction=0.5, increment_fraction=0.5,
+            zipf_s=0.7,
+        ),
+        objects,
+    )
+    driver = OpenLoopDriver(
+        fed, OpenLoopSpec(arrival_rate=0.5, n_txns=20, window_per_coordinator=4)
+    )
+    result = driver.run_generated(generator)
+    assert result.submitted == result.admitted == 20
+    assert result.committed + result.aborted == result.completed == 20
+
+
+def test_run_generated_deterministic():
+    from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
+
+    runs = []
+    for _ in range(2):
+        fed = build(seed=34)
+        objects = [(f"t{i}", f"k{j}") for i in range(N_SITES) for j in range(64)]
+        generator = WorkloadGenerator(WorkloadSpec(ops_per_txn=2, zipf_s=0.9), objects)
+        driver = OpenLoopDriver(
+            fed,
+            OpenLoopSpec(arrival_rate=1.0, n_txns=15, window_per_coordinator=3),
+        )
+        runs.append(driver.run_generated(generator).as_dict())
+    assert runs[0] == runs[1]

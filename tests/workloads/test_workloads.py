@@ -118,3 +118,44 @@ def test_counter_transactions_shape():
     assert len(txns) == 5
     assert all(len(ops) == 3 for ops in txns)
     assert all(op.kind == "increment" for ops in txns for op in ops)
+
+
+def test_spec_rejects_negative_zipf():
+    with pytest.raises(ValueError):
+        WorkloadSpec(zipf_s=-0.1)
+
+
+def test_zipf_zero_keeps_legacy_hot_cold_path():
+    spec_legacy = WorkloadSpec(ops_per_txn=3)
+    spec_zipf0 = WorkloadSpec(ops_per_txn=3, zipf_s=0.0)
+    objects = [("t", f"k{i}") for i in range(12)]
+    a = WorkloadGenerator(spec_legacy, objects)
+    b = WorkloadGenerator(spec_zipf0, objects)
+    for seed in range(5):
+        assert a.next_transaction(random.Random(seed)) == \
+            b.next_transaction(random.Random(seed))
+
+
+def test_zipf_skews_toward_low_ranks():
+    spec = WorkloadSpec(
+        ops_per_txn=1, read_fraction=0.0, increment_fraction=1.0, zipf_s=1.2
+    )
+    objects = [("t", f"k{i}") for i in range(64)]
+    gen = WorkloadGenerator(spec, objects)
+    rng = random.Random(11)
+    counts = {}
+    for _ in range(2000):
+        key = gen.next_transaction(rng)[0][0].key
+        counts[key] = counts.get(key, 0) + 1
+    ranked = sorted(counts.items(), key=lambda kv: -kv[1])
+    assert ranked[0][0] == "k0"  # rank 0 is the hottest object
+    assert counts["k0"] > 2000 / 64 * 4  # far above the uniform share
+    assert counts["k0"] > counts.get("k10", 0) > counts.get("k60", 0)
+
+
+def test_zipf_deterministic_per_rng_seed():
+    spec = WorkloadSpec(zipf_s=0.9)
+    objects = [("t", f"k{i}") for i in range(8)]
+    a = WorkloadGenerator(spec, objects).next_transaction(random.Random(13))
+    b = WorkloadGenerator(spec, objects).next_transaction(random.Random(13))
+    assert a == b
