@@ -1,0 +1,343 @@
+"""EXP-A6 -- adaptive batching and SLO-driven admission.
+
+Three questions, one per part:
+
+* **A (recovery)** -- EXP-A5 bought its envelope reduction with mean
+  response time (the batch window delays every message).  Does the
+  size-or-deadline flush with the load-sensed window recover that
+  latency while keeping the reduction?  Bar: at window 1.0 the
+  adaptive policy recovers >= 50% of commit-after's mean-response
+  regression and keeps >= 80% of the static envelope reduction, with
+  byte-identical outcomes.
+* **B (Pareto)** -- per protocol, where do the unbatched / static /
+  adaptive configurations sit on the open-loop latency-throughput
+  plane?  These points feed the Pareto non-domination gate in
+  ``scripts/check_perf_regression.py``: a change may trade along the
+  front, not fall behind it.
+* **C (SLO)** -- under a flash crowd, does the p99-targeting admission
+  controller hold the configured SLO with *bounded* shedding, against
+  the survivorship-corrected accounting (every shed is charged)?
+
+Latency figures in part B use the corrected quantile where it is
+finite and report the shed count alongside -- a config that sheds its
+way to a pretty p99 is visible, not rewarded.
+"""
+
+from repro.bench import format_table
+from repro.bench.harness import protocol_federation
+from repro.core.gtm import GTMConfig
+from repro.integration.federation import Federation, FederationConfig, SiteSpec
+from repro.mlt.actions import increment
+from repro.workloads.open_loop import OpenLoopDriver, OpenLoopSpec
+
+from benchmarks._common import run_once, save_result
+
+WINDOW = 1.0
+SIZE_CAP = 8
+
+#: (label, protocol, granularity) for the part-B Pareto sweep.
+PARETO_PROTOCOLS = [
+    ("2pc/per_site", "2pc", "per_site"),
+    ("after/per_site", "after", "per_site"),
+    ("before/per_site", "before", "per_site"),
+]
+
+#: Part-B batching configurations (batch + decision pipeline together).
+CONFIGS = [
+    ("unbatched", dict(batch_window=0.0, pipeline_window=0.0)),
+    (
+        "static",
+        dict(batch_window=WINDOW, pipeline_window=WINDOW),
+    ),
+    (
+        "adaptive",
+        dict(
+            batch_window=WINDOW, pipeline_window=WINDOW,
+            batch_policy="adaptive", batch_max_msgs=SIZE_CAP,
+            pipeline_policy="adaptive", pipeline_max_group=SIZE_CAP,
+        ),
+    ),
+]
+
+SLO_TARGET = 80.0
+N_OPEN_LOOP = 120
+N_FLASH = 160
+
+
+# -- part A: closed-loop latency recovery ------------------------------
+
+
+def measure_closed(protocol, *, window, policy="static", size_cap=0,
+                   n_txns=16, n_sites=2):
+    specs = [
+        SiteSpec(f"s{i}", tables={f"t{i}": {k: 0 for k in range(n_txns)}})
+        for i in range(n_sites)
+    ]
+    fed = protocol_federation(
+        protocol,
+        specs,
+        granularity="per_site",
+        seed=11,
+        batch_window=window,
+        pipeline_window=window,
+        batch_policy=policy,
+        batch_max_msgs=size_cap,
+        pipeline_policy=policy,
+        pipeline_max_group=size_cap,
+    )
+    batches = [
+        {
+            "operations": [
+                increment(f"t{i}", t % n_txns, 1) for i in range(n_sites)
+            ],
+            "name": f"T{t}",
+            "delay": 0.25 * (t % 4),
+        }
+        for t in range(n_txns)
+    ]
+    outcomes = fed.run_transactions(batches)
+    return {
+        "committed": [o.gtxn_id.split("~")[0] for o in outcomes if o.committed],
+        "envelopes_per_txn": fed.network.envelopes / n_txns,
+        "mean_resp": sum(o.response_time for o in outcomes) / n_txns,
+    }
+
+
+def recovery_numbers() -> dict:
+    plain = measure_closed("after", window=0.0)
+    static = measure_closed("after", window=WINDOW)
+    adaptive = measure_closed(
+        "after", window=WINDOW, policy="adaptive", size_cap=SIZE_CAP
+    )
+    static_reduction = 1.0 - (
+        static["envelopes_per_txn"] / plain["envelopes_per_txn"]
+    )
+    adaptive_reduction = 1.0 - (
+        adaptive["envelopes_per_txn"] / plain["envelopes_per_txn"]
+    )
+    regression = static["mean_resp"] - plain["mean_resp"]
+    recovered = static["mean_resp"] - adaptive["mean_resp"]
+    return {
+        "mean_response": {
+            "unbatched": round(plain["mean_resp"], 2),
+            "static": round(static["mean_resp"], 2),
+            "adaptive": round(adaptive["mean_resp"], 2),
+        },
+        "envelope_reduction": {
+            "static": round(static_reduction, 3),
+            "adaptive": round(adaptive_reduction, 3),
+        },
+        "recovered_fraction": round(recovered / regression, 3),
+        "reduction_kept": round(adaptive_reduction / static_reduction, 3),
+        "outcomes_identical": (
+            adaptive["committed"] == plain["committed"]
+            and static["committed"] == plain["committed"]
+        ),
+    }
+
+
+# -- part B: open-loop latency-throughput Pareto points ----------------
+
+
+def open_loop_federation(protocol, granularity, config) -> Federation:
+    specs = [
+        SiteSpec(
+            f"s{i}",
+            tables={f"t{i}": {f"k{j}": 100 for j in range(64)}},
+            preparable=True,
+            buckets=64,
+        )
+        for i in range(2)
+    ]
+    return Federation(
+        specs,
+        FederationConfig(
+            seed=9,
+            batch_window=config.get("batch_window", 0.0),
+            batch_policy=config.get("batch_policy", "static"),
+            batch_max_msgs=config.get("batch_max_msgs", 0),
+            gtm=GTMConfig(
+                protocol=protocol,
+                granularity=granularity,
+                pipeline_window=config.get("pipeline_window", 0.0),
+                pipeline_policy=config.get("pipeline_policy", "static"),
+                pipeline_max_group=config.get("pipeline_max_group", 0),
+            ),
+        ),
+    )
+
+
+def open_loop_traffic(n_txns):
+    return [
+        {
+            "operations": [
+                increment("t0", f"k{n % 64}", -1),
+                increment("t1", f"k{n % 64}", 1),
+            ]
+        }
+        for n in range(n_txns)
+    ]
+
+
+def measure_open(protocol, granularity, config, **spec_kwargs) -> dict:
+    fed = open_loop_federation(protocol, granularity, config)
+    spec = OpenLoopSpec(
+        arrival_rate=spec_kwargs.pop("arrival_rate", 0.3),
+        n_txns=spec_kwargs.pop("n_txns", N_OPEN_LOOP),
+        window_per_coordinator=6,
+        **spec_kwargs,
+    )
+    result = OpenLoopDriver(fed, spec).run(open_loop_traffic(spec.n_txns))
+    return {
+        "throughput": round(result.throughput, 4),
+        "p99": round(result.p99, 2),
+        "p99_corrected": result.as_dict()["p99_admitted_or_shed"],
+        "shed": result.shed,
+        "committed": result.committed,
+    }
+
+
+def pareto_points() -> dict:
+    points = {}
+    for label, protocol, granularity in PARETO_PROTOCOLS:
+        points[label] = {
+            name: measure_open(protocol, granularity, config)
+            for name, config in CONFIGS
+        }
+    return points
+
+
+# -- part C: SLO under a flash crowd -----------------------------------
+
+
+def flash_crowd(slo_p99: float) -> dict:
+    fed = open_loop_federation("2pc", "per_site", CONFIGS[0][1])
+    spec = OpenLoopSpec(
+        arrival_rate=0.35,
+        n_txns=N_FLASH,
+        window_per_coordinator=6,
+        arrival="flash_crowd",
+        arrival_params={"at": 60.0, "spike_factor": 10.0, "decay": 60.0},
+        slo_p99=slo_p99,
+    )
+    result = OpenLoopDriver(fed, spec).run(open_loop_traffic(N_FLASH))
+    served = sorted(result.served_latencies)
+    served_p99 = (
+        served[min(len(served) - 1, int(0.99 * len(served)))] if served else 0.0
+    )
+    return {
+        "served_p99": round(served_p99, 2),
+        "shed": result.shed,
+        "slo_sheds": result.slo_sheds,
+        "shed_fraction": round(
+            result.shed / max(1, result.shed + result.completed), 3
+        ),
+        "committed": result.committed,
+        "completed": result.completed,
+    }
+
+
+def slo_numbers() -> dict:
+    uncontrolled = flash_crowd(0.0)
+    controlled = flash_crowd(SLO_TARGET)
+    return {
+        "target_p99": SLO_TARGET,
+        "uncontrolled": uncontrolled,
+        "controlled": controlled,
+        "held": controlled["served_p99"] <= SLO_TARGET * 1.1,
+    }
+
+
+def headline() -> dict:
+    """The BENCH_perf.json ``adaptive`` section."""
+    return {
+        "recovery": recovery_numbers(),
+        "pareto": pareto_points(),
+        "slo": slo_numbers(),
+    }
+
+
+def run_experiment() -> str:
+    recovery = recovery_numbers()
+    assert recovery["outcomes_identical"], "adaptive batching changed outcomes"
+    assert recovery["recovered_fraction"] >= 0.5, (
+        f"adaptive recovered only {recovery['recovered_fraction']:.0%} of the "
+        "static batching latency regression"
+    )
+    assert recovery["reduction_kept"] >= 0.8, (
+        f"adaptive kept only {recovery['reduction_kept']:.0%} of the static "
+        "envelope reduction"
+    )
+
+    rows = []
+    points = pareto_points()
+    for label, configs in points.items():
+        for name, point in configs.items():
+            rows.append([
+                label, name, point["throughput"], point["p99"],
+                point["p99_corrected"] if point["p99_corrected"] is not None
+                else "inf", point["shed"],
+            ])
+    pareto_table = format_table(
+        ["protocol", "config", "throughput", "p99", "p99 corrected", "shed"],
+        rows,
+        title="EXP-A6 part B: open-loop latency-throughput points "
+        f"(window {WINDOW}, size cap {SIZE_CAP})",
+    )
+
+    slo = slo_numbers()
+    assert slo["uncontrolled"]["served_p99"] > 2 * SLO_TARGET, (
+        "flash crowd too mild to exercise the SLO controller"
+    )
+    assert slo["held"], (
+        f"SLO controller missed the target: served p99 "
+        f"{slo['controlled']['served_p99']} vs {SLO_TARGET}"
+    )
+    assert slo["controlled"]["shed_fraction"] < 0.6, (
+        "SLO controller collapsed into shedding most of the traffic"
+    )
+    assert slo["controlled"]["committed"] > 0.4 * slo["controlled"]["completed"]
+
+    recovery_table = format_table(
+        ["config", "mean resp", "envelope reduction"],
+        [
+            ["unbatched", recovery["mean_response"]["unbatched"], "-"],
+            [
+                "static w=1.0", recovery["mean_response"]["static"],
+                f"{recovery['envelope_reduction']['static']:.1%}",
+            ],
+            [
+                "adaptive w=1.0", recovery["mean_response"]["adaptive"],
+                f"{recovery['envelope_reduction']['adaptive']:.1%}",
+            ],
+        ],
+        title="EXP-A6 part A: commit-after latency recovery "
+        f"(recovered {recovery['recovered_fraction']:.0%}, "
+        f"kept {recovery['reduction_kept']:.0%} of reduction)",
+    )
+
+    slo_table = format_table(
+        ["run", "served p99", "shed", "shed fraction", "committed"],
+        [
+            [
+                "uncontrolled", slo["uncontrolled"]["served_p99"],
+                slo["uncontrolled"]["shed"],
+                slo["uncontrolled"]["shed_fraction"],
+                slo["uncontrolled"]["committed"],
+            ],
+            [
+                f"slo_p99={SLO_TARGET:g}", slo["controlled"]["served_p99"],
+                slo["controlled"]["shed"],
+                slo["controlled"]["shed_fraction"],
+                slo["controlled"]["committed"],
+            ],
+        ],
+        title="EXP-A6 part C: flash crowd, p99 SLO admission "
+        f"(held={slo['held']})",
+    )
+
+    return "\n\n".join([recovery_table, pareto_table, slo_table])
+
+
+def test_a6_adaptive(benchmark):
+    save_result("a6_adaptive", run_once(benchmark, run_experiment))

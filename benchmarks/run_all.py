@@ -18,7 +18,10 @@ and finally distils the headline performance numbers into
 * wall-clock kernel throughput (events/s, no trace sink) and its
   speedup over the seed tree;
 * the EXP-R1 chaos sweep: invariants held, throughput/latency and
-  time-to-resolution per fault level.
+  time-to-resolution per fault level;
+* the EXP-A6 adaptive section: latency recovery vs static batching,
+  per-protocol open-loop latency-throughput Pareto points, and the
+  flash-crowd SLO hold.
 
 Benchmarks that inject faults additionally publish a module-level
 ``FAULT_COUNTERS`` dict (injected aborts/crashes, retransmissions,
@@ -108,6 +111,7 @@ def environment_stamp(started_at: float) -> dict:
 def headline_numbers() -> dict:
     """The distilled perf summary for BENCH_perf.json."""
     from benchmarks.bench_a5_batching import measure
+    from benchmarks.bench_a6_adaptive import headline as adaptive_headline
     from benchmarks.bench_c1_check_throughput import headline as check_headline
     from benchmarks.bench_k1_hotpath import hotpath_headline
     from benchmarks.bench_kernel_wallclock import (
@@ -172,6 +176,7 @@ def headline_numbers() -> dict:
         "dataplane": dataplane_headline(),
         "paxos": paxos_headline(),
         "check": check_headline(),
+        "adaptive": adaptive_headline(),
     }
 
 

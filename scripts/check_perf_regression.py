@@ -7,6 +7,16 @@ the committed baseline in ``BENCH_perf.json``.  A rate more than
 failure the federation scenario is re-profiled and the ``cProfile``
 stats land in ``--artifacts-dir`` for the post-mortem.
 
+Additionally re-measures the EXP-A6 open-loop latency-throughput
+points and holds them to a **Pareto non-domination gate** against the
+baseline's ``adaptive.pareto`` section: a configuration may trade
+along the front (lose some throughput *for* better latency, or vice
+versa), but a point whose throughput drops or whose p99 rises by more
+than the threshold *without the other axis improving* is strictly
+dominated by its baseline and fails the gate.  These figures are
+simulated time -- deterministic, so this part is immune to runner
+noise.  Baselines predating the ``adaptive`` section skip the gate.
+
 Usage (from the repo root)::
 
     PYTHONPATH=src python scripts/check_perf_regression.py \
@@ -57,6 +67,55 @@ def baseline_rates(summary: dict) -> dict[str, float]:
     return rates
 
 
+def pareto_regressions(summary: dict, threshold: float) -> list[str]:
+    """Check fresh EXP-A6 points against the baseline Pareto front.
+
+    Returns the names of (protocol, config) points strictly dominated
+    by their baseline: one axis worse by more than ``threshold`` while
+    the other failed to improve.
+    """
+    baseline_front = summary.get("adaptive", {}).get("pareto")
+    if not baseline_front:
+        print("\npareto gate: baseline has no adaptive section, skipping")
+        return []
+    from benchmarks.bench_a6_adaptive import pareto_points
+
+    fresh_front = pareto_points()
+    regressions = []
+    print(
+        f"\n{'pareto point':<32} {'thr base':>9} {'thr now':>9} "
+        f"{'p99 base':>9} {'p99 now':>9}"
+    )
+    for protocol in sorted(baseline_front):
+        for config, base in sorted(baseline_front[protocol].items()):
+            fresh = fresh_front.get(protocol, {}).get(config)
+            name = f"{protocol}:{config}"
+            if fresh is None:
+                print(f"{name:<32} {'(missing from fresh run)':>20}")
+                regressions.append(name)
+                continue
+            thr_ratio = fresh["throughput"] / base["throughput"]
+            p99_ratio = (
+                fresh["p99"] / base["p99"] if base["p99"] > 0 else 1.0
+            )
+            thr_worse = thr_ratio < 1.0 - threshold
+            p99_worse = p99_ratio > 1.0 + threshold
+            dominated = (thr_worse and p99_ratio >= 1.0) or (
+                p99_worse and thr_ratio <= 1.0
+            )
+            flag = "  << DOMINATED" if dominated else ""
+            print(
+                f"{name:<32} {base['throughput']:>9.4f} "
+                f"{fresh['throughput']:>9.4f} {base['p99']:>9.2f} "
+                f"{fresh['p99']:>9.2f}{flag}"
+            )
+            if dominated:
+                regressions.append(name)
+    if not regressions:
+        print("pareto gate: no point strictly dominated by its baseline")
+    return regressions
+
+
 def main(argv: list[str]) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -76,7 +135,8 @@ def main(argv: list[str]) -> int:
     if not baseline_path.exists():
         print(f"error: no baseline at {baseline_path}", file=sys.stderr)
         return 2
-    baseline = baseline_rates(json.loads(baseline_path.read_text()))
+    summary = json.loads(baseline_path.read_text())
+    baseline = baseline_rates(summary)
     if not baseline:
         print("error: BENCH_perf.json has no hot-path rates", file=sys.stderr)
         return 2
@@ -99,9 +159,23 @@ def main(argv: list[str]) -> int:
         if ratio < floor:
             regressions.append(name)
 
-    if not regressions:
-        print(f"\nok: all rates within {args.threshold:.0%} of baseline")
+    dominated = pareto_regressions(summary, args.threshold)
+
+    if not regressions and not dominated:
+        print(
+            f"\nok: all rates within {args.threshold:.0%} of baseline and "
+            "no Pareto point dominated"
+        )
         return 0
+
+    if dominated:
+        print(
+            f"\nFAILED: {len(dominated)} Pareto point(s) strictly dominated "
+            f"by baseline: {', '.join(dominated)}"
+        )
+        if not regressions:
+            # Simulated-time regressions carry no profile to capture.
+            return 1
 
     print(
         f"\nFAILED: {len(regressions)} rate(s) more than "

@@ -34,14 +34,28 @@ def build(
     coordinators: int = 1,
     partitions: int = 0,
     replication: int = 1,
+    batch_window: float = 0.0,
+    batch_policy: str = "static",
+    keys: int = 0,
 ) -> Federation:
     preparable = protocol in ("2pc", "2pc-pa", "3pc", "paxos")
     granularity = "per_action" if protocol in ("before", "saga", "altruistic") else "per_site"
     specs = [
         SiteSpec(
             f"bank_{index}",
-            tables={f"acc_{index}": {"holder": 100}},
+            tables={
+                f"acc_{index}": (
+                    # The demo's single shared row maximises visible
+                    # contention; open-loop traffic gets a keyspace so
+                    # the admission controller, not the lock queue on
+                    # one row, shapes the latency.
+                    {f"k{j}": 100 for j in range(keys)}
+                    if keys
+                    else {"holder": 100}
+                )
+            },
             preparable=preparable,
+            buckets=keys if keys else 8,
         )
         for index in range(sites)
     ]
@@ -67,7 +81,14 @@ def build(
             spans=spans,
             coordinators=coordinators,
             placement=placement,
-            gtm=GTMConfig(protocol=protocol, granularity=granularity),
+            batch_window=batch_window,
+            batch_policy=batch_policy,
+            gtm=GTMConfig(
+                protocol=protocol,
+                granularity=granularity,
+                pipeline_window=batch_window,
+                pipeline_policy=batch_policy,
+            ),
         ),
     )
 
@@ -119,6 +140,8 @@ def run_single(
     partitions: int = 0,
     replication: int = 1,
     zipf: float = 0.0,
+    batch_window: float = 0.0,
+    batch_policy: str = "static",
 ) -> None:
     """One-protocol run with optional observability exports."""
     fed = build(
@@ -128,6 +151,8 @@ def run_single(
         coordinators=coordinators,
         partitions=partitions,
         replication=replication,
+        batch_window=batch_window,
+        batch_policy=batch_policy,
     )
     batches = []
     if partitions > 0:
@@ -212,6 +237,68 @@ def run_single(
         print(f"\nwrote {len(doc['traceEvents'])} trace events to {trace_out}")
 
 
+def run_open_loop(
+    protocol: str,
+    sites: int,
+    txns: int,
+    seed: int,
+    arrival: str,
+    arrival_rate: float,
+    slo_p99: float,
+    coordinators: int = 1,
+    batch_window: float = 0.0,
+    batch_policy: str = "static",
+) -> None:
+    """Open-loop traffic run: arrival pattern + optional SLO control."""
+    from repro.workloads.open_loop import OpenLoopDriver, OpenLoopSpec
+
+    keys = 64
+    fed = build(
+        protocol, sites=sites, seed=seed,
+        coordinators=coordinators,
+        batch_window=batch_window,
+        batch_policy=batch_policy,
+        keys=keys,
+    )
+    batches = [
+        {
+            "operations": [
+                ops.increment(f"acc_{index % sites}", f"k{index % keys}", -1),
+                ops.increment(f"acc_{(index + 1) % sites}", f"k{index % keys}", 1),
+            ],
+            "name": f"transfer-{index}",
+        }
+        for index in range(txns)
+    ]
+    driver = OpenLoopDriver(
+        fed,
+        OpenLoopSpec(
+            arrival_rate=arrival_rate,
+            n_txns=txns,
+            arrival=arrival,
+            slo_p99=slo_p99,
+        ),
+    )
+    result = driver.run(batches).as_dict()
+    corrected = result["p99_admitted_or_shed"]
+    print(
+        f"{protocol}: open-loop {arrival} arrivals at rate {arrival_rate} "
+        f"(seed {seed}): {result['committed']}/{txns} committed, "
+        f"{result['shed']} shed, throughput {result['throughput']:.4f}/u"
+    )
+    print(
+        f"latency: p50 {result['p50_response']}, p99 {result['p99_response']} "
+        f"(committed only), p99 admitted-or-shed "
+        f"{'unbounded (shed tail)' if corrected is None else corrected}"
+    )
+    if slo_p99 > 0:
+        print(
+            f"slo: target p99 {slo_p99}, slo_sheds {result['slo_sheds']}, "
+            f"throttles {result['slo_throttles']}, min admission scale "
+            f"{result['min_admission_scale']}"
+        )
+
+
 def main(argv: Optional[list[str]] = None) -> None:
     import sys
 
@@ -252,6 +339,31 @@ def main(argv: Optional[list[str]] = None) -> None:
     )
     parser.add_argument("--seed", type=int, default=1, help="simulation seed")
     parser.add_argument(
+        "--batch-window", type=float, default=0.0,
+        help="> 0: per-link message batching + decision pipelining "
+        "window (0 = unbatched seed path)",
+    )
+    parser.add_argument(
+        "--batch-policy", choices=("static", "adaptive"), default="static",
+        help="flush policy for the batch/pipeline windows: static "
+        "fixed-delay or adaptive size-or-deadline (requires --batch-window)",
+    )
+    parser.add_argument(
+        "--arrival", default=None,
+        choices=("poisson", "diurnal", "bursty", "flash_crowd"),
+        help="run open-loop traffic with this arrival pattern instead "
+        "of the staggered batch workload (requires --protocol)",
+    )
+    parser.add_argument(
+        "--arrival-rate", type=float, default=0.25,
+        help="mean arrivals per time unit for --arrival (default 0.25)",
+    )
+    parser.add_argument(
+        "--slo-p99", type=float, default=0.0,
+        help="> 0: target p99 response time for the open-loop admission "
+        "controller (requires --arrival)",
+    )
+    parser.add_argument(
         "--report", action="store_true",
         help="print the paper's §4 cost table for the run",
     )
@@ -272,6 +384,16 @@ def main(argv: Optional[list[str]] = None) -> None:
         parser.error("--replication/--zipf require --partitions")
     if args.zipf < 0:
         parser.error("--zipf must be >= 0")
+    if args.batch_window < 0:
+        parser.error("--batch-window must be >= 0")
+    if args.batch_policy == "adaptive" and args.batch_window == 0:
+        parser.error("--batch-policy adaptive requires --batch-window > 0")
+    if args.slo_p99 < 0:
+        parser.error("--slo-p99 must be >= 0")
+    if args.slo_p99 and args.arrival is None:
+        parser.error("--slo-p99 requires --arrival")
+    if args.arrival is not None and args.arrival_rate <= 0:
+        parser.error("--arrival-rate must be positive")
     if args.protocol is None:
         if args.report or args.trace_out:
             parser.error("--report/--trace-out require --protocol")
@@ -279,7 +401,24 @@ def main(argv: Optional[list[str]] = None) -> None:
             parser.error("--coordinators requires --protocol")
         if args.partitions:
             parser.error("--partitions requires --protocol")
+        if args.batch_window or args.arrival:
+            parser.error("--batch-window/--arrival require --protocol")
         demo()
+        return
+    if args.arrival is not None:
+        if args.partitions:
+            parser.error("--arrival does not combine with --partitions")
+        if args.report or args.trace_out:
+            parser.error("--arrival does not combine with --report/--trace-out")
+        run_open_loop(
+            args.protocol, args.sites, args.txns, args.seed,
+            arrival=args.arrival,
+            arrival_rate=args.arrival_rate,
+            slo_p99=args.slo_p99,
+            coordinators=args.coordinators,
+            batch_window=args.batch_window,
+            batch_policy=args.batch_policy,
+        )
         return
     run_single(
         args.protocol, args.sites, args.txns, args.seed,
@@ -288,6 +427,8 @@ def main(argv: Optional[list[str]] = None) -> None:
         partitions=args.partitions,
         replication=args.replication,
         zipf=args.zipf,
+        batch_window=args.batch_window,
+        batch_policy=args.batch_policy,
     )
 
 

@@ -108,7 +108,11 @@ def protocol_federation(
     log_placement: str = "indb",
     msg_timeout: float = 50.0,
     batch_window: float = 0.0,
+    batch_policy: str = "static",
+    batch_max_msgs: int = 0,
     pipeline_window: float = 0.0,
+    pipeline_policy: str = "static",
+    pipeline_max_group: int = 0,
     piggyback_decisions: bool = False,
 ) -> Federation:
     """Build a federation configured for one protocol under test.
@@ -127,6 +131,8 @@ def protocol_federation(
         l1_table=l1_table,
         msg_timeout=msg_timeout,
         pipeline_window=pipeline_window,
+        pipeline_policy=pipeline_policy,
+        pipeline_max_group=pipeline_max_group,
         piggyback_decisions=piggyback_decisions,
     )
     if l1_timeout != "default":
@@ -135,6 +141,8 @@ def protocol_federation(
         seed=seed,
         latency=latency,
         batch_window=batch_window,
+        batch_policy=batch_policy,
+        batch_max_msgs=batch_max_msgs,
         log_placement=log_placement,
         gtm=GTMConfig(**gtm_kwargs),
     )

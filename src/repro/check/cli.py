@@ -40,6 +40,7 @@ def _build_spec(args: argparse.Namespace) -> CheckSpec:
         mutant=args.mutant,
         partitions=args.partitions,
         replication=args.replication,
+        pipeline_window=args.pipeline_window,
     )
 
 
@@ -118,6 +119,11 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument(
         "--mutant", default="", choices=("",) + MUTANTS,
         help="inject a known protocol bug (regression: must be caught)",
+    )
+    parser.add_argument(
+        "--pipeline-window", type=float, default=0.0,
+        help="> 0: batch commit decisions per site (group-decision "
+        "pipeline) while exploring",
     )
     parser.add_argument(
         "--crash-points", action="store_true",

@@ -86,6 +86,11 @@ class CheckSpec:
     #: across the sites, each partition with ``replication`` members.
     partitions: int = 0
     replication: int = 1
+    #: Group-decision pipeline window (0 = per-transaction decides,
+    #: the seed path).  A positive window drives the checker through
+    #: the size-or-deadline decision batching added for EXP-A6,
+    #: including its Paxos acceptance-before-ack invariant.
+    pipeline_window: float = 0.0
     #: Simulated-time ceiling of one execution; generous, because an
     #: exploration must never mistake a slow schedule for a hang.
     horizon: float = 20000.0
@@ -258,6 +263,7 @@ def build_scenario(spec: CheckSpec) -> Scenario:
             protocol=spec.protocol,
             granularity=spec.granularity,
             msg_timeout=50.0,
+            pipeline_window=spec.pipeline_window,
         ),
     )
     federation = Federation(_site_specs(spec), config)

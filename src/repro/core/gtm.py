@@ -30,9 +30,10 @@ from repro.core.global_txn import GlobalOutcome, GlobalTransaction
 from repro.core.protocols.base import make_protocol
 from repro.core.redo import RedoLog
 from repro.core.undo import UndoLog
-from repro.errors import MessageTimeout
+from repro.errors import DurabilityOrderViolation, MessageTimeout
 from repro.mlt.conflicts import READ_WRITE_TABLE, SEMANTIC_TABLE, ConflictTable
 from repro.mlt.locks import SemanticLockManager
+from repro.net.adaptive import AdaptiveWindow
 from repro.sim.events import Future
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -76,6 +77,14 @@ class GTMConfig:
         and their decision records share one forced write at the
         central decision log (the group-decision pipeline).  ``0``
         keeps the seed's one-decide-per-transaction path.
+    pipeline_policy:
+        ``"static"`` (fixed-delay flush, the PR 1 behaviour) or
+        ``"adaptive"`` (size-or-deadline with a load-sensed window,
+        mirroring the network's ``batch_policy``).
+    pipeline_max_group:
+        Flush a site's decision group as soon as it reaches this many
+        members instead of waiting out the window (``0`` disables the
+        size trigger).
     piggyback_decisions:
         Commit-before per-site only: ride the local-commit request on
         the site's *last* data message instead of a dedicated
@@ -102,11 +111,17 @@ class GTMConfig:
     retry_attempts: int = 5
     retry_backoff: float = 5.0
     pipeline_window: float = 0.0
+    pipeline_policy: str = "static"
+    pipeline_max_group: int = 0
     piggyback_decisions: bool = False
 
     def __post_init__(self) -> None:
         if self.granularity not in ("per_action", "per_site"):
             raise ValueError(f"unknown granularity {self.granularity!r}")
+        if self.pipeline_policy not in ("static", "adaptive"):
+            raise ValueError(f"unknown pipeline policy {self.pipeline_policy!r}")
+        if self.pipeline_max_group < 0:
+            raise ValueError(f"negative pipeline_max_group {self.pipeline_max_group}")
 
     @property
     def coordinator_mode(self) -> str:
@@ -174,15 +189,41 @@ class DecisionPipeline:
     whole group resolves to ``ambiguous`` and every member falls back
     to its protocol's individual retry machinery, so crash behaviour is
     unchanged.
+
+    The flush policy mirrors the network's: *size-or-deadline* (a group
+    reaching ``max_group`` members flushes immediately), and with
+    ``policy="adaptive"`` the deadline window is load-sensed via
+    :class:`~repro.net.adaptive.AdaptiveWindow` so small groups stop
+    being held hostage to the full window under bursts.  A per-site
+    generation counter invalidates a scheduled deadline flush whose
+    group was already sent by the size trigger (or dropped by a crash).
     """
 
-    def __init__(self, gtm: "GlobalTransactionManager", window: float):
+    def __init__(
+        self,
+        gtm: "GlobalTransactionManager",
+        window: float,
+        policy: str = "static",
+        max_group: int = 0,
+    ):
         self.gtm = gtm
         self.window = window
+        self.max_group = max_group
+        self.controller = (
+            AdaptiveWindow(window) if policy == "adaptive" and window > 0 else None
+        )
         self._queues: dict[str, list[tuple[str, str, Optional[str], Future]]] = {}
+        # Enqueue timestamps (adaptive only), parallel to ``_queues``.
+        self._times: dict[str, list[float]] = {}
+        # Per-site flush generation: bumped whenever a site's group is
+        # popped, so a stale scheduled deadline cannot flush its
+        # successor group early.
+        self._gen: dict[str, int] = {}
         self.groups_sent = 0
         self.decisions_grouped = 0
         self.dropped_on_crash = 0
+        self.size_flushes = 0
+        self.deadline_flushes = 0
 
     def decide(
         self, site: str, gtxn_id: str, decision: str, marker_key: Optional[str]
@@ -195,8 +236,19 @@ class DecisionPipeline:
         future = Future(label=f"group-decide:{site}:{gtxn_id}")
         queue = self._queues.setdefault(site, [])
         queue.append((gtxn_id, decision, marker_key, future))
-        if len(queue) == 1:
-            self.gtm.kernel._schedule(self.window, self._flush, site)
+        if self.controller is not None:
+            self._times.setdefault(site, []).append(self.gtm.kernel.now)
+        if self.max_group and len(queue) >= self.max_group:
+            self.size_flushes += 1
+            self._flush_site(site)
+        elif len(queue) == 1:
+            window = (
+                self.controller.current if self.controller is not None
+                else self.window
+            )
+            self.gtm.kernel._schedule(
+                window, self._flush, site, self._gen.get(site, 0)
+            )
         outcome = yield future
         return outcome
 
@@ -210,20 +262,39 @@ class DecisionPipeline:
         commit on behalf of a dead coordinator: a peer may already have
         presumed those very transactions aborted.
         """
-        for entries in self._queues.values():
+        for site, entries in self._queues.items():
             self.dropped_on_crash += len(entries)
+            self._gen[site] = self._gen.get(site, 0) + 1
         self._queues.clear()
+        self._times.clear()
 
-    def _flush(self, site: str) -> None:
+    def _flush(self, site: str, generation: int) -> None:
+        if self._gen.get(site, 0) != generation:
+            return  # size-flushed, or dropped on crash, in the meantime
         if self.gtm.crashed or self.gtm.comm.node.crashed:
             # The flush timer outlives the node; the buffer does not.
             entries = self._queues.pop(site, None)
             if entries:
                 self.dropped_on_crash += len(entries)
+                self._gen[site] = generation + 1
+                if site in self._times:
+                    self._times[site] = []
             return
+        if self._queues.get(site):
+            self.deadline_flushes += 1
+        self._flush_site(site)
+
+    def _flush_site(self, site: str) -> None:
         entries = self._queues.pop(site, None)
         if not entries:
             return
+        self._gen[site] = self._gen.get(site, 0) + 1
+        if self.controller is not None:
+            times = self._times.get(site)
+            if times:
+                now = self.gtm.kernel.now
+                self.controller.observe(sum(now - t for t in times))
+                self._times[site] = []
         self.groups_sent += 1
         self.decisions_grouped += len(entries)
         self.gtm.track_service(
@@ -235,6 +306,27 @@ class DecisionPipeline:
     def _send_group(
         self, site: str, entries: list[tuple[str, str, Optional[str], Future]]
     ) -> Generator[Any, Any, None]:
+        acceptors = self.gtm.acceptors
+        if acceptors is not None:
+            # Paxos coordinator mode: the durable decision record is the
+            # chosen value at a majority of acceptors, and
+            # ``PaxosCommit`` delivers decisions directly -- never
+            # through this pipeline.  A decision reaching the group path
+            # without a chosen value would let the participant ack
+            # overtake durable acceptance, the exact reordering the
+            # ballot-0 fast path forbids; fail loudly instead of
+            # hardening a central record the acceptors never chose.
+            unchosen = [
+                gtxn_id for gtxn_id, decision, _, _ in entries
+                if acceptors.decision_for(gtxn_id) != decision
+            ]
+            if unchosen:
+                raise DurabilityOrderViolation(
+                    "pipelined decision(s) for "
+                    + ", ".join(sorted(unchosen))
+                    + " not chosen at the acceptor group: a participant "
+                    "ack would precede the durable acceptance"
+                )
         # One forced write hardens every decision record in the group.
         self.gtm.decision_log.harden(
             [gtxn_id for gtxn_id, _, _, _ in entries], "commit"
@@ -304,7 +396,12 @@ class GlobalTransactionManager:
             self.undo_log = UndoLog()
             self.decision_log = DecisionLog()
         self.pipeline: Optional[DecisionPipeline] = (
-            DecisionPipeline(self, self.config.pipeline_window)
+            DecisionPipeline(
+                self,
+                self.config.pipeline_window,
+                policy=self.config.pipeline_policy,
+                max_group=self.config.pipeline_max_group,
+            )
             if self.config.pipeline_window > 0
             else None
         )
@@ -501,6 +598,12 @@ class GlobalTransactionManager:
             "decision_groups": self.pipeline.groups_sent if self.pipeline else 0,
             "decisions_grouped": (
                 self.pipeline.decisions_grouped if self.pipeline else 0
+            ),
+            "decision_size_flushes": (
+                self.pipeline.size_flushes if self.pipeline else 0
+            ),
+            "decision_deadline_flushes": (
+                self.pipeline.deadline_flushes if self.pipeline else 0
             ),
             "recovery_passes": self.recovery.passes,
             "recovery_resolved_indoubt": self.recovery.resolved_indoubt,

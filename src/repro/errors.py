@@ -168,6 +168,16 @@ class SerializabilityViolation(ProtocolError):
     """The serialization-graph checker found a cycle."""
 
 
+class DurabilityOrderViolation(ProtocolError):
+    """A participant ack was about to overtake the durable decision.
+
+    Every commit path must make the decision durable (forced decision
+    record, or a chosen Paxos value at a majority of acceptors) before
+    any participant may learn it.  The pipelined decision path asserts
+    this ordering and raises when a configuration would break it.
+    """
+
+
 class UnsupportedInterface(ProtocolError):
     """The protocol needs an interface feature the local TM lacks.
 

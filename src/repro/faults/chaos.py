@@ -113,6 +113,12 @@ class ChaosSpec:
     replica_outage: float = 60.0
     #: Replica-set lease: promotion fires this long after a crash.
     lease_timeout: float = 40.0
+    #: Per-link message batching under chaos (0 = seed path).  The
+    #: adaptive policy plus crashes exercises the outbox purge and the
+    #: reliable-path retransmission of batched envelopes.
+    batch_window: float = 0.0
+    batch_policy: str = "static"
+    batch_max_msgs: int = 0
 
 
 @dataclass
@@ -204,6 +210,9 @@ def build_chaos_federation(spec: ChaosSpec) -> Federation:
         reorder_rate=spec.reorder_rate,
         reliable=True,
         retransmit_timeout=6.0,
+        batch_window=spec.batch_window,
+        batch_policy=spec.batch_policy,
+        batch_max_msgs=spec.batch_max_msgs,
         metrics=spec.metrics,
         coordinators=spec.coordinators,
         paxos_f=spec.paxos_f,

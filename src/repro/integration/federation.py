@@ -56,6 +56,8 @@ class FederationConfig:
     latency_jitter: float = 0.0
     loss_rate: float = 0.0
     batch_window: float = 0.0
+    batch_policy: str = "static"
+    batch_max_msgs: int = 0
     dup_rate: float = 0.0
     reorder_rate: float = 0.0
     reorder_spread: float = 5.0
@@ -117,6 +119,8 @@ class Federation:
             latency=latency,
             loss_rate=self.config.loss_rate,
             batch_window=self.config.batch_window,
+            batch_policy=self.config.batch_policy,
+            batch_max_msgs=self.config.batch_max_msgs,
             dup_rate=self.config.dup_rate,
             reorder_rate=self.config.reorder_rate,
             reorder_spread=self.config.reorder_spread,

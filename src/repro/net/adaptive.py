@@ -1,0 +1,135 @@
+"""Load-sensed flush-window controller (group-commit style).
+
+One deterministic controller shared by the two batching layers:
+
+* :class:`~repro.net.network.Network` per-link message outboxes
+  (``batch_policy="adaptive"``), and
+* :class:`~repro.core.gtm.DecisionPipeline` per-site decision groups
+  (``pipeline_policy="adaptive"``).
+
+The policy is the classic group-commit one: a *size-or-deadline* flush
+(the caller handles the size trigger), with the deadline window itself
+adjusted multiplicatively from the queueing delay each flush actually
+imposed.  The signal is the **total** wait accumulated by the flushed
+batch (sum over members of ``flush_time - enqueue_time``):
+
+* under a burst, many messages sit behind the deadline, total wait
+  rises well past the window, and the controller *shrinks* the window
+  so latecomers stop paying for a quiet-era deadline;
+* at quiescence a lone message waits at most one window, total wait
+  falls back to ``current`` (a deadline flush of one message waits the
+  window exactly), and the controller *re-widens* toward the
+  configured base so batching efficiency returns.
+
+Everything is pure arithmetic on observed simulated-time delays -- no
+wall clock, no randomness -- so runs stay byte-replayable.
+"""
+
+from __future__ import annotations
+
+__all__ = ["AdaptiveWindow"]
+
+
+class AdaptiveWindow:
+    """Multiplicative-adjust flush window bounded to ``[floor, base]``.
+
+    Parameters
+    ----------
+    base:
+        The configured (maximum) window -- what a static policy would
+        always use.  Must be positive.
+    floor:
+        Smallest window the controller may shrink to.  Defaults to
+        ``base / 8``.
+    shrink / grow:
+        Multiplicative step applied on pressure / relief.
+    pressure:
+        Shrink when a flush's total queueing wait exceeds
+        ``pressure * current`` -- i.e. the batch collectively waited
+        longer than the window it was trying to amortise.
+    relief:
+        Count a flush as relief when its total wait is at most
+        ``relief * current``.  The default (1.0) makes a singleton
+        deadline flush -- whose lone message waits exactly one window
+        -- count as relief, so a shrunk window recovers under
+        quiescent traffic.  Must stay below ``pressure``.
+    patience:
+        Consecutive relief observations required before each widening
+        step.  One stray singleton flush in the middle of a burst must
+        not bounce the window back up and re-tax the burst's tail.
+    """
+
+    def __init__(
+        self,
+        base: float,
+        *,
+        floor: float = 0.0,
+        shrink: float = 0.5,
+        grow: float = 2.0,
+        pressure: float = 1.5,
+        relief: float = 1.0,
+        patience: int = 6,
+    ):
+        if base <= 0:
+            raise ValueError("adaptive window needs base > 0")
+        if not 0.0 < shrink < 1.0:
+            raise ValueError("shrink must be in (0, 1)")
+        if grow <= 1.0:
+            raise ValueError("grow must be > 1")
+        if relief >= pressure:
+            raise ValueError("relief must stay below pressure")
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.base = base
+        self.floor = floor if floor > 0 else base / 8.0
+        if self.floor > base:
+            raise ValueError("floor must not exceed base")
+        self.shrink = shrink
+        self.grow = grow
+        self.pressure = pressure
+        self.relief = relief
+        self.patience = patience
+        self._relief_streak = 0
+        #: The window the next scheduled flush should use.
+        self.current = base
+        #: Telemetry: multiplicative steps taken in each direction.
+        self.shrinks = 0
+        self.widens = 0
+        #: Flushes observed (size- and deadline-triggered alike).
+        self.observations = 0
+
+    def observe(self, total_wait: float) -> None:
+        """Feed one flush's total queueing wait; adjust the window."""
+        self.observations += 1
+        if total_wait > self.pressure * self.current:
+            self._relief_streak = 0
+            shrunk = max(self.floor, self.current * self.shrink)
+            if shrunk < self.current:
+                self.current = shrunk
+                self.shrinks += 1
+        elif total_wait <= self.relief * self.current:
+            self._relief_streak += 1
+            if self._relief_streak < self.patience:
+                return
+            widened = min(self.base, self.current * self.grow)
+            if widened > self.current:
+                self.current = widened
+                self.widens += 1
+        else:
+            self._relief_streak = 0
+
+    def counts(self) -> dict[str, float]:
+        """Telemetry snapshot (obs counters / bench reporting)."""
+        return {
+            "window_now": self.current,
+            "shrinks": self.shrinks,
+            "widens": self.widens,
+            "observations": self.observations,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"AdaptiveWindow(current={self.current:g}, base={self.base:g}, "
+            f"floor={self.floor:g}, shrinks={self.shrinks}, "
+            f"widens={self.widens})"
+        )

@@ -15,6 +15,25 @@ accounting stays honest; ``piggybacked`` counts the logical messages
 that rode along in an envelope after the first.  ``batch_window = 0``
 (the default) takes exactly the unbatched path of the seed system.
 
+The flush policy is *size-or-deadline*: an outbox reaching
+``batch_max_msgs`` logical messages flushes immediately instead of
+waiting out the window (``batch_max_msgs = 0`` disables the size
+trigger, the seed behaviour).  With ``batch_policy="adaptive"`` the
+deadline itself is load-sensed: an
+:class:`~repro.net.adaptive.AdaptiveWindow` shrinks the window when
+flushed batches report rising total queueing delay (a burst) and
+re-widens it toward ``batch_window`` at quiescence.
+``batch_policy="static"`` (the default) keeps the fixed-delay flush of
+PR 1 byte-identical.
+
+A node crash purges its sender-side outboxes: buffered logical
+messages die with the crashed sender (its batching state is volatile,
+exactly like its reliable-retransmission state) instead of being
+transmitted by a stale scheduled flush after a quick restart.
+Destination-bound outboxes are left alone -- their deadline flush
+transmits normally and, under ``reliable=True``, the retransmission
+loop carries the envelope across the destination's outage.
+
 Fault knobs beyond probabilistic loss: ``dup_rate`` delivers a
 transmission twice, ``reorder_rate`` adds extra latency to some
 transmissions so later ones overtake them, and named link partitions
@@ -37,6 +56,7 @@ import itertools
 from typing import TYPE_CHECKING, Optional
 
 from repro.errors import NodeUnreachable, TopologyViolation
+from repro.net.adaptive import AdaptiveWindow
 from repro.net.message import BatchMessage, Message
 from repro.net.node import Node
 
@@ -77,6 +97,8 @@ class Network:
         loss_rate: float = 0.0,
         enforce_star: bool = True,
         batch_window: float = 0.0,
+        batch_policy: str = "static",
+        batch_max_msgs: int = 0,
         dup_rate: float = 0.0,
         reorder_rate: float = 0.0,
         reorder_spread: float = 5.0,
@@ -88,6 +110,10 @@ class Network:
     ):
         if batch_window < 0:
             raise ValueError(f"negative batch window {batch_window}")
+        if batch_policy not in ("static", "adaptive"):
+            raise ValueError(f"unknown batch policy {batch_policy!r}")
+        if batch_max_msgs < 0:
+            raise ValueError(f"negative batch_max_msgs {batch_max_msgs}")
         for name, rate in (("dup_rate", dup_rate), ("reorder_rate", reorder_rate)):
             if not 0.0 <= rate <= 1.0:
                 raise ValueError(f"{name} {rate} outside [0, 1]")
@@ -96,6 +122,16 @@ class Network:
         self.loss_rate = loss_rate
         self.enforce_star = enforce_star
         self.batch_window = batch_window
+        self.batch_policy = batch_policy
+        self.batch_max_msgs = batch_max_msgs
+        # The load-sensed controller exists only on the adaptive
+        # policy; ``None`` keeps the static path byte-identical (no
+        # enqueue-time bookkeeping, deadline always ``batch_window``).
+        self.batch_controller: Optional[AdaptiveWindow] = (
+            AdaptiveWindow(batch_window)
+            if batch_policy == "adaptive" and batch_window > 0
+            else None
+        )
         self.dup_rate = dup_rate
         self.reorder_rate = reorder_rate
         self.reorder_spread = reorder_spread
@@ -111,6 +147,9 @@ class Network:
         # invalidates stale scheduled flushes after an explicit flush.
         self._outboxes: dict[tuple[str, str], list[Message]] = {}
         self._outbox_gen: dict[tuple[str, str], int] = {}
+        # Enqueue timestamps (adaptive policy only): parallel to
+        # ``_outboxes``, feeds the controller's total-wait signal.
+        self._outbox_times: dict[tuple[str, str], list[float]] = {}
         # Deterministic fault hook: message kinds to drop exactly once
         # (used by the fault injector to lose a specific reply).
         self.drop_once: set[str] = set()
@@ -152,6 +191,10 @@ class Network:
         self.reordered = 0
         self.acks_sent = 0
         self.abandoned_messages = 0
+        # Batching-policy metrics: flush triggers and crash purges.
+        self.size_flushes = 0
+        self.deadline_flushes = 0
+        self.purged_batched = 0
 
     # -- membership -----------------------------------------------------------
 
@@ -159,6 +202,10 @@ class Network:
         if node.name in self._nodes:
             raise ValueError(f"duplicate node {node.name}")
         self._nodes[node.name] = node
+        # Batching state buffered *at* this node is volatile: purge it
+        # the moment the node crashes so a stale scheduled flush cannot
+        # transmit pre-crash messages after a quick restart.
+        node.on_crash.append(lambda name=node.name: self._purge_outboxes(name))
         return node
 
     def node(self, name: str) -> Node:
@@ -225,13 +272,27 @@ class Network:
         key = (message.sender, message.dest)
         queue = self._outboxes.setdefault(key, [])
         queue.append(message)
+        controller = self.batch_controller
+        if controller is not None:
+            self._outbox_times.setdefault(key, []).append(self.kernel.now)
+        if self.batch_max_msgs and len(queue) >= self.batch_max_msgs:
+            # Size trigger: a full envelope has nothing to gain from
+            # waiting out the deadline.
+            self.size_flushes += 1
+            self._flush_link(key)
+            return
         if len(queue) == 1:
             generation = self._outbox_gen.get(key, 0)
-            self.kernel._schedule(self.batch_window, self._flush, key, generation)
+            window = (
+                controller.current if controller is not None else self.batch_window
+            )
+            self.kernel._schedule(window, self._flush, key, generation)
 
     def _flush(self, key: tuple[str, str], generation: int) -> None:
         if self._outbox_gen.get(key, 0) != generation:
             return  # flushed explicitly in the meantime
+        if self._outboxes.get(key):
+            self.deadline_flushes += 1
         self._flush_link(key)
 
     def _flush_link(self, key: tuple[str, str]) -> None:
@@ -240,6 +301,13 @@ class Network:
             return
         self._outboxes[key] = []
         self._outbox_gen[key] = self._outbox_gen.get(key, 0) + 1
+        controller = self.batch_controller
+        if controller is not None:
+            times = self._outbox_times.get(key)
+            if times:
+                now = self.kernel.now
+                controller.observe(sum(now - t for t in times))
+                self._outbox_times[key] = []
         sender, dest = key
         src = self._nodes.get(sender)
         if src is None or src.crashed:
@@ -267,6 +335,37 @@ class Network:
         """Force every pending outbox onto the wire immediately."""
         for key in list(self._outboxes):
             self._flush_link(key)
+
+    def _purge_outboxes(self, name: str) -> None:
+        """Drop outboxes buffered at ``name``; it just crashed.
+
+        Without this, a crash-then-restart inside one batch window left
+        the ``(key, generation)`` guard satisfied: the scheduled flush
+        fired against a now-healthy sender and transmitted messages
+        that were buffered *before* the crash -- state that should have
+        died with it (the reliable path's ``_attempt_xmit`` already
+        treats sender-side retransmission state as volatile).  Only
+        sender-side outboxes are purged: envelopes headed *to* the
+        crashed node still flush on their deadline, where the reliable
+        path retransmits them across the outage and the unreliable path
+        drops them at delivery exactly as the seed did.
+        """
+        trace = self.kernel.trace
+        for key, queue in self._outboxes.items():
+            if key[0] != name or not queue:
+                continue
+            self._outboxes[key] = []
+            self._outbox_gen[key] = self._outbox_gen.get(key, 0) + 1
+            if self._outbox_times.get(key):
+                self._outbox_times[key] = []
+            self.dropped += len(queue)
+            self.purged_batched += len(queue)
+            if trace.enabled:
+                for message in queue:
+                    trace.emit(
+                        "message_drop", message.sender, message.kind,
+                        dest=message.dest, cause="sender down",
+                    )
 
     @property
     def pending_batched(self) -> int:
@@ -546,6 +645,19 @@ class Network:
             ),
             "unacked_in_flight": len(self._pending_xmits),
         }
+
+    def batching_counts(self) -> dict[str, float]:
+        """Flush-policy accounting (EXP-A6 adaptive batching)."""
+        counts: dict[str, float] = {
+            "size_flushes": self.size_flushes,
+            "deadline_flushes": self.deadline_flushes,
+            "purged_batched": self.purged_batched,
+        }
+        if self.batch_controller is not None:
+            counts["batch_window_now"] = self.batch_controller.current
+            counts["batch_window_shrinks"] = self.batch_controller.shrinks
+            counts["batch_window_widens"] = self.batch_controller.widens
+        return counts
 
     def make_batch(self, messages: tuple[Message, ...]) -> BatchMessage:
         """Build an envelope for ``messages`` (validates the link)."""

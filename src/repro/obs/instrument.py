@@ -37,6 +37,7 @@ _GTM_COUNTERS = (
     "global_committed", "global_aborted",
     "redo_executions", "undo_executions",
     "decision_forces", "decision_groups", "decisions_grouped",
+    "decision_size_flushes", "decision_deadline_flushes",
     "recovery_passes", "recovery_resolved_indoubt",
     "recovery_redriven_redos", "recovery_redriven_undos",
     "recovery_orphans_terminated",
@@ -154,6 +155,13 @@ class Observability:
             ).set_total(count)
         for name, value in network.reliability_counts().items():
             if name == "unacked_in_flight":
+                registry.gauge(name, protocol=protocol).set(value)
+            else:
+                registry.counter(name, protocol=protocol).set_total(value)
+        for name, value in network.batching_counts().items():
+            if name == "batch_window_now":
+                # The adaptive controller's live window is a level, not
+                # a count.
                 registry.gauge(name, protocol=protocol).set(value)
             else:
                 registry.counter(name, protocol=protocol).set_total(value)

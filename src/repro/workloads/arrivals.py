@@ -1,0 +1,161 @@
+"""Arrival-rate patterns for the open-loop driver.
+
+The seed driver draws interarrival gaps from a homogeneous Poisson
+process.  Production traffic is not homogeneous: it breathes with the
+day, arrives in bursts, and occasionally spikes (a flash crowd).  Each
+pattern here exposes one method, :meth:`rate`, giving the instantaneous
+arrival rate at a simulated time; the driver draws each gap as an
+exponential at the rate in force when the draw happens -- the standard
+piecewise approximation of a non-homogeneous Poisson process.  One
+uniform draw per arrival, exactly like the seed, so runs with
+``arrival="poisson"`` stay byte-identical to the seed driver.
+
+Patterns are pure deterministic functions of simulated time (no RNG of
+their own), so a seeded run replays exactly regardless of pattern.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+__all__ = [
+    "ArrivalPattern",
+    "DiurnalPattern",
+    "BurstyPattern",
+    "FlashCrowdPattern",
+    "ARRIVAL_PATTERNS",
+    "make_pattern",
+]
+
+
+class ArrivalPattern:
+    """Homogeneous Poisson arrivals (the seed behaviour)."""
+
+    name = "poisson"
+
+    def __init__(self, base_rate: float):
+        if base_rate <= 0:
+            raise ValueError("arrival rate must be positive")
+        self.base_rate = base_rate
+
+    def rate(self, now: float) -> float:
+        """Instantaneous arrival rate at simulated time ``now``."""
+        return self.base_rate
+
+
+class DiurnalPattern(ArrivalPattern):
+    """Sinusoidal day/night swing around the base rate.
+
+    ``rate(t) = base * (1 + amplitude * sin(2*pi * t / period))``,
+    floored at ``base * min_fraction`` so the process never stalls.
+    """
+
+    name = "diurnal"
+
+    def __init__(
+        self,
+        base_rate: float,
+        period: float = 200.0,
+        amplitude: float = 0.6,
+        min_fraction: float = 0.1,
+    ):
+        super().__init__(base_rate)
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if not 0.0 <= amplitude <= 1.0:
+            raise ValueError("amplitude must be in [0, 1]")
+        self.period = period
+        self.amplitude = amplitude
+        self.min_fraction = min_fraction
+
+    def rate(self, now: float) -> float:
+        swing = 1.0 + self.amplitude * math.sin(2.0 * math.pi * now / self.period)
+        return max(self.base_rate * self.min_fraction, self.base_rate * swing)
+
+
+class BurstyPattern(ArrivalPattern):
+    """On-off square wave: bursts of ``burst_factor`` x base, then calm.
+
+    Each period of length ``period`` starts with a burst lasting
+    ``duty`` of it; the rest idles at ``idle_factor`` x base.  The
+    time-averaged rate is ``duty*burst + (1-duty)*idle`` x base.
+    """
+
+    name = "bursty"
+
+    def __init__(
+        self,
+        base_rate: float,
+        period: float = 50.0,
+        duty: float = 0.2,
+        burst_factor: float = 4.0,
+        idle_factor: float = 0.25,
+    ):
+        super().__init__(base_rate)
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if not 0.0 < duty < 1.0:
+            raise ValueError("duty must be in (0, 1)")
+        if burst_factor <= 0 or idle_factor <= 0:
+            raise ValueError("burst/idle factors must be positive")
+        self.period = period
+        self.duty = duty
+        self.burst_factor = burst_factor
+        self.idle_factor = idle_factor
+
+    def rate(self, now: float) -> float:
+        phase = math.fmod(now, self.period) / self.period
+        factor = self.burst_factor if phase < self.duty else self.idle_factor
+        return self.base_rate * factor
+
+
+class FlashCrowdPattern(ArrivalPattern):
+    """Steady base rate with one exponentially-decaying spike.
+
+    At ``at`` the rate jumps to ``spike_factor`` x base and decays back
+    with time constant ``decay`` -- the canonical flash crowd an SLO
+    controller has to ride out.
+    """
+
+    name = "flash_crowd"
+
+    def __init__(
+        self,
+        base_rate: float,
+        at: float = 50.0,
+        spike_factor: float = 8.0,
+        decay: float = 40.0,
+    ):
+        super().__init__(base_rate)
+        if spike_factor < 1.0:
+            raise ValueError("spike_factor must be >= 1")
+        if decay <= 0:
+            raise ValueError("decay must be positive")
+        self.at = at
+        self.spike_factor = spike_factor
+        self.decay = decay
+
+    def rate(self, now: float) -> float:
+        if now < self.at:
+            return self.base_rate
+        surge = (self.spike_factor - 1.0) * math.exp(-(now - self.at) / self.decay)
+        return self.base_rate * (1.0 + surge)
+
+
+ARRIVAL_PATTERNS: dict[str, type[ArrivalPattern]] = {
+    cls.name: cls
+    for cls in (ArrivalPattern, DiurnalPattern, BurstyPattern, FlashCrowdPattern)
+}
+
+
+def make_pattern(name: str, base_rate: float, **params: Any) -> ArrivalPattern:
+    """Build the named arrival pattern at ``base_rate``."""
+    try:
+        cls = ARRIVAL_PATTERNS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown arrival pattern {name!r}; "
+            f"choose from {sorted(ARRIVAL_PATTERNS)}"
+        ) from None
+    return cls(base_rate, **params)

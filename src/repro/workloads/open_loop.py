@@ -18,6 +18,37 @@ arrive on a Poisson process whether or not the system keeps up, and an
 Response times are measured from *arrival*, so queueing delay under
 overload shows up in the p99 -- the scaling story of
 ``bench_s1_sharded_gtm``.
+
+Two latency figures are reported, because a shed-blind percentile lies:
+
+* ``p99`` -- over committed transactions only (the seed's figure, kept
+  for continuity);
+* ``p99_admitted_or_shed`` -- over every arrival that was either served
+  (committed or aborted, measured arrival-to-completion) or shed, with
+  each shed arrival censored *above* every served latency.  A system
+  that sheds harder can only push this figure up, never down, which
+  removes the survivorship bias: under the old accounting, shedding
+  90% of traffic made the p99 look great.
+
+With ``slo_p99 > 0`` an admission controller targets that p99 with two
+levers, each matched to the failure mode it can actually fix:
+
+* **queue bound** (overload): an arrival that finds the window full is
+  shed when its *predicted* response -- queue position times the
+  rolling service-time estimate divided by the window -- would bust
+  the target.  Queue wait is the dominant latency under an open-loop
+  spike, and no amount of window shrinking fixes it (a smaller window
+  only makes the queue drain slower); shedding is the honest action,
+  and the corrected percentile charges every shed to the system.
+* **window scale** (contention): when the *service-only* latency
+  (submission to completion, queue wait excluded) inflates past the
+  target, concurrency itself is hurting -- lock conflicts, decision
+  queues -- and the admission window is multiplicatively shrunk, then
+  re-widened when service latency recovers.
+
+Arrival timing can follow any :mod:`repro.workloads.arrivals` pattern
+(diurnal/bursty/flash-crowd); the default ``"poisson"`` keeps the seed
+draw sequence byte-identical.
 """
 
 from __future__ import annotations
@@ -28,6 +59,7 @@ from typing import TYPE_CHECKING, Any, Generator, Optional
 
 from repro.core.global_txn import GlobalOutcome
 from repro.errors import ProcessInterrupted
+from repro.workloads.arrivals import make_pattern
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.integration.federation import Federation
@@ -48,12 +80,28 @@ class OpenLoopSpec:
     queue_limit: int = 0
     #: Name of the kernel RNG stream for interarrival draws.
     rng_stream: str = "open-loop"
+    #: Arrival pattern name (see :mod:`repro.workloads.arrivals`).
+    arrival: str = "poisson"
+    #: Extra keyword arguments for the arrival pattern.
+    arrival_params: dict = field(default_factory=dict)
+    #: Target p99 response time; 0 disables the SLO controller.
+    slo_p99: float = 0.0
+    #: Rolling completions the p99 estimate is computed over.
+    slo_window: int = 64
+    #: Floor of the multiplicative admission scale.
+    slo_min_scale: float = 0.25
 
     def __post_init__(self) -> None:
         if self.arrival_rate <= 0:
             raise ValueError("arrival_rate must be positive")
         if self.window_per_coordinator < 1:
             raise ValueError("window_per_coordinator must be at least 1")
+        if self.slo_p99 < 0:
+            raise ValueError("slo_p99 must be >= 0")
+        if self.slo_window < 4:
+            raise ValueError("slo_window must be at least 4")
+        if not 0.0 < self.slo_min_scale <= 1.0:
+            raise ValueError("slo_min_scale must be in (0, 1]")
 
 
 @dataclass
@@ -77,6 +125,16 @@ class OpenLoopResult:
     makespan: float = 0.0
     #: Arrival-to-completion times of committed transactions.
     response_times: list[float] = field(default_factory=list)
+    #: Arrival-to-completion times of every *served* admission --
+    #: committed and aborted alike (interrupted transactions have no
+    #: driver-observed completion and are counted separately).
+    served_latencies: list[float] = field(default_factory=list)
+    #: Arrivals shed by the SLO controller (subset of ``shed``).
+    slo_sheds: int = 0
+    #: Times the SLO controller reduced the admission scale.
+    slo_throttles: int = 0
+    #: Smallest admission scale the SLO controller reached.
+    min_admission_scale: float = 1.0
 
     def quantile(self, q: float) -> float:
         """The ``q``-quantile of committed response times (0 if none)."""
@@ -85,6 +143,23 @@ class OpenLoopResult:
         ordered = sorted(self.response_times)
         index = min(len(ordered) - 1, int(q * len(ordered)))
         return ordered[index]
+
+    def quantile_admitted_or_shed(self, q: float) -> float:
+        """The ``q``-quantile over served *and* shed arrivals.
+
+        Shed arrivals never completed, so their latency is censored
+        above every served one (``inf``).  This is the figure that
+        cannot be gamed by shedding: dropping traffic pushes mass into
+        the censored tail, so the quantile only moves up.  Returns
+        ``math.inf`` when the quantile lands in the shed tail.
+        """
+        total = len(self.served_latencies) + self.shed
+        if total == 0:
+            return 0.0
+        index = min(total - 1, int(q * total))
+        if index >= len(self.served_latencies):
+            return math.inf
+        return sorted(self.served_latencies)[index]
 
     @property
     def p50(self) -> float:
@@ -95,6 +170,10 @@ class OpenLoopResult:
         return self.quantile(0.99)
 
     @property
+    def p99_admitted_or_shed(self) -> float:
+        return self.quantile_admitted_or_shed(0.99)
+
+    @property
     def throughput(self) -> float:
         """Committed global transactions per simulated time unit."""
         if self.makespan <= 0:
@@ -102,6 +181,7 @@ class OpenLoopResult:
         return self.committed / self.makespan
 
     def as_dict(self) -> dict[str, Any]:
+        corrected = self.p99_admitted_or_shed
         return {
             "submitted": self.submitted,
             "admitted": self.admitted,
@@ -118,6 +198,16 @@ class OpenLoopResult:
             "throughput": round(self.throughput, 6),
             "p50_response": round(self.p50, 3),
             "p99_response": round(self.p99, 3),
+            # Survivorship-corrected figure: shed arrivals censored
+            # above every served latency (None = quantile fell in the
+            # shed tail, i.e. the system dropped >= 1% of arrivals and
+            # no finite latency honestly describes its p99).
+            "p99_admitted_or_shed": (
+                None if math.isinf(corrected) else round(corrected, 3)
+            ),
+            "slo_sheds": self.slo_sheds,
+            "slo_throttles": self.slo_throttles,
+            "min_admission_scale": round(self.min_admission_scale, 4),
         }
 
 
@@ -129,11 +219,20 @@ class OpenLoopDriver:
         self.spec = spec or OpenLoopSpec()
         self.result = OpenLoopResult()
         self._rng = federation.kernel.rng.stream(self.spec.rng_stream)
+        self._pattern = make_pattern(
+            self.spec.arrival, self.spec.arrival_rate, **self.spec.arrival_params
+        )
         # FIFO of (arrival_time, operations, name, intends_abort).
         self._queue: list[tuple[float, list["Operation"], Optional[str], bool]] = []
         self._in_flight = 0
         self._first_arrival: Optional[float] = None
         self._last_completion = 0.0
+        # SLO admission controller state (inert when slo_p99 == 0).
+        self._admission_scale = 1.0
+        self._recent_service: list[float] = []
+        self._completions_since_adjust = 0
+        self._service_p50 = 0.0
+        self._service_p99 = 0.0
 
     # ------------------------------------------------------------------
 
@@ -189,14 +288,21 @@ class OpenLoopDriver:
         live = sum(
             1 for gtm in self.federation.coordinators if not gtm.crashed
         )
-        return self.spec.window_per_coordinator * max(1, live)
+        base = self.spec.window_per_coordinator * max(1, live)
+        if self._admission_scale >= 1.0:
+            return base
+        return max(1, int(base * self._admission_scale))
 
     def _arrivals(self, transactions: list[dict]) -> Generator[Any, Any, None]:
-        rate = self.spec.arrival_rate
+        pattern = self._pattern
+        kernel = self.federation.kernel
         for index, batch in enumerate(transactions[: self.spec.n_txns]):
-            # Inverse-transform exponential interarrival draw.
+            # Inverse-transform exponential interarrival draw at the
+            # rate in force now (piecewise non-homogeneous Poisson; the
+            # default pattern is constant, matching the seed draws).
+            rate = pattern.rate(kernel.now)
             yield -math.log(1.0 - self._rng.random()) / rate
-            arrival = self.federation.kernel.now
+            arrival = kernel.now
             if self._first_arrival is None:
                 self._first_arrival = arrival
             self._admit(
@@ -215,6 +321,15 @@ class OpenLoopDriver:
     ) -> None:
         result = self.result
         if self._in_flight >= self._window():
+            if self.spec.slo_p99 and self._over_slo_queue_bound():
+                # Joining the queue would already bust the target:
+                # predicted response (queue position x service estimate
+                # / window) exceeds slo_p99, so shed instead of
+                # queueing.  The corrected percentile charges every one
+                # of these to the system.
+                result.shed += 1
+                result.slo_sheds += 1
+                return
             if self.spec.queue_limit and len(self._queue) >= self.spec.queue_limit:
                 result.shed += 1
                 return
@@ -241,10 +356,13 @@ class OpenLoopDriver:
             operations, name=name, intends_abort=intends_abort
         )
         kernel.spawn(
-            self._watch(process, arrival), name=f"open-loop-watch:{name}"
+            self._watch(process, arrival, kernel.now),
+            name=f"open-loop-watch:{name}",
         )
 
-    def _watch(self, process: Any, arrival: float) -> Generator[Any, Any, None]:
+    def _watch(
+        self, process: Any, arrival: float, submitted: float
+    ) -> Generator[Any, Any, None]:
         result = self.result
         value = yield process
         self._in_flight -= 1
@@ -252,17 +370,91 @@ class OpenLoopDriver:
         self._last_completion = max(self._last_completion, now)
         result.completed += 1
         if isinstance(value, GlobalOutcome):
+            latency = now - arrival
+            result.served_latencies.append(latency)
             if value.committed:
                 result.committed += 1
                 # Response measured from *arrival*: queueing delay under
                 # overload is part of the user-visible latency.
-                result.response_times.append(now - arrival)
+                result.response_times.append(latency)
             else:
                 result.aborted += 1
+            if self.spec.slo_p99:
+                # The controller sees the *service* latency (queue wait
+                # excluded): that is the figure its queue-bound
+                # prediction and contention throttle are built on.
+                self._observe_service(now - submitted)
         elif isinstance(value, ProcessInterrupted):
             result.interrupted += 1
-        # A freed slot re-admits the longest-waiting arrival.
-        if self._queue and self._in_flight < self._window():
+        # A freed slot re-admits the longest-waiting arrival.  Under an
+        # SLO, a waiter whose deadline already passed (queue wait plus
+        # tail service time can no longer land under the target) is
+        # shed at the head of the queue instead of being served late:
+        # serving it could only produce an over-target latency, and the
+        # corrected percentile charges the shed either way.
+        while self._queue and self._in_flight < self._window():
             queued_at, operations, name, intends_abort = self._queue.pop(0)
+            if (
+                self.spec.slo_p99
+                and self._service_p99 > 0
+                and (now - queued_at) + self._service_p99 > self.spec.slo_p99
+            ):
+                result.shed += 1
+                result.slo_sheds += 1
+                continue
             result.total_queue_wait += now - queued_at
             self._submit(queued_at, operations, name, intends_abort)
+
+    # -- SLO admission controller --------------------------------------
+
+    def _over_slo_queue_bound(self) -> bool:
+        """Would joining the queue predictably bust the p99 target?
+
+        With window ``W`` draining completions every ``s50 / W`` time
+        units (``s50`` = rolling median service latency), an arrival at
+        queue position ``L`` waits roughly ``(L + 1) * s50 / W`` and
+        then -- since this is a p99 budget -- may itself take the tail
+        service time ``s99``.  Bounding ``(L + 1) * s50 / W + s99`` by
+        the target gives the longest queue worth joining; beyond it,
+        shedding is strictly better for the p99 than queueing.  Until
+        the first estimate exists the queue is unbounded (cold start
+        carries no signal).
+        """
+        s50 = self._service_p50
+        if s50 <= 0:
+            return False
+        window = self._window()
+        budget = self.spec.slo_p99 - self._service_p99
+        allowed = window * budget / s50 - 1.0
+        return len(self._queue) >= max(0.0, allowed)
+
+    def _observe_service(self, service: float) -> None:
+        """Feed one service-time sample; adjust the contention throttle."""
+        recent = self._recent_service
+        recent.append(service)
+        if len(recent) > self.spec.slo_window:
+            del recent[0]
+        self._completions_since_adjust += 1
+        if self._completions_since_adjust < 4:
+            return  # adjust every few completions, not on each one
+        self._completions_since_adjust = 0
+        ordered = sorted(recent)
+        self._service_p50 = ordered[len(ordered) // 2]
+        self._service_p99 = ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))]
+        result = self.result
+        target = self.spec.slo_p99
+        if self._service_p99 > target:
+            # Service time alone busts the target: concurrency itself is
+            # inflating latency (lock conflicts, decision queues).
+            # Shedding cannot fix that; running narrower can.
+            shrunk = max(self.spec.slo_min_scale, self._admission_scale * 0.8)
+            if shrunk < self._admission_scale:
+                self._admission_scale = shrunk
+                result.slo_throttles += 1
+                result.min_admission_scale = min(
+                    result.min_admission_scale, shrunk
+                )
+        elif (
+            self._service_p99 < 0.8 * target and self._admission_scale < 1.0
+        ):
+            self._admission_scale = min(1.0, self._admission_scale * 1.25)

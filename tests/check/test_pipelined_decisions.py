@@ -1,0 +1,40 @@
+"""Exploration with the group-decision pipeline enabled.
+
+The pipeline reorders and coalesces decision traffic; the checker must
+still find no schedule that breaks atomicity or lets a participant ack
+outrun the durable decision record.  For paxos this exercises the
+``DurabilityOrderViolation`` guard in ``_send_group`` on every explored
+interleaving: if pipelined forcing ever raced ahead of acceptor
+choice, the exploration itself would crash.
+"""
+
+import pytest
+
+from repro.check import CheckSpec, explore, run_execution
+
+
+@pytest.mark.parametrize(
+    "protocol,granularity",
+    [("2pc", "per_site"), ("after", "per_site"), ("paxos", "per_site")],
+)
+def test_pipelined_exploration_keeps_invariants(protocol, granularity):
+    spec = CheckSpec(
+        protocol=protocol, granularity=granularity, pipeline_window=2.0
+    )
+    report = explore(spec, depth=4, budget=200)
+    assert report.violation_count == 0, report.counterexample.violations
+    assert report.exhausted
+    assert report.executions >= 1
+
+
+def test_pipelined_default_schedule_commits():
+    result = run_execution(
+        CheckSpec(protocol="2pc", granularity="per_site", pipeline_window=2.0)
+    )
+    assert result.committed == 2 and result.aborted == 0
+    assert result.ok
+
+
+def test_spec_roundtrips_pipeline_window():
+    spec = CheckSpec(protocol="2pc", granularity="per_site", pipeline_window=1.5)
+    assert CheckSpec.from_dict(spec.to_dict()) == spec

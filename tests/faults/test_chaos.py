@@ -99,3 +99,41 @@ def test_chaos_soak_matrix(protocol, granularity, seed):
         ChaosSpec(protocol=protocol, granularity=granularity, seed=seed)
     )
     assert_chaos_ok(result)
+
+
+@pytest.mark.parametrize("batch_policy", ["static", "adaptive"])
+@pytest.mark.parametrize("seed", [7, 11])
+def test_chaos_with_batching_survives_crashes(batch_policy, seed):
+    """Batched links + crash/recover cycles keep every safety audit.
+
+    Regression scope: a sender crash inside a batch window used to
+    leave the scheduled flush armed, so volatile pre-crash messages
+    were transmitted on behalf of the dead node.  With the sender-side
+    purge, a crashed site's buffered envelopes die with it and the
+    reliable path retransmits whatever the *destination* missed.
+    """
+    result = run_chaos(
+        ChaosSpec(
+            protocol="2pc",
+            seed=seed,
+            batch_window=1.0,
+            batch_policy=batch_policy,
+            batch_max_msgs=4,
+        )
+    )
+    assert_chaos_ok(result)
+    assert result.committed + result.aborted == result.spec.n_txns
+    assert result.counters["injected_crashes"] > 0
+    assert result.federation.network.envelopes > 0
+
+
+def test_chaos_batching_replays_deterministically():
+    spec = dict(
+        protocol="2pc", seed=5, batch_window=1.0,
+        batch_policy="adaptive", batch_max_msgs=4,
+    )
+    first = run_chaos(ChaosSpec(**spec))
+    second = run_chaos(ChaosSpec(**spec))
+    assert first.committed == second.committed
+    assert first.end_time == second.end_time
+    assert first.counters == second.counters

@@ -1,0 +1,127 @@
+"""Arrival patterns: rate shapes, registry, and driver integration."""
+
+import math
+
+import pytest
+
+from repro.core.gtm import GTMConfig
+from repro.integration.federation import Federation, FederationConfig, SiteSpec
+from repro.workloads.arrivals import (
+    ARRIVAL_PATTERNS,
+    ArrivalPattern,
+    BurstyPattern,
+    DiurnalPattern,
+    FlashCrowdPattern,
+    make_pattern,
+)
+from repro.workloads.open_loop import OpenLoopDriver, OpenLoopSpec
+
+from tests.workloads.test_open_loop import build, traffic
+
+
+class TestRateShapes:
+    def test_poisson_is_flat(self):
+        pattern = ArrivalPattern(0.5)
+        assert pattern.rate(0.0) == pattern.rate(123.4) == 0.5
+
+    def test_diurnal_swings_and_floors(self):
+        pattern = DiurnalPattern(1.0, period=100.0, amplitude=0.6)
+        assert pattern.rate(25.0) == pytest.approx(1.6)  # peak of the sine
+        assert pattern.rate(75.0) == pytest.approx(0.4)  # trough
+        assert pattern.rate(0.0) == pytest.approx(1.0)
+        # Full amplitude would cross zero at the trough; the floor holds.
+        floored = DiurnalPattern(1.0, period=100.0, amplitude=1.0)
+        assert floored.rate(75.0) == pytest.approx(0.1)
+
+    def test_bursty_square_wave(self):
+        pattern = BurstyPattern(1.0, period=50.0, duty=0.2)
+        assert pattern.rate(5.0) == pytest.approx(4.0)  # in the burst
+        assert pattern.rate(30.0) == pytest.approx(0.25)  # idling
+        assert pattern.rate(55.0) == pytest.approx(4.0)  # next period
+
+    def test_flash_crowd_spikes_then_decays(self):
+        pattern = FlashCrowdPattern(1.0, at=50.0, spike_factor=8.0, decay=40.0)
+        assert pattern.rate(49.9) == pytest.approx(1.0)
+        assert pattern.rate(50.0) == pytest.approx(8.0)
+        assert pattern.rate(50.0 + 40.0 * math.log(7.0)) == pytest.approx(2.0)
+        assert pattern.rate(1e6) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArrivalPattern(0.0)
+        with pytest.raises(ValueError):
+            DiurnalPattern(1.0, amplitude=1.5)
+        with pytest.raises(ValueError):
+            BurstyPattern(1.0, duty=1.0)
+        with pytest.raises(ValueError):
+            FlashCrowdPattern(1.0, spike_factor=0.5)
+        with pytest.raises(ValueError):
+            FlashCrowdPattern(1.0, decay=0.0)
+
+
+class TestRegistry:
+    def test_all_patterns_registered_by_name(self):
+        assert set(ARRIVAL_PATTERNS) == {
+            "poisson", "diurnal", "bursty", "flash_crowd",
+        }
+
+    def test_make_pattern_passes_params(self):
+        pattern = make_pattern("flash_crowd", 0.5, at=10.0, spike_factor=4.0)
+        assert isinstance(pattern, FlashCrowdPattern)
+        assert pattern.rate(10.0) == pytest.approx(2.0)
+
+    def test_make_pattern_rejects_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown arrival pattern"):
+            make_pattern("lunar", 1.0)
+
+
+class TestDriverIntegration:
+    def _run(self, seed, **spec_kwargs):
+        fed = build(seed=seed)
+        spec = OpenLoopSpec(
+            arrival_rate=1.0, n_txns=24, window_per_coordinator=4,
+            **spec_kwargs,
+        )
+        return OpenLoopDriver(fed, spec).run(traffic(24))
+
+    def test_degenerate_patterns_match_poisson_exactly(self):
+        """A flat pattern must reproduce the seed draw sequence.
+
+        ``diurnal`` with zero amplitude and ``flash_crowd`` with a 1x
+        spike are constant-rate: the whole run (arrival times included)
+        must be byte-identical to ``poisson`` at the same seed.
+        """
+        poisson = self._run(41).as_dict()
+        flat_diurnal = self._run(
+            41, arrival="diurnal", arrival_params={"amplitude": 0.0}
+        ).as_dict()
+        flat_flash = self._run(
+            41, arrival="flash_crowd", arrival_params={"spike_factor": 1.0}
+        ).as_dict()
+        assert flat_diurnal == poisson
+        assert flat_flash == poisson
+
+    @pytest.mark.parametrize("arrival", ["diurnal", "bursty", "flash_crowd"])
+    def test_patterned_runs_are_deterministic(self, arrival):
+        runs = [self._run(42, arrival=arrival).as_dict() for _ in range(2)]
+        assert runs[0] == runs[1]
+        assert runs[0]["completed"] == 24
+
+    def test_flash_crowd_compresses_arrivals(self):
+        """The spike packs arrivals tighter than the flat process."""
+        fed_flat = build(seed=43)
+        fed_spike = build(seed=43)
+        spec_flat = OpenLoopSpec(
+            arrival_rate=0.2, n_txns=24, window_per_coordinator=4,
+        )
+        spec_spike = OpenLoopSpec(
+            arrival_rate=0.2, n_txns=24, window_per_coordinator=4,
+            arrival="flash_crowd",
+            arrival_params={"at": 10.0, "spike_factor": 10.0, "decay": 50.0},
+        )
+        flat = OpenLoopDriver(fed_flat, spec_flat).run(traffic(24))
+        spike = OpenLoopDriver(fed_spike, spec_spike).run(traffic(24))
+        # Same number of arrivals squeezed into a shorter horizon, and
+        # the squeeze shows up as queueing the flat run never sees.
+        assert spike.makespan < flat.makespan
+        assert spike.max_queue_depth >= flat.max_queue_depth
