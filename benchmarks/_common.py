@@ -11,6 +11,7 @@ import pathlib
 
 from repro.core.gtm import GTMConfig
 from repro.integration.federation import Federation, FederationConfig, SiteSpec
+from repro.core.protocols import preparable_protocols
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -32,7 +33,7 @@ def build_fed(
     the run itself is unaffected); ``spans=True`` additionally turns on
     log-force tracing so ``fed.obs.span_forest()`` yields full spans.
     """
-    preparable = protocol in ("2pc", "2pc-pa", "3pc", "paxos")
+    preparable = protocol in preparable_protocols()
     specs = [
         SiteSpec(f"s{i}", tables={f"t{i}": {"x": 100, "y": 50}}, preparable=preparable)
         for i in range(n_sites)

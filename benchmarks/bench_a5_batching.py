@@ -34,6 +34,8 @@ SITE_COUNTS = [2, 4]
 PROTOCOLS = [
     ("after", "per_site", False),
     ("before", "per_site", True),  # piggyback rides on this path
+    ("one_phase", "per_site", False),  # fewest logical messages to start
+    ("short_commit", "per_site", False),  # 2PC volume, shorter X-locks
 ]
 
 

@@ -31,6 +31,7 @@ from repro.core.pool import AllCoordinatorsDown
 from repro.core.invariants import atomicity_report, serializability_ok
 from repro.integration.federation import Federation, FederationConfig, SiteSpec
 from repro.mlt.actions import Operation
+from repro.core.protocols import preparable_protocols
 
 from benchmarks._common import save_result
 
@@ -55,7 +56,7 @@ FAULT_COUNTERS: dict = {}
 
 def build(protocol: str, coordinators: int = 1, paxos_f: int = 1,
           seed: int = 7) -> Federation:
-    preparable = protocol in ("2pc", "2pc-pa", "3pc", "paxos")
+    preparable = protocol in preparable_protocols()
     specs = [
         SiteSpec(
             f"s{i}",

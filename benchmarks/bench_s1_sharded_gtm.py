@@ -46,6 +46,7 @@ from repro.core.invariants import atomicity_report, serializability_ok
 from repro.integration.federation import Federation, FederationConfig, SiteSpec
 from repro.mlt.actions import Operation
 from repro.workloads.open_loop import OpenLoopDriver, OpenLoopSpec
+from repro.core.protocols import preparable_protocols
 
 from benchmarks._common import run_once, save_result
 
@@ -94,7 +95,7 @@ _HOTPATH_CACHE: list[dict] = []
 def build_sharded(
     protocol: str, granularity: str, coordinators: int, seed: int = 7
 ) -> Federation:
-    preparable = protocol in ("2pc", "2pc-pa", "3pc")
+    preparable = protocol in preparable_protocols()
     specs = [
         SiteSpec(
             f"s{i}",

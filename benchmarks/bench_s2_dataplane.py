@@ -38,6 +38,7 @@ from repro.dataplane import PlacementSpec
 from repro.integration.federation import Federation, FederationConfig, SiteSpec
 from repro.workloads.generator import WorkloadGenerator, WorkloadSpec
 from repro.workloads.open_loop import OpenLoopDriver, OpenLoopSpec
+from repro.core.protocols import preparable_protocols
 
 from benchmarks._common import run_once, save_result
 
@@ -74,7 +75,7 @@ def build_placed(
     seed: int = 13,
 ) -> Federation:
     """A federation with one hash-partitioned table across ``sites``."""
-    preparable = protocol in ("2pc", "2pc-pa", "3pc", "paxos")
+    preparable = protocol in preparable_protocols()
     specs = [SiteSpec(f"s{i}", preparable=preparable) for i in range(sites)]
     rows = {f"k{j}": 100 for j in range(KEYS_PER_SITE * sites)}
     return Federation(

@@ -27,6 +27,7 @@ from repro.bench.harness import protocol_federation
 from repro.core.gtm import GTMConfig
 from repro.integration.federation import Federation, FederationConfig, SiteSpec
 from repro.mlt.actions import increment
+from repro.core.protocols import preparable_protocols
 
 from benchmarks._common import run_once, save_result
 
@@ -40,7 +41,7 @@ PROTOCOL_MESSAGES = (
 
 
 def measure(protocol: str, granularity: str, readonly_tail: bool = False) -> dict:
-    preparable = protocol in ("2pc", "2pc-pa", "3pc")
+    preparable = protocol in preparable_protocols()
     fed = Federation(
         [
             SiteSpec(f"s{i}", tables={f"t{i}": {"x": 100}}, preparable=preparable)
@@ -68,6 +69,9 @@ def measure(protocol: str, granularity: str, readonly_tail: bool = False) -> dic
         "total": fed.network.sent,
         "protocol": protocol_msgs,
         "forces": sum(e.disk.log_forces for e in fed.engines.values()),
+        "x_hold": sum(
+            e.locks.total_exclusive_hold_time for e in fed.engines.values()
+        ),
         "by_kind": counts,
     }
 
@@ -119,12 +123,20 @@ def run_experiment() -> str:
         ("after", "per_site", "commit-after", f"4n = {4 * N_SITES}", False),
         ("before", "per_site", "commit-before/site", f"4n = {4 * N_SITES}", False),
         ("before", "per_action", "commit-before+MLT", "0 (votes ride on data)", False),
+        ("one_phase", "per_site", "one-phase (1PC)", f"2n = {2 * N_SITES}", False),
+        ("short_commit", "per_site", "Short-Commit", f"4n = {4 * N_SITES}", False),
     ]:
         m = measure(protocol, granularity, readonly_tail=readonly)
         measured[label] = m
-        rows.append([label, m["protocol"], analytic, m["total"], m["forces"]])
+        rows.append([
+            label, m["protocol"], analytic, m["total"], m["forces"],
+            round(m["x_hold"], 1),
+        ])
     table = format_table(
-        ["protocol", "protocol msgs", "analytic", "all msgs", "forced log writes"],
+        [
+            "protocol", "protocol msgs", "analytic", "all msgs",
+            "forced log writes", "X-lock hold",
+        ],
         rows,
         title=f"EXP-T5: message/log complexity, one committed {N_SITES}-site transaction",
     )
@@ -132,6 +144,15 @@ def run_experiment() -> str:
     assert measured["3PC"]["protocol"] == 6 * N_SITES
     assert measured["commit-before+MLT"]["protocol"] == 0
     assert measured["3PC"]["total"] > measured["2PC"]["total"]
+    # One-phase drops the whole voting round: 2n protocol messages and
+    # no participant prepare force (the vote rode on the data reply).
+    assert measured["one-phase (1PC)"]["protocol"] == 2 * N_SITES
+    assert measured["one-phase (1PC)"]["forces"] < measured["2PC"]["forces"]
+    # Short-Commit pays 2PC's messages and forces; its gain is the
+    # shorter exclusive lock hold (downgraded at commit-phase start).
+    assert measured["Short-Commit"]["protocol"] == 4 * N_SITES
+    assert measured["Short-Commit"]["forces"] == measured["2PC"]["forces"]
+    assert measured["Short-Commit"]["x_hold"] < measured["2PC"]["x_hold"]
     # The read-only optimization saves the whole second phase for n-1
     # participants: 4 + 2(n-1) protocol messages instead of 4n.
     assert (
@@ -145,6 +166,8 @@ def run_experiment() -> str:
         ("2pc", "per_site", False, "2PC"),
         ("after", "per_site", False, "commit-after"),
         ("before", "per_site", True, "commit-before/site+piggyback"),
+        ("one_phase", "per_site", False, "one-phase (1PC)"),
+        ("short_commit", "per_site", False, "Short-Commit"),
     ]:
         plain = measure_batched(protocol, granularity, piggyback, window=0.0)
         batched = measure_batched(protocol, granularity, piggyback, window=1.0)

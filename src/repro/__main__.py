@@ -21,8 +21,13 @@ from typing import Optional
 from repro import Federation, FederationConfig, GTMConfig, SiteSpec, ops
 from repro.bench.report import format_table
 from repro.core.invariants import atomicity_report
+from repro.core.protocols import (
+    default_granularity,
+    preparable_protocols,
+    protocol_names,
+)
 
-PROTOCOLS = ("before", "after", "2pc", "2pc-pa", "3pc", "paxos", "saga", "altruistic")
+PROTOCOLS = protocol_names()
 
 
 def build(
@@ -38,8 +43,8 @@ def build(
     batch_policy: str = "static",
     keys: int = 0,
 ) -> Federation:
-    preparable = protocol in ("2pc", "2pc-pa", "3pc", "paxos")
-    granularity = "per_action" if protocol in ("before", "saga", "altruistic") else "per_site"
+    preparable = protocol in preparable_protocols()
+    granularity = default_granularity(protocol)
     specs = [
         SiteSpec(
             f"bank_{index}",

@@ -17,6 +17,7 @@ from typing import Any, Callable, Generator
 from repro.core.gtm import GTMConfig
 from repro.integration.federation import Federation, FederationConfig
 from repro.mlt.actions import Operation
+from repro.core.protocols import preparable_protocols
 
 #: A workload function: rng -> (operations, intends_abort)
 TxnFactory = Callable[[random.Random], tuple[list[Operation], bool]]
@@ -120,7 +121,7 @@ def protocol_federation(
     2PC/3PC automatically get preparable (modified) local interfaces --
     they cannot run otherwise, which is the paper's point.
     """
-    needs_prepare = protocol in ("2pc", "2pc-pa", "3pc")
+    needs_prepare = protocol in preparable_protocols()
     specs = []
     for spec in site_specs:
         spec.preparable = needs_prepare

@@ -76,7 +76,7 @@ def _replay(path: str) -> int:
     return 1 if result.violations else 0
 
 
-def main(argv: Optional[list[str]] = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro check",
         description="systematic schedule & crash-point exploration checker",
@@ -88,7 +88,7 @@ def main(argv: Optional[list[str]] = None) -> int:
     )
     parser.add_argument(
         "--workload", default="transfers",
-        choices=("transfers", "rw_cross", "replicated"),
+        choices=("transfers", "rw_cross", "replicated", "exposure"),
         help="scenario workload (replicated needs --partitions)",
     )
     parser.add_argument(
@@ -147,6 +147,11 @@ def main(argv: Optional[list[str]] = None) -> int:
         "--replay", metavar="PATH", default=None,
         help="re-execute a .repro.json trace and re-audit it",
     )
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = build_parser()
     args = parser.parse_args(argv)
 
     if args.replay is not None:

@@ -24,6 +24,14 @@ Workloads
     intends-abort transaction to exercise replica-side undo.  Combined
     with crash-point enumeration this proves atomicity *and* replica
     convergence across every durable-force boundary.
+``exposure``
+    One cross-site writer plus a delayed single-site writer on the same
+    key -- the Short-Commit hazard in miniature.  Run under the
+    crash-point sweep, the crash that swallows a participant's vote
+    turns the cross-site writer's decision into an abort *after* it
+    short-released at the surviving site; the late writer must still be
+    held off (downgraded shared lock) until that rollback completed, or
+    its committed write gets clobbered (the ``dirty_undo`` invariant).
 
 Mutants
 -------
@@ -42,6 +50,20 @@ Mutants
     with a superseded epoch.  Under ``replicated`` with crash points a
     surviving-replica divergence is the guaranteed symptom, which the
     replica-convergence invariant must flag.
+``presume_commit``
+    One-phase only: a missing or failed piggybacked vote is treated as
+    a yes, and the decision skips the §3.2 redo obligation.  Under
+    ``exposure`` with the crash-point sweep a participant that dies
+    mid-execution yields a committed global with a lost local effect --
+    an atomicity violation the checker must find.
+``short_release_all``
+    Short-Commit only: write locks are *released* at the start of the
+    commit phase instead of downgraded to shared.  A concurrent writer
+    can then overwrite the prepared value; if the exposer's decision
+    turns out to be abort, its rollback restores the before-image over
+    the writer's committed effect.  Under ``exposure`` with the
+    crash-point sweep this yields a ``dirty_undo`` violation the
+    checker must find.
 """
 
 from __future__ import annotations
@@ -50,22 +72,24 @@ from dataclasses import asdict, dataclass, field
 from typing import Any
 
 from repro.core.gtm import GTMConfig
+from repro.core.protocols import (
+    check_matrix,
+    preparable_protocols,
+    protocol_mutants,
+)
 from repro.integration.federation import Federation, FederationConfig, SiteSpec
 from repro.mlt.actions import increment, write
 from repro.net.message import reset_message_ids
 
-#: The protocol matrix the regression suite sweeps (mirrors the chaos
-#: harness: every commit protocol with its natural granularity).
-CHECK_PROTOCOLS: list[tuple[str, str]] = [
-    ("2pc", "per_site"),
-    ("2pc-pa", "per_site"),
-    ("3pc", "per_site"),
-    ("after", "per_site"),
-    ("before", "per_action"),
-    ("paxos", "per_site"),
-]
+#: The protocol matrix the regression suite sweeps, derived from the
+#: protocol registry: every ``in_check`` protocol with its natural
+#: granularity, sorted by name.
+CHECK_PROTOCOLS: list[tuple[str, str]] = check_matrix()
 
-MUTANTS = ("no_l1_guard", "stale_epoch")
+#: Cross-cutting seeded bugs plus the registry's protocol-specific
+#: ones (``presume_commit`` targets one_phase, ``short_release_all``
+#: targets short_commit).
+MUTANTS = ("no_l1_guard", "stale_epoch") + tuple(sorted(protocol_mutants()))
 
 
 @dataclass
@@ -98,7 +122,13 @@ class CheckSpec:
     def __post_init__(self) -> None:
         if self.mutant and self.mutant not in MUTANTS:
             raise ValueError(f"unknown mutant {self.mutant!r}")
-        if self.workload not in ("transfers", "rw_cross", "replicated"):
+        target = protocol_mutants().get(self.mutant)
+        if target is not None and self.protocol != target:
+            raise ValueError(
+                f"mutant {self.mutant!r} targets protocol {target!r}, "
+                f"not {self.protocol!r}"
+            )
+        if self.workload not in ("transfers", "rw_cross", "replicated", "exposure"):
             raise ValueError(f"unknown workload {self.workload!r}")
         if self.workload == "replicated" and self.partitions < 1:
             raise ValueError("workload 'replicated' requires partitions >= 1")
@@ -149,7 +179,7 @@ def _transfer_keys(spec: CheckSpec) -> list[str]:
 
 
 def _site_specs(spec: CheckSpec) -> list[SiteSpec]:
-    preparable = spec.protocol in ("2pc", "2pc-pa", "3pc", "paxos")
+    preparable = spec.protocol in preparable_protocols()
     # "x"/"y" feed the rw_cross workload; the "g<n>" keys are the
     # transfer transactions' private, page-disjoint keys.
     rows = {"x": 100, "y": 100}
@@ -233,6 +263,33 @@ def _rw_cross_batches(spec: CheckSpec) -> list[dict]:
     ]
 
 
+def _exposure_batches(spec: CheckSpec) -> list[dict]:
+    """Staggered writers around one cross-site transaction's commit.
+
+    ``T1`` writes the same key as ``T0`` and reaches it only once T0
+    releases it -- the Short-Commit clobber victim.  ``T2`` is key- and
+    page-disjoint from both but staggered so its second operation is in
+    flight at ``t0`` when T0's commit record forces there -- under the
+    crash-point sweep that puts a mid-execution site failure inside
+    another transaction, the one-phase ``presume_commit`` window."""
+    return [
+        {
+            "name": "T0",
+            "operations": [write("t0", "x", 1), write("t1", "y", 1)],
+        },
+        {
+            "name": "T1",
+            "operations": [write("t0", "x", 2)],
+            "delay": 2.0,
+        },
+        {
+            "name": "T2",
+            "operations": [write("t1", "g0", 3), write("t0", "g2", 3)],
+            "delay": 6.5,
+        },
+    ]
+
+
 def build_scenario(spec: CheckSpec) -> Scenario:
     """Build the federation and spawn the workload (nothing runs yet).
 
@@ -274,9 +331,17 @@ def build_scenario(spec: CheckSpec) -> Scenario:
         federation.dataplane.fencing = False
         federation.dataplane.drain_on_rejoin = False
         federation.dataplane.resync_on_rejoin = False
+    elif spec.mutant == "presume_commit":
+        for gtm in federation.coordinators:
+            gtm.protocol.presume_commit = True
+    elif spec.mutant == "short_release_all":
+        for gtm in federation.coordinators:
+            gtm.protocol.release_all_locks = True
 
     if spec.workload == "rw_cross":
         batches = _rw_cross_batches(spec)
+    elif spec.workload == "exposure":
+        batches = _exposure_batches(spec)
     elif spec.workload == "replicated":
         batches = _replicated_batches(spec)
     else:

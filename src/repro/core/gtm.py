@@ -129,14 +129,21 @@ class GTMConfig:
         return "paxos" if self.protocol == "paxos" else "classic"
 
     def resolved_l1_table(self) -> Optional[ConflictTable]:
-        """The L1 conflict table this configuration actually uses."""
+        """The L1 conflict table this configuration actually uses.
+
+        Derived from the protocol registry: the §3.2 redo family
+        (``after``, ``one_phase``) and the altruistic baseline hold
+        read/write L1 locks, commit-before runs the semantic table,
+        everything else has no L1 layer.
+        """
         if self.l1_table is not None:
             return self.l1_table
-        if self.protocol in ("after", "altruistic"):
-            return READ_WRITE_TABLE
-        if self.protocol == "before":
-            return SEMANTIC_TABLE
-        return None  # 2pc / 2pc-pa / 3pc / saga: no L1 layer
+        from repro.core.protocols import PROTOCOL_REGISTRY
+
+        info = PROTOCOL_REGISTRY.get(self.protocol)
+        if info is None or info.l1_table is None:
+            return None  # 2pc / 2pc-pa / 3pc / paxos / saga / short_commit
+        return READ_WRITE_TABLE if info.l1_table == "read_write" else SEMANTIC_TABLE
 
 
 class DecisionLog:

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from repro.core.protocols import per_action_protocols
 from repro.core.serializability import global_serializability
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -84,7 +85,7 @@ def atomicity_report(federation: "Federation") -> AtomicityReport:
     # transaction per site.
     per_action = (
         federation.gtm.config.granularity == "per_action"
-        and protocol in ("before", "saga", "altruistic")
+        and protocol in per_action_protocols()
     )
     for outcome in _all_outcomes(federation):
         report.checked += 1
@@ -197,6 +198,29 @@ def convergence_violations(
                         f"{site}: local {txn.txn_id} of {txn.gtxn_id} non-terminal",
                     )
                 )
+    return violations
+
+
+def dirty_undo_violations(federation: "Federation") -> list[InvariantViolation]:
+    """No rollback may clobber a concurrent transaction's write.
+
+    Strict protocols make this impossible (write locks are held to the
+    end), and Short-Commit's downgrade keeps a shared lock that blocks
+    writers until the exposer resolved.  Any recorded clobber means an
+    early-release path let a foreign write land between a transaction's
+    own write and its undo -- the §3.3 dirty-write hazard, which the
+    ``short_release_all`` mutant reintroduces on purpose.
+    """
+    violations = []
+    for site, engine in federation.engines.items():
+        for txn_id, table, key in engine.undo_clobbers:
+            violations.append(
+                InvariantViolation(
+                    "dirty_undo",
+                    f"{site}: rollback of {txn_id} restored {table}[{key!r}] "
+                    "over a foreign write",
+                )
+            )
     return violations
 
 
@@ -418,6 +442,7 @@ def check_invariants(
             )
         )
     violations.extend(convergence_violations(federation, processes))
+    violations.extend(dirty_undo_violations(federation))
     violations.extend(lock_release_violations(federation))
     violations.extend(redo_drain_violations(federation))
     violations.extend(undo_drain_violations(federation))

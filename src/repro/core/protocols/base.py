@@ -199,6 +199,7 @@ class ProtocolContext:
         record_undo: bool = False,
         on_site_finished: Optional[Callable[[str], None]] = None,
         finish_markers: Optional[dict[str, str]] = None,
+        collect_votes: bool = False,
     ) -> Generator[Any, Any, dict[str, str]]:
         """Stream the global operations to their sites in global order.
 
@@ -212,6 +213,11 @@ class ProtocolContext:
         carries the local-commit request and its reply carries the
         local outcome.  Returns the piggybacked outcomes per site
         (empty when no markers were given).
+
+        ``collect_votes`` (one-phase commit) asks each site to stamp a
+        commit vote on the reply of its *last* operation -- the vote
+        rides on a message that flows anyway, so the decision needs no
+        extra voting round.  The votes come back in the returned dict.
         """
         from repro.mlt.actions import inverse_of
 
@@ -228,6 +234,8 @@ class ProtocolContext:
                 and operation.site in finish_markers
             ):
                 payload["finish_marker"] = finish_markers[operation.site]
+            if collect_votes and remaining[operation.site] == 1:
+                payload["vote_request"] = True
             try:
                 reply = yield from self.request(
                     operation.site, "execute_op", **payload
@@ -255,6 +263,8 @@ class ProtocolContext:
                 )
             if "outcome" in reply.payload:
                 piggybacked[operation.site] = reply.payload["outcome"]
+            if "vote" in reply.payload:
+                piggybacked[operation.site] = reply.payload["vote"]
             remaining[operation.site] -= 1
             if remaining[operation.site] == 0 and on_site_finished is not None:
                 on_site_finished(operation.site)
@@ -275,26 +285,12 @@ class CommitProtocol(abc.ABC):
 
 
 def make_protocol(name: str) -> CommitProtocol:
-    """Protocol factory used by the GTM configuration."""
-    from repro.baselines.altruistic import AltruisticCommit
-    from repro.baselines.sagas import SagaCoordinator
-    from repro.core.protocols.commit_after import CommitAfter
-    from repro.core.protocols.commit_before import CommitBefore
-    from repro.core.protocols.paxos_commit import PaxosCommit
-    from repro.core.protocols.presumed_abort import PresumedAbort2PC
-    from repro.core.protocols.three_phase import ThreePhaseCommit
-    from repro.core.protocols.two_phase import TwoPhaseCommit
+    """Protocol factory used by the GTM configuration.
 
-    protocols = {
-        "2pc": TwoPhaseCommit,
-        "2pc-pa": PresumedAbort2PC,
-        "after": CommitAfter,
-        "before": CommitBefore,
-        "3pc": ThreePhaseCommit,
-        "saga": SagaCoordinator,
-        "altruistic": AltruisticCommit,
-        "paxos": PaxosCommit,
-    }
-    if name not in protocols:
-        raise ValueError(f"unknown protocol {name!r}; choose from {sorted(protocols)}")
-    return protocols[name]()
+    Resolves through the protocol registry
+    (:data:`repro.core.protocols.PROTOCOL_REGISTRY`), the single source
+    of truth for the protocol matrix.
+    """
+    from repro.core.protocols import protocol_info
+
+    return protocol_info(name).load()()

@@ -48,7 +48,7 @@ class TwoPhaseCommit(CommitProtocol):
         gtxn.set_state(GlobalTxnState.INQUIRE)
         votes = yield from ctx.parallel(
             {
-                site: ctx.request(site, "prepare", protocol="2pc")
+                site: ctx.request(site, "prepare", **self._prepare_payload())
                 for site in ctx.decomposition.sites
             }
         )
@@ -94,6 +94,10 @@ class TwoPhaseCommit(CommitProtocol):
             gtxn.set_state(GlobalTxnState.ABORTED)
             ctx.outcome.reason = "participant voted abort"
             ctx.outcome.retriable = True
+
+    def _prepare_payload(self) -> dict[str, Any]:
+        """Payload of the phase-1 vote request (subclass hook)."""
+        return {"protocol": "2pc"}
 
     def _abort_running(self, ctx: ProtocolContext, reason: str) -> Generator[Any, Any, None]:
         """Abort while every local is still running -- the cheap path."""

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
+from repro.core.protocols import redo_window_protocols
 from repro.errors import MessageTimeout
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -90,7 +91,7 @@ class GlobalRecoveryManager:
             if self.gtm.crashed:
                 return  # this coordinator died; a peer's pass takes over
             unresolved = yield from self._resolve_in_doubt(site)
-            if config.protocol == "after":
+            if config.protocol in redo_window_protocols():
                 yield from self._redrive_redos(site)
             if config.protocol == "before" and config.granularity == "per_site":
                 yield from self._redrive_undos(site)
@@ -315,13 +316,22 @@ class GlobalRecoveryManager:
             self.resolved_indoubt += 1
         return unresolved
 
-    def _redrive_redos(self, site: str) -> Generator[Any, Any, None]:
-        """Re-drive orphaned §3.2 redo obligations for ``site``."""
+    def _redrive_redos(
+        self, site: str, adopting: Optional[str] = None
+    ) -> Generator[Any, Any, None]:
+        """Re-drive orphaned §3.2 redo obligations for ``site``.
+
+        ``adopting`` names a transaction this manager is itself
+        failing over right now: the pool counts pending orphans as
+        active (so a concurrent site-restart sweep leaves them alone),
+        but the adopter must not let that guard skip its own orphan --
+        it would forget a hardened commit's redo obligation.
+        """
         config = self.gtm.config
         for entry in self.gtm.redo_log.pending():
             if entry.site != site:
                 continue
-            if self.gtm.is_active(entry.gtxn_id):
+            if entry.gtxn_id != adopting and self.gtm.is_active(entry.gtxn_id):
                 continue  # the coordinator's redo loop is still alive
             if self.gtm.decision_log.decision_for(entry.gtxn_id) != "commit":
                 continue  # no hardened commit: nothing to redo
@@ -482,7 +492,7 @@ class GlobalRecoveryManager:
         """Redrive the hardened decision (or presumed abort) everywhere."""
         config = self.gtm.config
         decision = self.gtm.decision_log.decision_for(gtxn.gtxn_id) or "abort"
-        redo = config.protocol == "after" and decision == "commit"
+        redo = config.protocol in redo_window_protocols() and decision == "commit"
         settled_all = True
         for site in gtxn.sites():
             self.gtm.kernel.trace.emit(
@@ -499,8 +509,8 @@ class GlobalRecoveryManager:
             # An erroneously aborted local shows up as a pending redo
             # entry with a hardened commit: the §3.2 obligation.
             for site in gtxn.sites():
-                yield from self._redrive_redos(site)
-        if settled_all and config.protocol == "after":
+                yield from self._redrive_redos(site, adopting=gtxn.gtxn_id)
+        if settled_all and config.protocol in redo_window_protocols():
             self.gtm.redo_log.forget(gtxn.gtxn_id)
         return settled_all
 

@@ -60,8 +60,16 @@ class RedoLog:
         return self.entries[(gtxn_id, site)]
 
     def mark_committed(self, gtxn_id: str, site: str) -> None:
-        """Propagation of the local commit: no further redo allowed."""
-        self.entries[(gtxn_id, site)].committed = True
+        """Propagation of the local commit: no further redo allowed.
+
+        Tolerates an entry already dropped by ``forget``: concurrent
+        failover sweeps may re-drive the same obligation, and whichever
+        confirmation settles the transaction first forgets it while the
+        other's reply is still in flight.
+        """
+        entry = self.entries.get((gtxn_id, site))
+        if entry is not None:
+            entry.committed = True
 
     def note_redo(self, gtxn_id: str, site: str) -> int:
         entry = self.entries[(gtxn_id, site)]

@@ -36,18 +36,18 @@ from repro.core.invariants import (
     replica_convergence_violations,
     serializability_ok,
 )
+from repro.core.protocols import (
+    chaos_matrix_protocols,
+    preparable_protocols,
+    redo_window_protocols,
+)
 from repro.faults.injector import FaultInjector
 from repro.integration.federation import Federation, FederationConfig, SiteSpec
 from repro.mlt.actions import increment
 
-#: The protocol matrix every chaos seed is swept across.
-CHAOS_PROTOCOLS: list[tuple[str, str]] = [
-    ("2pc", "per_site"),
-    ("2pc-pa", "per_site"),
-    ("3pc", "per_site"),
-    ("after", "per_site"),
-    ("before", "per_action"),
-]
+#: The protocol matrix every chaos seed is swept across, derived from
+#: the protocol registry (every ``in_chaos`` protocol, sorted by name).
+CHAOS_PROTOCOLS: list[tuple[str, str]] = chaos_matrix_protocols()
 
 #: Initial balance of every account; the invariant is that the global
 #: total never drifts from ``n_sites * keys_per_site * INITIAL_BALANCE``.
@@ -168,7 +168,7 @@ def _chaos_keys(spec: ChaosSpec) -> int:
 
 def build_chaos_federation(spec: ChaosSpec) -> Federation:
     """A federation wired for one chaos run (reliable delivery on)."""
-    needs_prepare = spec.protocol in ("2pc", "2pc-pa", "3pc", "paxos")
+    needs_prepare = spec.protocol in preparable_protocols()
     placement = None
     if spec.partitions > 0:
         # One partitioned global table replaces the per-site tables; the
@@ -237,7 +237,10 @@ def run_chaos(spec: ChaosSpec) -> ChaosResult:
     sites = [f"s{i}" for i in range(spec.n_sites)]
 
     # -- fault schedule (all pre-sampled: independent of interleaving) --
-    if spec.protocol == "after" and spec.erroneous_abort_rate:
+    if spec.protocol in redo_window_protocols() and spec.erroneous_abort_rate:
+        # Both §3.2-style protocols (commit-after and one-phase) leave
+        # locals running past their vote, so an autonomous abort in the
+        # window must be redone -- the fault that exercises that path.
         injector.erroneous_aborts_after_ready(
             probability=spec.erroneous_abort_rate, delay=0.3
         )

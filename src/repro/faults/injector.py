@@ -75,18 +75,22 @@ class FaultInjector:
     ) -> None:
         """Abort ready-voted locals with ``probability``.
 
-        Only meaningful for the commit-after protocol, whose locals wait
-        for the decision in the *running* state; a 2PC local in the
-        ready state is immune (its scheduler may no longer abort it),
-        which this injector respects by skipping ``protocol == "2pc"``.
+        Only meaningful for the §3.2-window protocols (commit-after and
+        one-phase), whose locals wait for the decision in the *running*
+        state; a prepared local in the READY state is immune (its
+        scheduler may no longer abort it), which this injector respects
+        by skipping every preparable protocol's vote.
         """
+        from repro.core.protocols import preparable_protocols
+
+        immune = preparable_protocols()
         targets = sites or list(self.federation.engines)
 
         def make_hook(site: str):
             engine = self.federation.engines[site]
 
             def hook(gtxn_id: str, txn_id: str, protocol: str) -> None:
-                if protocol == "2pc":
+                if protocol in immune:
                     return
                 if self._rng.random() >= probability:
                     return

@@ -277,6 +277,15 @@ class LocalCommunicationManager:
         except DatabaseError as exc:
             self._reply(message, "op_failed", aborted=False, reason=str(exc))
             return
+        if message.payload.get("vote_request"):
+            # One-phase commit: the vote rides on this (last) data
+            # reply.  A successful last operation *is* the yes vote --
+            # the local stays running (logless: no prepare force), so
+            # the §3.2 erroneous-abort window opens here.
+            self._reply(message, "op_done", value=value, before=before, vote="ready")
+            for hook in self.on_ready_voted:
+                hook(gtxn, txn_id, "one_phase")
+            return
         if finish_marker is None:
             self._reply(message, "op_done", value=value, before=before)
             return
@@ -309,6 +318,9 @@ class LocalCommunicationManager:
         * ``protocol == "2pc"``: drive the modified TM into the ready
           state (forces the log).  Raises if the interface is standard
           -- the paper's central impossibility.
+        * ``protocol == "short_commit"``: like 2PC, then immediately
+          release read locks and downgrade write locks -- the
+          Short-Commit early release at commit-phase start.
         * ``protocol == "after"``: answer immediately after the last
           action; the local transaction stays *running* (§3.2), so an
           autonomous abort can still hit it later.
@@ -326,7 +338,7 @@ class LocalCommunicationManager:
         if status is not LocalTxnState.RUNNING:
             self._reply(message, "vote", vote="abort", reason=f"state={status}")
             return
-        if protocol in ("2pc", "paxos"):
+        if protocol in ("2pc", "paxos", "short_commit"):
             if message.payload.get("allow_readonly"):
                 # Read-only optimization ([ML 83]): a participant that
                 # wrote nothing commits right away and drops out of
@@ -345,6 +357,14 @@ class LocalCommunicationManager:
             except TransactionAborted as exc:
                 self._reply(message, "vote", vote="abort", reason=str(exc.reason))
                 return
+            if protocol == "short_commit":
+                # Entering the commit phase: read locks go, write locks
+                # drop to shared (exposing the prepared values to
+                # readers under the engine's cascade guard).
+                self.interface.short_release(
+                    txn_id,
+                    downgrade=message.payload.get("short_release") != "all",
+                )
         self._reply(message, "vote", vote="ready")
         for hook in self.on_ready_voted:
             hook(gtxn, txn_id, protocol)

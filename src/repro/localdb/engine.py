@@ -98,6 +98,19 @@ class LocalDatabase:
         self._op_seq = 0
         self.op_history: list[OpRecord] = []
         self.committed_txn_ids: set[str] = set()
+        # Short-Commit exposure state: a prepared transaction that
+        # downgraded its write locks has *exposed* uncommitted values.
+        # Readers of exposed pages pick up a commit dependency and are
+        # cascade-aborted if the exposer rolls back.
+        self._exposed: dict[str, set[Any]] = {}  # exposer txn -> resources
+        self._exposed_pages: dict[Any, str] = {}  # resource -> exposer txn
+        self._commit_deps: dict[str, set[str]] = {}  # reader -> exposers
+        self._dependents: dict[str, set[str]] = {}  # exposer -> readers
+        # Rollbacks that restored a before-image over a value some other
+        # transaction wrote in the meantime -- impossible while write
+        # locks are held (or merely downgraded) to the end, so any entry
+        # is a §3.3 dirty-write hazard; the invariant battery flags them.
+        self.undo_clobbers: list[tuple[str, str, Any]] = []
         # Metrics.
         self.commits = 0
         self.aborts: dict[LocalAbortReason, int] = {r: 0 for r in LocalAbortReason}
@@ -174,7 +187,10 @@ class LocalDatabase:
             value = yield from self._occ_read(txn, table, key)
         else:
             heap = self.catalog.heap(table)
-            yield from self._acquire(txn, table, heap.page_of(key), LockMode.SHARED)
+            page_id = heap.page_of(key)
+            yield from self._acquire(txn, table, page_id, LockMode.SHARED)
+            if self._exposed_pages:
+                self._note_dirty_read(txn, (table, page_id))
             value = yield from heap.read(key)
             self._check_txn(txn)
         txn.read_set.add((table, key))
@@ -258,6 +274,8 @@ class LocalDatabase:
         if self.config.scheduler == "2pl":
             for page_id in heap.page_ids:
                 yield from self._acquire(txn, table, page_id, LockMode.SHARED)
+                if self._exposed_pages:
+                    self._note_dirty_read(txn, (table, page_id))
         rows = yield from heap.scan()
         self._check_txn(txn)
         if self.config.scheduler == "occ":
@@ -291,6 +309,14 @@ class LocalDatabase:
         txn.require_state(LocalTxnState.RUNNING, LocalTxnState.READY)
         yield self.config.storage.cpu_op_time
         self._check_txn(txn)
+        while self._commit_deps.get(txn.txn_id):
+            # Short-Commit dirty-read guard: this transaction read
+            # values exposed by a prepared-but-unresolved transaction.
+            # Committing now would make a dirty read durable, so wait
+            # until every exposer resolved (its commit clears the
+            # dependency; its abort cascade-aborts us).
+            yield 1.0
+            self._check_txn(txn)
         if self.config.scheduler == "occ" and txn.state is LocalTxnState.RUNNING:
             yield from self._occ_commit(txn)
             return
@@ -320,6 +346,14 @@ class LocalDatabase:
         """Enter the ready state (modified TMs only; see interface module)."""
         self._check_txn(txn)
         txn.require_state(LocalTxnState.RUNNING)
+        while self._commit_deps.get(txn.txn_id):
+            # Short-Commit dirty-read guard, prepare half: voting yes
+            # with an unresolved exposer would let the coordinator
+            # commit a dirty read (the ready state is a promise not to
+            # abort, but the exposer's rollback must still cascade
+            # here).  Hold the vote until every exposer resolved.
+            yield 1.0
+            self._check_txn(txn)
         if self.config.scheduler == "occ":
             # A preparable OCC engine validates at prepare time and
             # installs its workspace under commit locks, deferring only
@@ -335,6 +369,26 @@ class LocalDatabase:
         self._check_txn(txn)
         txn.state = LocalTxnState.READY
         self._trace_state(txn)
+
+    def short_release(self, txn: LocalTransaction, downgrade: bool = True) -> list:
+        """Short-Commit early release on a *ready* transaction.
+
+        Read locks are released; write locks are downgraded to shared
+        (``downgrade=False`` -- the seeded mutant -- releases them
+        too).  Pages whose exclusive lock was given up while this
+        transaction's writes are uncommitted become exposed: readers
+        that touch them pick up a commit dependency and are
+        cascade-aborted if this transaction rolls back.  Immediate (no
+        I/O): pure lock-table work.
+        """
+        self._check_txn(txn)
+        txn.require_state(LocalTxnState.READY)
+        exposed = self.locks.short_release(txn.txn_id, downgrade=downgrade)
+        if exposed:
+            self._exposed[txn.txn_id] = set(exposed)
+            for resource in exposed:
+                self._exposed_pages[resource] = txn.txn_id
+        return exposed
 
     def force_abort(self, txn_id: str, reason: LocalAbortReason) -> "Process":
         """Asynchronously abort a transaction from outside its process.
@@ -432,6 +486,10 @@ class LocalDatabase:
         self.locks.crash()
         self.buffer.crash()
         self.log.crash()
+        self._exposed.clear()
+        self._exposed_pages.clear()
+        self._commit_deps.clear()
+        self._dependents.clear()
         self._occ_gate.reset(SiteCrashed(f"{self.site} crashed"))
         self.kernel.trace.emit("site", self.site, "crash")
 
@@ -493,6 +551,8 @@ class LocalDatabase:
             "lock_waits": self.locks.waits,
             "lock_wait_time": self.locks.total_wait_time,
             "lock_hold_time": self.locks.total_hold_time,
+            "lock_exclusive_hold_time": self.locks.total_exclusive_hold_time,
+            "lock_downgrades": self.locks.downgrades,
             "deadlocks": self.locks.deadlocks,
             "lock_timeouts": self.locks.timeouts,
             "log_forces": self.disk.log_forces,
@@ -608,9 +668,42 @@ class LocalDatabase:
             OpRecord(self._op_seq, txn.txn_id, txn.gtxn_id, kind, table, key)
         )
 
+    def _note_dirty_read(self, txn: LocalTransaction, resource: Any) -> None:
+        """Record a read of an exposed page (Short-Commit guard)."""
+        exposer = self._exposed_pages.get(resource)
+        if exposer is None or exposer == txn.txn_id:
+            return
+        self._commit_deps.setdefault(txn.txn_id, set()).add(exposer)
+        self._dependents.setdefault(exposer, set()).add(txn.txn_id)
+
+    def _resolve_exposure(self, txn: LocalTransaction, aborted: bool) -> None:
+        """An exposed transaction reached its final state.
+
+        On commit the dependent readers' dirty reads retroactively
+        became clean and their commits may proceed.  On abort every
+        *active* dependent reader consumed values that never existed:
+        cascade-abort them (retriable at the global layer).
+        """
+        exposed = self._exposed.pop(txn.txn_id, None)
+        if exposed is None:
+            return
+        for resource in exposed:
+            if self._exposed_pages.get(resource) == txn.txn_id:
+                del self._exposed_pages[resource]
+        for reader_id in sorted(self._dependents.pop(txn.txn_id, ())):
+            deps = self._commit_deps.get(reader_id)
+            if deps is not None:
+                deps.discard(txn.txn_id)
+                if not deps:
+                    del self._commit_deps[reader_id]
+            if aborted:
+                self.force_abort(reader_id, LocalAbortReason.CASCADE)
+
     def _finalize_commit(self, txn: LocalTransaction) -> None:
         txn.state = LocalTxnState.COMMITTED
         txn.end_time = self.kernel.now
+        if self._exposed:
+            self._resolve_exposure(txn, aborted=False)
         self.locks.release_all(txn.txn_id)
         self.commits += 1
         self.committed_txn_ids.add(txn.txn_id)
@@ -637,6 +730,12 @@ class LocalDatabase:
         txn.state = LocalTxnState.ABORTED
         txn.abort_reason = reason
         txn.end_time = self.kernel.now
+        if self._exposed:
+            # The before-images above were restored under this
+            # transaction's still-held (downgraded) shared locks, so no
+            # committed writer effect was clobbered; readers that saw
+            # the exposed values are cascade-aborted now.
+            self._resolve_exposure(txn, aborted=True)
         self.locks.release_all(txn.txn_id)
         self.aborts[reason] += 1
         self._trace_state(txn)
@@ -648,6 +747,18 @@ class LocalDatabase:
             record = self.log.record_at(lsn)
             if isinstance(record, UpdateRecord):
                 heap = self.catalog.heap(record.table)
+                if self.buffer.resident(record.page_id):
+                    current = self.buffer._frames[record.page_id].get(record.key)
+                    if current != record.after:
+                        # A foreign write landed after ours: restoring the
+                        # before-image erases that concurrent effect.
+                        self.undo_clobbers.append(
+                            (txn.txn_id, record.table, record.key)
+                        )
+                        self.kernel.trace.emit(
+                            "undo_clobber", self.site, txn.txn_id,
+                            table=record.table, key=record.key,
+                        )
                 clr = self.log.append(
                     lambda l, r=record: CompensationRecord(
                         lsn=l,

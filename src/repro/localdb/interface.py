@@ -118,3 +118,12 @@ class PreparableTMInterface(StandardTMInterface):
     def prepare(self, txn_id: str) -> Generator[Any, Any, None]:
         """running -> ready: force the log, keep all locks."""
         yield from self._engine.prepare(self._engine.txn(txn_id))
+
+    def short_release(self, txn_id: str, downgrade: bool = True) -> list:
+        """Short-Commit early lock release on a *ready* transaction.
+
+        Releases read locks and downgrades write locks (releases them
+        with ``downgrade=False`` -- the seeded mutant).  Immediate: a
+        pure lock-table operation, no log I/O.
+        """
+        return self._engine.short_release(self._engine.txn(txn_id), downgrade=downgrade)

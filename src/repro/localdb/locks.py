@@ -83,9 +83,13 @@ class LockManager:
         self.grants = 0
         self.waits = 0
         self.releases = 0
+        self.downgrades = 0
         self.total_wait_time = 0.0
         self.total_hold_time = 0.0
         self.max_hold_time = 0.0
+        # Exclusive holds are what block other work; Short-Commit's
+        # early downgrade shows up here, not in the total.
+        self.total_exclusive_hold_time = 0.0
         self.deadlocks = 0
         self.timeouts = 0
         # Observability hook: called as ``hold_observer(resource, hold)``
@@ -215,20 +219,81 @@ class LockManager:
                 state = self._resources.get(resource)
                 request = state.holders.pop(txn_id, None) if state is not None else None
                 if request is not None:
-                    grant_time = (
-                        request.grant_time
-                        if request.grant_time is not None
-                        else request.request_time
-                    )
-                    hold = self._kernel.now - grant_time
-                    self.total_hold_time += hold
+                    self._account_hold(resource, request)
                     self.releases += 1
-                    if hold > self.max_hold_time:
-                        self.max_hold_time = hold
-                    if self.hold_observer is not None:
-                        self.hold_observer(resource, hold)
                     self._dispatch(resource)
         self._graph.clear_txn(txn_id)
+
+    def short_release(self, txn_id: str, downgrade: bool = True) -> list[Hashable]:
+        """Early release at commit-phase start (Short-Commit).
+
+        Shared locks are released outright; exclusive locks are
+        *downgraded* to shared, so readers may proceed while writers
+        stay blocked until the final :meth:`release_all`.  Returns the
+        resources that lost exclusive protection, in lock-table order
+        -- the engine marks those pages exposed.
+
+        ``downgrade=False`` (the seeded ``short_release_all`` mutant)
+        releases the exclusive locks too.
+
+        The exclusive hold is what blocks other work, so a downgraded
+        lock's hold time is accounted at the downgrade; the residual
+        shared hold is clocked from the downgrade instant.
+        """
+        held = self._held.get(txn_id)
+        if not held:
+            return []
+        resources = sorted(
+            held, key=lambda r: self._resources[r].serial
+        ) if len(held) > 1 else list(held)
+        exposed: list[Hashable] = []
+        for resource in resources:
+            state = self._resources.get(resource)
+            request = state.holders.get(txn_id) if state is not None else None
+            if request is None:
+                continue
+            was_exclusive = request.mode is LockMode.EXCLUSIVE
+            if was_exclusive and downgrade:
+                self._account_hold(resource, request)
+                request.mode = LockMode.SHARED
+                request.grant_time = self._kernel.now
+                self.downgrades += 1
+                exposed.append(resource)
+                self._dispatch(resource)
+                continue
+            if was_exclusive:
+                exposed.append(resource)
+            self._release_one(txn_id, resource)
+        return exposed
+
+    def _release_one(self, txn_id: str, resource: Hashable) -> None:
+        state = self._resources.get(resource)
+        request = state.holders.pop(txn_id, None) if state is not None else None
+        if request is None:
+            return
+        held = self._held.get(txn_id)
+        if held is not None:
+            held.pop(resource, None)
+            if not held:
+                del self._held[txn_id]
+        self._account_hold(resource, request)
+        self.releases += 1
+        self._dispatch(resource)
+
+    def _account_hold(self, resource: Hashable, request: _Request) -> None:
+        grant_time = (
+            request.grant_time
+            if request.grant_time is not None
+            else request.request_time
+        )
+        hold = self._kernel.now - grant_time
+        self.total_hold_time += hold
+        if request.mode is LockMode.EXCLUSIVE:
+            self.total_exclusive_hold_time += hold
+        if hold > self.max_hold_time:
+            self.max_hold_time = hold
+        if self.hold_observer is not None:
+            self.hold_observer(resource, hold)
 
     # -- internals ----------------------------------------------------------------
 

@@ -38,6 +38,9 @@ class LocalAbortReason(enum.Enum):
     VALIDATION = "validation"
     CRASH = "crash"
     SYSTEM = "system"
+    #: Short-Commit dirty-read guard: the reader consumed values a
+    #: downgraded (exposed) transaction then rolled back.
+    CASCADE = "cascade"
 
     @property
     def erroneous(self) -> bool:

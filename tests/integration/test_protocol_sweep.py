@@ -11,6 +11,7 @@ import pytest
 
 from repro.bench.harness import protocol_federation
 from repro.core.invariants import atomicity_report, serializability_ok
+from repro.core.protocols import redo_window_protocols
 from repro.faults import FaultInjector
 from repro.integration.federation import SiteSpec
 from repro.workloads.banking import total_balance, transfer
@@ -24,6 +25,8 @@ PROTOCOLS = [
     ("3pc", "per_site", True),
     ("saga", "per_action", False),       # not serializable by design
     ("altruistic", "per_action", True),
+    ("one_phase", "per_site", True),
+    ("short_commit", "per_site", True),
 ]
 
 
@@ -40,7 +43,7 @@ def run_one(protocol: str, granularity: str, seed: int):
     )
     fed.gtm.config.status_poll_interval = 8
     injector = FaultInjector(fed)
-    if protocol == "after":
+    if protocol in redo_window_protocols():
         injector.erroneous_aborts_after_ready(probability=0.4, delay=0.3)
     injector.crash_site("bank_1", at=60.0, recover_after=50.0)
     rng = fed.kernel.rng.stream("sweep")

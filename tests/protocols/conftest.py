@@ -4,6 +4,7 @@ from __future__ import annotations
 
 
 from repro.core.gtm import GTMConfig
+from repro.core.protocols import preparable_protocols
 from repro.integration.federation import Federation, FederationConfig, SiteSpec
 
 
@@ -19,7 +20,7 @@ def build_fed(
     **site_kwargs,
 ) -> Federation:
     """Two-site (by default) federation with one funded table per site."""
-    preparable = protocol in ("2pc", "2pc-pa", "3pc")
+    preparable = protocol in preparable_protocols()
     specs = [
         SiteSpec(
             f"s{i}",

@@ -1,0 +1,122 @@
+"""Golden byte-identity: the protocol family must not perturb the seed.
+
+Adding one-phase and Short-Commit touched shared machinery -- the
+protocol registry, the comm layer's reply path, the recovery manager's
+redo sweep, the lock manager's hold accounting.  Every **seed**
+protocol must still produce bit-for-bit the execution it produced
+before that code existed: same outcomes, same trace-record stream,
+same event/message counts, same RNG stream states.
+
+Each digest below was pinned by running :func:`fingerprint` against
+the pre-one-phase/Short-Commit tree (the tip this change is stacked
+on).  Any drift means a seed protocol's execution is no longer
+byte-identical and is a regression by definition.
+
+The scenario deliberately includes a site crash/recovery cycle and
+intended aborts so the commit, abort and recovery paths are all inside
+the fingerprint -- but no stochastic erroneous-abort injection, whose
+latent orphan-adoption redo bug this change intentionally fixes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.bench.harness import protocol_federation
+from repro.core.gtm import GTMConfig
+from repro.faults import FaultInjector
+from repro.integration.federation import Federation, FederationConfig, SiteSpec
+from repro.net.message import reset_message_ids
+from repro.workloads.banking import transfer
+
+SEED_PROTOCOLS = [
+    ("before", "per_action"),
+    ("before", "per_site"),
+    ("after", "per_site"),
+    ("2pc", "per_site"),
+    ("2pc-pa", "per_site"),
+    ("3pc", "per_site"),
+    ("paxos", "per_site"),
+    ("saga", "per_action"),
+    ("altruistic", "per_action"),
+]
+
+#: Hardcoded on purpose (not ``preparable_protocols()``): the pinning
+#: run against the seed tree predates the registry helper, and a golden
+#: harness must stay runnable against the tree it pins.
+PREPARABLE = frozenset({"2pc", "2pc-pa", "3pc", "paxos"})
+
+#: Pinned against the seed tree; see the module docstring.
+GOLDEN_DIGESTS: dict[str, str] = {
+    "before/per_action": "46398df66597aaa80c125c23f88ebacbf7884cdda117f77bf9a5c07fda41ad43",
+    "before/per_site": "6eb954d8794f11d197fa6401222e8c9dd8a1a08690ed0087a57aa6ce6aef11ab",
+    "after/per_site": "6da9bac033e40631cdc5943a564decc63a2fe8c4bac942adfab79e1f6871a01b",
+    "2pc/per_site": "22ec6b588f1a78a174524234f61f0fd8f1ba37f801d5b8761627207ed92f7dd6",
+    "2pc-pa/per_site": "d781275844c1cc8999d40690126195e1606f324b104515d13db52174ab206ada",
+    "3pc/per_site": "af1b75f804a4cbe0676a02fc3ba33ab4af8162c4294950be084da89372b369ee",
+    "paxos/per_site": "539ef0f70389adf7e940fbf9d25c7f9ce7c055ca0dc2518548640c305b73ff01",
+    "saga/per_action": "46398df66597aaa80c125c23f88ebacbf7884cdda117f77bf9a5c07fda41ad43",
+    "altruistic/per_action": "0fc6affe299d9d5164d46dbeedafbed4e66b4fe5a6dbf38813e166f162e11cf0",
+}
+
+
+def fingerprint(protocol: str, granularity: str) -> str:
+    reset_message_ids()
+    specs = [
+        SiteSpec(
+            f"bank_{i}",
+            tables={f"accounts_{i}": {f"acct{i}_{j}": 100 for j in range(3)}},
+            preparable=protocol in PREPARABLE,
+        )
+        for i in range(2)
+    ]
+    if protocol == "paxos":
+        # The seed-era bench harness predates paxos enrolment; build it
+        # directly so the fingerprint harness runs against the seed tree.
+        fed = Federation(
+            specs,
+            FederationConfig(
+                seed=97, gtm=GTMConfig(protocol=protocol, granularity=granularity)
+            ),
+        )
+    else:
+        fed = protocol_federation(
+            protocol, specs, granularity=granularity, seed=97, msg_timeout=25
+        )
+    fed.gtm.config.status_poll_interval = 8
+    injector = FaultInjector(fed)
+    injector.crash_site("bank_1", at=60.0, recover_after=50.0)
+    rng = fed.kernel.rng.stream("golden")
+    batches = [
+        {
+            "operations": transfer(rng, 2, 3),
+            "intends_abort": index % 4 == 3,
+            "delay": index * 17.0,
+        }
+        for index in range(8)
+    ]
+    outcomes = fed.run_transactions(batches)
+    blob = json.dumps(
+        {
+            "outcomes": [outcome.committed for outcome in outcomes],
+            "trace": [str(record) for record in fed.kernel.trace.records],
+            "events": fed.kernel.events_dispatched,
+            "end": fed.kernel.now,
+            "sent": fed.network.sent,
+            "rng_probe": fed.kernel.rng.stream("golden-probe").random(),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@pytest.mark.parametrize("protocol,granularity", SEED_PROTOCOLS)
+def test_seed_protocol_byte_identical(protocol, granularity):
+    digest = fingerprint(protocol, granularity)
+    assert digest == GOLDEN_DIGESTS[f"{protocol}/{granularity}"], (
+        f"{protocol}/{granularity}: execution drifted from the fingerprint "
+        "pinned before the one-phase/Short-Commit family landed"
+    )
